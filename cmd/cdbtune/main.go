@@ -1,0 +1,305 @@
+// Command cdbtune trains and serves the CDBTune tuning model against the
+// simulated cloud database fleet.
+//
+//	cdbtune train -workload sysbench-rw -instance CDB-A -episodes 40 -model model.bin
+//	cdbtune tune  -workload tpcc -instance CDB-C -model model.bin [-steps 5]
+//	cdbtune info
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdbtune/internal/core"
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "tune":
+		err = cmdTune(os.Args[2:])
+	case "info":
+		err = cmdInfo()
+	case "knobs":
+		err = cmdKnobs(os.Args[2:])
+	case "benchmark":
+		err = cmdBenchmark(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdbtune:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cdbtune train -workload <name> [-instance CDB-A] [-episodes 40] [-workers 1] [-model model.bin]
+  cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf]
+  cdbtune knobs [-engine cdb-mysql] [-all]
+  cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A]
+  cdbtune info`)
+}
+
+func instanceByName(name string) (simdb.Instance, error) {
+	for _, in := range simdb.Table1() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return simdb.Instance{}, fmt.Errorf("unknown instance %q (see `cdbtune info`)", name)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	wname := fs.String("workload", "sysbench-rw", "workload name")
+	iname := fs.String("instance", "CDB-A", "instance name (Table 1)")
+	episodes := fs.Int("episodes", 40, "training episodes")
+	workers := fs.Int("workers", 1, "parallel training environments")
+	model := fs.String("model", "model.bin", "output model path")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	w, err := workload.ByName(*wname)
+	if err != nil {
+		return err
+	}
+	inst, err := instanceByName(*iname)
+	if err != nil {
+		return err
+	}
+	cat := knobs.MySQL(knobs.EngineCDB)
+	cfg := core.DefaultConfig(cat)
+	cfg.Seed = *seed
+	cfg.DDPG.ActionBias = cat.Defaults(inst.HW.RAMGB, inst.HW.DiskGB)
+	tuner, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	mk := func(ep int) *env.Env {
+		db := simdb.New(knobs.EngineCDB, inst, *seed+int64(ep))
+		return env.New(db, cat, w)
+	}
+	fmt.Printf("training CDBTune: %s on %s, %d episodes, %d workers\n", w.Name, inst.Name, *episodes, *workers)
+	rep, err := tuner.OfflineTrainParallel(mk, *episodes, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("episodes=%d iterations=%d crashes=%d best throughput=%.1f txn/sec\n",
+		rep.Episodes, rep.Iterations, rep.Crashes, rep.BestPerf.Throughput)
+	f, err := os.Create(*model)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tuner.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s\n", *model)
+	return nil
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	wname := fs.String("workload", "sysbench-rw", "workload name")
+	iname := fs.String("instance", "CDB-A", "instance name (Table 1)")
+	steps := fs.Int("steps", 5, "online tuning steps")
+	model := fs.String("model", "model.bin", "model path from `cdbtune train`")
+	export := fs.String("export", "", "write the recommended configuration to this file (my.cnf syntax)")
+	seed := fs.Int64("seed", 42, "random seed")
+	fs.Parse(args)
+
+	w, err := workload.ByName(*wname)
+	if err != nil {
+		return err
+	}
+	inst, err := instanceByName(*iname)
+	if err != nil {
+		return err
+	}
+	cat := knobs.MySQL(knobs.EngineCDB)
+	cfg := core.DefaultConfig(cat)
+	tuner, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		return fmt.Errorf("opening model (run `cdbtune train` first): %w", err)
+	}
+	defer f.Close()
+	if err := tuner.Load(f); err != nil {
+		return err
+	}
+
+	db := simdb.New(knobs.EngineCDB, inst, *seed)
+	e := env.New(db, cat, w)
+	fmt.Printf("online tuning: %s on %s, %d steps\n", w.Name, inst.Name, *steps)
+	res, err := tuner.OnlineTune(e, *steps, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("initial: %.1f txn/sec, %.1f ms (99th)\n", res.Initial.Throughput, res.Initial.Latency99)
+	fmt.Printf("tuned:   %.1f txn/sec, %.1f ms (99th)  [+%.1f%% throughput]\n",
+		res.BestPerf.Throughput, res.BestPerf.Latency99,
+		(res.BestPerf.Throughput/res.Initial.Throughput-1)*100)
+	fmt.Printf("request cost: %.1f virtual minutes, %d crashes during exploration\n",
+		res.Seconds/60, res.Crashes)
+	fmt.Println("recommended knob settings (changed from defaults):")
+	hw := inst.HW
+	def := cat.Defaults(hw.RAMGB, hw.DiskGB)
+	n := 0
+	for i, k := range cat.Knobs {
+		v := k.Value(res.Best[i], hw.RAMGB, hw.DiskGB)
+		dv := k.Value(def[i], hw.RAMGB, hw.DiskGB)
+		if v != dv && n < 20 {
+			fmt.Printf("  %-42s %12.0f (default %.0f)\n", k.Name, v, dv)
+			n++
+		}
+	}
+	if n == 20 {
+		fmt.Println("  … (remaining knobs omitted)")
+	}
+	if *export != "" {
+		vals := cat.Denormalize(res.Best, hw.RAMGB, hw.DiskGB)
+		cfgText, err := knobs.FormatConfig(cat, vals, true)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*export, []byte(cfgText), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("configuration written to %s\n", *export)
+	}
+	return nil
+}
+
+// cmdBenchmark stress-tests a configuration file (the my.cnf syntax the
+// tune -export flag writes) against a workload and reports the externals,
+// next to the defaults as a reference.
+func cmdBenchmark(args []string) error {
+	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "configuration file to evaluate (my.cnf syntax)")
+	wname := fs.String("workload", "sysbench-rw", "workload name")
+	iname := fs.String("instance", "CDB-A", "instance name (Table 1)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *cfgPath == "" {
+		return fmt.Errorf("benchmark: -config is required")
+	}
+	w, err := workload.ByName(*wname)
+	if err != nil {
+		return err
+	}
+	inst, err := instanceByName(*iname)
+	if err != nil {
+		return err
+	}
+	cat := knobs.MySQL(knobs.EngineCDB)
+	f, err := os.Open(*cfgPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hw := inst.HW
+	values, unknown, err := knobs.ParseConfig(cat, f, hw.RAMGB, hw.DiskGB)
+	if err != nil {
+		return err
+	}
+	for _, u := range unknown {
+		fmt.Fprintf(os.Stderr, "warning: unknown knob %q ignored\n", u)
+	}
+	// Reference: defaults.
+	db := simdb.New(knobs.EngineCDB, inst, *seed)
+	base, err := db.RunWorkload(w, 150)
+	if err != nil {
+		return err
+	}
+	// Normalize the parsed actual values and deploy.
+	x := make([]float64, cat.Len())
+	for i, k := range cat.Knobs {
+		x[i] = k.Normalize(values[i], hw.RAMGB, hw.DiskGB)
+	}
+	if _, err := db.ApplyKnobs(cat, x); err != nil {
+		return err
+	}
+	res, err := db.RunWorkload(w, 150)
+	if err != nil {
+		return fmt.Errorf("configuration crashed the instance: %w", err)
+	}
+	fmt.Printf("%s on %s:\n", w.Name, inst.Name)
+	fmt.Printf("  defaults: %10.1f txn/sec  %10.1f ms (99th)\n", base.Ext.Throughput, base.Ext.Latency99)
+	fmt.Printf("  %-9s %10.1f txn/sec  %10.1f ms (99th)  [%+.1f%% throughput]\n",
+		*cfgPath+":", res.Ext.Throughput, res.Ext.Latency99,
+		(res.Ext.Throughput/base.Ext.Throughput-1)*100)
+	return nil
+}
+
+func cmdKnobs(args []string) error {
+	fs := flag.NewFlagSet("knobs", flag.ExitOnError)
+	engineName := fs.String("engine", "cdb-mysql", "engine: cdb-mysql, local-mysql, mongodb, postgres")
+	all := fs.Bool("all", false, "include minor knobs without descriptions")
+	fs.Parse(args)
+	var engine knobs.Engine
+	switch *engineName {
+	case "cdb-mysql":
+		engine = knobs.EngineCDB
+	case "local-mysql":
+		engine = knobs.EngineLocalMySQL
+	case "mongodb":
+		engine = knobs.EngineMongoDB
+	case "postgres":
+		engine = knobs.EnginePostgres
+	default:
+		return fmt.Errorf("unknown engine %q", *engineName)
+	}
+	cat := knobs.ForEngine(engine)
+	fmt.Printf("%s: %d tunable knobs\n", engine, cat.Len())
+	shown := 0
+	for _, k := range cat.Knobs {
+		if k.Desc == "" && !*all {
+			continue
+		}
+		restart := "dynamic"
+		if k.Restart {
+			restart = "restart"
+		}
+		fmt.Printf("  %-42s [%6.4g .. %-8.4g] default %-8.4g %-7s %s\n",
+			k.Name, k.Min, k.Max, k.Default, restart, k.Desc)
+		shown++
+	}
+	if !*all {
+		fmt.Printf("  … plus %d minor knobs (use -all to list)\n", cat.Len()-shown)
+	}
+	return nil
+}
+
+func cmdInfo() error {
+	fmt.Println("engines and knob catalogs:")
+	for _, e := range []knobs.Engine{knobs.EngineCDB, knobs.EngineLocalMySQL, knobs.EngineMongoDB, knobs.EnginePostgres} {
+		fmt.Printf("  %-12s %d tunable knobs\n", e, knobs.ForEngine(e).Len())
+	}
+	fmt.Println("instances (Table 1):")
+	for _, in := range simdb.Table1() {
+		fmt.Printf("  %-8s %4.0f GB RAM  %4.0f GB disk\n", in.Name, in.HW.RAMGB, in.HW.DiskGB)
+	}
+	fmt.Println("workloads:")
+	for _, w := range workload.All() {
+		fmt.Printf("  %-12s reads %.0f%%  scans %.0f%%  %d threads  %.1f GB data\n",
+			w.Name, w.ReadFraction*100, w.ScanFraction*100, w.Threads, w.DataSizeGB)
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package cdbtune is a from-scratch Go reproduction of "An End-to-End
+// Automatic Cloud Database Tuning System Using Deep Reinforcement
+// Learning" (CDBTune, SIGMOD 2019): a DDPG agent that maps 63 internal
+// database metrics to full knob configurations, trained try-and-error
+// against a simulated cloud-database fleet, with the OtterTune, BestConfig
+// and expert-DBA baselines the paper compares against.
+//
+// The public entry points live under cmd/ (the cdbtune and expdriver
+// binaries) and examples/; the library packages are under internal/ — see
+// README.md for the architecture overview and DESIGN.md for the paper-to-
+// package mapping. bench_test.go in this directory regenerates every table
+// and figure of the paper's evaluation.
+package cdbtune

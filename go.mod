@@ -1,0 +1,3 @@
+module cdbtune
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package bestconfig implements the BestConfig baseline [55]: the
+// divide-and-diverge sampling (DDS) plus recursive-bound-and-search (RBS)
+// strategy. BestConfig keeps no model across requests — every tuning
+// request restarts the search from scratch, which is exactly the
+// limitation §5.1.2 measures (50 steps ≈ 250 minutes per request).
+package bestconfig
+
+import (
+	"math/rand"
+
+	"cdbtune/internal/env"
+	"cdbtune/internal/metrics"
+)
+
+// Config controls the search.
+type Config struct {
+	// Budget is the total number of evaluations (the paper gives
+	// BestConfig 50 steps).
+	Budget int
+	// RoundSamples is the number of DDS samples per round before the
+	// space is re-bounded around the incumbent.
+	RoundSamples int
+	// Shrink is the factor by which RBS narrows the search box around the
+	// incumbent after each round.
+	Shrink float64
+	Seed   int64
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{Budget: 50, RoundSamples: 10, Shrink: 0.5, Seed: 1}
+}
+
+// Result is the outcome of one search.
+type Result struct {
+	Best     []float64
+	BestPerf metrics.External
+	// History holds the performance of every evaluated sample in order.
+	History []metrics.External
+	// Crashes counts evaluations that crashed the instance.
+	Crashes int
+}
+
+// score is the scalarized objective: throughput per unit latency keeps the
+// search honest on both externals.
+func score(ext metrics.External) float64 {
+	if ext.Latency99 <= 0 {
+		return 0
+	}
+	return ext.Throughput / ext.Latency99
+}
+
+// Tune runs DDS+RBS on the environment within cfg.Budget evaluations.
+func Tune(e *env.Env, cfg Config) (Result, error) {
+	if cfg.Budget <= 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := e.Dim()
+
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for i := range hi {
+		hi[i] = 1
+	}
+
+	var res Result
+	best := e.Default()
+	bestScore := -1.0
+	evals := 0
+
+	for evals < cfg.Budget {
+		n := cfg.RoundSamples
+		if evals+n > cfg.Budget {
+			n = cfg.Budget - evals
+		}
+		// DDS: divide each dimension into n intervals and take one sample
+		// per interval with a random permutation per dimension (a Latin
+		// hypercube over the current bounds).
+		perms := make([][]int, dim)
+		for d := 0; d < dim; d++ {
+			perms[d] = rng.Perm(n)
+		}
+		roundBestScore := -1.0
+		var roundBest []float64
+		for s := 0; s < n; s++ {
+			x := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				cell := float64(perms[d][s])
+				x[d] = lo[d] + (hi[d]-lo[d])*(cell+rng.Float64())/float64(n)
+			}
+			out, err := e.Step(x)
+			evals++
+			if err != nil {
+				res.Crashes++
+				res.History = append(res.History, metrics.External{})
+				continue
+			}
+			res.History = append(res.History, out.Ext)
+			if sc := score(out.Ext); sc > roundBestScore {
+				roundBestScore = sc
+				roundBest = x
+			}
+		}
+		if roundBestScore > bestScore {
+			bestScore = roundBestScore
+			best = roundBest
+		}
+		// RBS: bound the next round's space around the incumbent.
+		if best != nil {
+			for d := 0; d < dim; d++ {
+				half := (hi[d] - lo[d]) * cfg.Shrink / 2
+				c := best[d]
+				lo[d] = clamp01(c - half)
+				hi[d] = clamp01(c + half)
+				if hi[d]-lo[d] < 1e-3 {
+					lo[d] = clamp01(c - 5e-4)
+					hi[d] = clamp01(c + 5e-4)
+				}
+			}
+		}
+	}
+
+	// Deploy the incumbent and report its measured performance.
+	out, err := e.Step(best)
+	if err != nil {
+		// The incumbent was measured successfully during search; a crash
+		// here means noise pushed it over a cliff — fall back to defaults.
+		out, err = e.Step(e.Default())
+		if err != nil {
+			return res, err
+		}
+	}
+	res.Best = best
+	res.BestPerf = out.Ext
+	return res, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

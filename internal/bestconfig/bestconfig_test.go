@@ -1,0 +1,143 @@
+package bestconfig
+
+import (
+	"testing"
+
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func newEnv(t *testing.T, seed int64) *env.Env {
+	t.Helper()
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, seed)
+	return env.New(db, db.Catalog(), workload.SysbenchRW())
+}
+
+func TestTuneImprovesOverDefault(t *testing.T) {
+	e := newEnv(t, 1)
+	base, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(e, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPerf.Throughput <= base.Ext.Throughput {
+		t.Fatalf("BestConfig found nothing better than default: %v vs %v",
+			res.BestPerf.Throughput, base.Ext.Throughput)
+	}
+	if len(res.Best) != e.Dim() {
+		t.Fatalf("best config dim %d", len(res.Best))
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	e := newEnv(t, 2)
+	cfg := DefaultConfig()
+	cfg.Budget = 20
+	if _, err := Tune(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Budget evaluations + 1 final incumbent deployment.
+	if e.Steps() > cfg.Budget+2 {
+		t.Fatalf("used %d steps with budget %d", e.Steps(), cfg.Budget)
+	}
+}
+
+func TestHistoryLength(t *testing.T) {
+	e := newEnv(t, 3)
+	cfg := DefaultConfig()
+	cfg.Budget = 15
+	res, err := Tune(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 15 {
+		t.Fatalf("history has %d entries, want 15", len(res.History))
+	}
+}
+
+func TestNoMemoryAcrossRequests(t *testing.T) {
+	// Two identical requests search from scratch: same seed → identical
+	// first-round behaviour (the §6 "searches twice" critique).
+	e1, e2 := newEnv(t, 4), newEnv(t, 4)
+	cfg := DefaultConfig()
+	cfg.Budget = 10
+	r1, err := Tune(e1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Tune(e2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Best {
+		if r1.Best[i] != r2.Best[i] {
+			t.Fatal("same request should reproduce the same search")
+		}
+	}
+}
+
+func TestZeroBudgetGetsDefaults(t *testing.T) {
+	e := newEnv(t, 5)
+	res, err := Tune(e, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPerf.Throughput <= 0 {
+		t.Fatal("default config fallback broken")
+	}
+}
+
+func TestCrashesAreSurvived(t *testing.T) {
+	// A full-space random search over 266 knobs hits crash zones (huge
+	// logs, memory over-subscription); the search must skip them and still
+	// return a working configuration.
+	e := newEnv(t, 6)
+	res, err := Tune(e, Config{Budget: 30, RoundSamples: 10, Shrink: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPerf.Throughput <= 0 {
+		t.Fatal("no working configuration found")
+	}
+	t.Logf("crashes survived: %d", res.Crashes)
+}
+
+func TestShrinkBoundsStayValid(t *testing.T) {
+	// Many rounds of RBS shrinking must keep [lo, hi] a valid sub-box of
+	// [0, 1] (regression guard for the epsilon floor).
+	e := newEnv(t, 9)
+	cfg := Config{Budget: 40, RoundSamples: 4, Shrink: 0.3, Seed: 1}
+	res, err := Tune(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Best {
+		if v < 0 || v > 1 {
+			t.Fatalf("best[%d] = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestScoreFunction(t *testing.T) {
+	ext := func(tp, l float64) metrics.External {
+		return metrics.External{Throughput: tp, Latency99: l}
+	}
+	if score(ext(0, 0)) != 0 {
+		t.Fatal("zero latency must not divide by zero")
+	}
+	a := score(ext(100, 10))
+	b := score(ext(100, 20))
+	if a <= b {
+		t.Fatal("lower latency must score higher at equal throughput")
+	}
+	c := score(ext(200, 10))
+	if c <= a {
+		t.Fatal("higher throughput must score higher at equal latency")
+	}
+}

@@ -1,0 +1,161 @@
+// Package controller implements the distributed-cloud-platform controller
+// of the paper's Figure 2: the component that mediates between the client,
+// the CDB instances and the tuning system. It handles the two request
+// kinds the paper describes — a user's tuning request (§2.1.2: capture
+// ~150 s of the user's workload, replay it as a stress test, run the
+// 5-step online tuning, and deploy only after acquiring the DBA's or
+// user's license, §2.2.3) and a DBA's training request (§2.2: offline
+// training against the workload generator).
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cdbtune/internal/core"
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// Approver models the license step of §2.2.3: after the recommender
+// produces a configuration, the controller deploys it only with the DBA's
+// or user's approval.
+type Approver interface {
+	// Approve inspects the recommended configuration (actual values,
+	// aligned with cat) and the projected improvement and grants or
+	// denies deployment.
+	Approve(cat *knobs.Catalog, values []float64, improvement float64) bool
+}
+
+// AutoApprove grants every recommendation — the mode the paper's
+// experiments effectively run in.
+type AutoApprove struct{}
+
+// Approve implements Approver.
+func (AutoApprove) Approve(*knobs.Catalog, []float64, float64) bool { return true }
+
+// ThresholdApprover approves only recommendations whose projected
+// throughput improvement exceeds MinImprovement (e.g. 0.05 = +5 %);
+// everything else keeps the user's current configuration.
+type ThresholdApprover struct{ MinImprovement float64 }
+
+// Approve implements Approver.
+func (a ThresholdApprover) Approve(_ *knobs.Catalog, _ []float64, improvement float64) bool {
+	return improvement >= a.MinImprovement
+}
+
+// Config assembles a controller.
+type Config struct {
+	Tuner    *core.Tuner
+	Approver Approver
+	// CaptureSec is the workload-capture window (§2.1.2: "recent about
+	// 150 seconds"); CaptureOpsPerSec the trace sampling rate.
+	CaptureSec       int
+	CaptureOpsPerSec float64
+	// OnlineSteps is the per-request recommendation budget (paper: 5).
+	OnlineSteps int
+	Seed        int64
+}
+
+// Controller mediates tuning and training requests.
+type Controller struct {
+	cfg Config
+	rng *rand.Rand
+
+	requests int
+}
+
+// New builds a controller; Tuner is required, everything else defaults to
+// the paper's protocol.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Tuner == nil {
+		return nil, errors.New("controller: Config.Tuner is required")
+	}
+	if cfg.Approver == nil {
+		cfg.Approver = AutoApprove{}
+	}
+	if cfg.CaptureSec == 0 {
+		cfg.CaptureSec = 150
+	}
+	if cfg.CaptureOpsPerSec == 0 {
+		cfg.CaptureOpsPerSec = 50
+	}
+	if cfg.OnlineSteps == 0 {
+		cfg.OnlineSteps = 5
+	}
+	return &Controller{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Requests reports how many tuning requests have been served.
+func (c *Controller) Requests() int { return c.requests }
+
+// RequestResult is the outcome of one served tuning request.
+type RequestResult struct {
+	core.TuneResult
+	// Replayed is the workload profile reconstructed from the captured
+	// trace and used for the stress tests.
+	Replayed workload.Workload
+	// Approved reports whether the license step granted deployment; when
+	// false the instance was rolled back to its pre-request configuration.
+	Approved bool
+	// Values are the recommended actual knob values (aligned with the
+	// tuner's catalog).
+	Values []float64
+}
+
+// HandleTuningRequest serves one user tuning request against the user's
+// database instance: capture, replay, tune, license, deploy-or-rollback.
+func (c *Controller) HandleTuningRequest(db *simdb.DB, userWorkload workload.Workload) (RequestResult, error) {
+	var out RequestResult
+	c.requests++
+	cat := c.cfg.Tuner.Config().Cat
+
+	// Workload generator, replay mode (§2.2.1): capture the user's recent
+	// operations and reconstruct an equivalent profile.
+	trace := workload.Record(userWorkload, c.cfg.CaptureSec, c.cfg.CaptureOpsPerSec, c.rng)
+	replayed, err := workload.Replay(trace)
+	if err != nil {
+		return out, fmt.Errorf("controller: replaying captured workload: %w", err)
+	}
+	out.Replayed = replayed
+
+	// Remember the pre-request configuration for rollback.
+	before := db.CurrentKnobs(cat)
+
+	e := env.New(db, cat, replayed)
+	res, err := c.cfg.Tuner.OnlineTune(e, c.cfg.OnlineSteps, true)
+	if err != nil {
+		return out, err
+	}
+	out.TuneResult = res
+
+	hw := db.Instance().HW
+	out.Values = cat.Denormalize(res.Best, hw.RAMGB, hw.DiskGB)
+	improvement := res.BestPerf.Throughput/res.Initial.Throughput - 1
+	out.Approved = c.cfg.Approver.Approve(cat, out.Values, improvement)
+	if !out.Approved {
+		if _, err := db.ApplyKnobs(cat, before); err != nil {
+			return out, fmt.Errorf("controller: rolling back: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// HandleTrainingRequest serves a DBA training request: offline training
+// with the workload generator's standard workloads, optionally across
+// parallel training instances (§5.1's 30-server setup).
+func (c *Controller) HandleTrainingRequest(mkEnv core.EnvFactory, episodes, workers int) (core.TrainReport, error) {
+	if workers > 1 {
+		return c.cfg.Tuner.OfflineTrainParallel(mkEnv, episodes, workers)
+	}
+	return c.cfg.Tuner.OfflineTrain(mkEnv, episodes)
+}
+
+// SaveModel and LoadModel persist the tuning model across controller
+// restarts.
+func (c *Controller) SaveModel(w io.Writer) error { return c.cfg.Tuner.Save(w) }
+func (c *Controller) LoadModel(r io.Reader) error { return c.cfg.Tuner.Load(r) }

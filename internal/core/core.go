@@ -1,0 +1,530 @@
+// Package core assembles CDBTune, the paper's end-to-end automatic cloud
+// database tuning system (§2): the DDPG agent over the 63-metric state and
+// the knob-configuration action space, the reward function of §4.2, the
+// experience-replay memory pool, offline training against standard
+// workloads (cold start), and the 5-step online tuning protocol with
+// fine-tuning on the user's replayed workload.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/reward"
+	"cdbtune/internal/rl"
+	"cdbtune/internal/rl/ddpg"
+	"cdbtune/internal/simdb"
+)
+
+// Wall-clock costs of the model-side stages of one step (§5.1.1); the
+// environment-side costs live in simdb.
+const (
+	ModelUpdateSec = 0.02876
+	RecommendSec   = 0.00216
+)
+
+// Config assembles a CDBTune tuner.
+type Config struct {
+	// Cat is the tunable knob subset (the action space).
+	Cat *knobs.Catalog
+
+	// DDPG overrides the agent hyperparameters; leave zero-valued to get
+	// the paper's Table 4/5 defaults sized for Cat.
+	DDPG ddpg.Config
+
+	// RewardKind selects the reward function (RF-CDBTune by default);
+	// CT/CL weight throughput vs latency (0.5/0.5 by default, §C.1.2).
+	RewardKind reward.Kind
+	CT, CL     float64
+
+	// StepsPerEpisode bounds one training episode; UpdatesPerStep is the
+	// number of gradient updates after each environment step.
+	StepsPerEpisode int
+	UpdatesPerStep  int
+
+	// ConvergeWindow and ConvergeEps implement the §C.1.1 convergence
+	// rule: converged when performance changes ≤ ConvergeEps for
+	// ConvergeWindow consecutive steps.
+	ConvergeWindow int
+	ConvergeEps    float64
+
+	// SnapshotEvery > 0 enables best-policy snapshot selection: every
+	// SnapshotEvery training episodes the greedy policy is probed on a
+	// fresh environment and the best-performing snapshot is restored when
+	// training ends. This is standard early-stopping engineering on top of
+	// the paper's algorithm: DDPG's last iterate is not its best one.
+	SnapshotEvery int
+
+	// RewardScale, RewardClip and RewardFloor stabilize critic regression:
+	// stored rewards are reward·RewardScale clamped into
+	// [−RewardFloor, RewardClip]. The paper's reward (Eq. 6) is quadratic
+	// in the relative change and reaches the hundreds (negative) when a
+	// bad configuration multiplies tail latency; unclamped, a single bad
+	// region dominates the critic's squared loss and inverts the learned
+	// slope of the knobs that border it. For tuning, *how* bad a bad
+	// configuration is carries no useful signal — the floor encodes that.
+	RewardScale float64
+	RewardClip  float64
+	RewardFloor float64
+
+	// CrashPenalty is the stored (post-scale) reward for a crashed step.
+	// The paper uses −100 raw; stored at full scale it dominates the
+	// squared critic loss and — because crashes co-occur with high values
+	// of *several* memory knobs under exploration — inverts the learned
+	// value slope of the buffer pool. A modest penalty keeps crash
+	// avoidance while preserving the topology of the good region.
+	CrashPenalty float64
+
+	Seed int64
+}
+
+// DefaultConfig returns the paper's setup for the given knob subset.
+func DefaultConfig(cat *knobs.Catalog) Config {
+	return Config{
+		Cat:             cat,
+		DDPG:            ddpg.DefaultConfig(metrics.NumMetrics, cat.Len()),
+		RewardKind:      reward.RFCDBTune,
+		CT:              0.5,
+		CL:              0.5,
+		StepsPerEpisode: 20,
+		UpdatesPerStep:  2,
+		ConvergeWindow:  5,
+		ConvergeEps:     0.005,
+		SnapshotEvery:   2,
+		RewardScale:     0.1,
+		RewardClip:      15,
+		RewardFloor:     4,
+		CrashPenalty:    -3,
+		Seed:            1,
+	}
+}
+
+// Tuner is a CDBTune instance: one trained model serving online tuning
+// requests (§2.1: the model is trained once offline, then fine-tuned per
+// request).
+type Tuner struct {
+	cfg   Config
+	agent *ddpg.Agent
+
+	// agentMu serializes agent access so parallel training workers can
+	// share one model.
+	agentMu sync.Mutex
+
+	mu         sync.Mutex
+	iterations int
+
+	bestSnapshot []byte
+	bestEval     float64
+
+	bestActionPerf float64
+}
+
+// New builds a tuner from cfg, filling defaults for zero-valued fields.
+func New(cfg Config) (*Tuner, error) {
+	if cfg.Cat == nil {
+		return nil, errors.New("core: Config.Cat is required")
+	}
+	def := DefaultConfig(cfg.Cat)
+	if cfg.DDPG.StateDim == 0 {
+		cfg.DDPG = def.DDPG
+		cfg.DDPG.Seed = cfg.Seed
+	}
+	if cfg.CT == 0 && cfg.CL == 0 {
+		cfg.CT, cfg.CL = def.CT, def.CL
+	}
+	if cfg.StepsPerEpisode == 0 {
+		cfg.StepsPerEpisode = def.StepsPerEpisode
+	}
+	if cfg.UpdatesPerStep == 0 {
+		cfg.UpdatesPerStep = def.UpdatesPerStep
+	}
+	if cfg.ConvergeWindow == 0 {
+		cfg.ConvergeWindow = def.ConvergeWindow
+	}
+	if cfg.ConvergeEps == 0 {
+		cfg.ConvergeEps = def.ConvergeEps
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = def.SnapshotEvery
+	}
+	if cfg.RewardScale == 0 {
+		cfg.RewardScale = def.RewardScale
+	}
+	if cfg.RewardClip == 0 {
+		cfg.RewardClip = def.RewardClip
+	}
+	if cfg.RewardFloor == 0 {
+		cfg.RewardFloor = def.RewardFloor
+	}
+	if cfg.CrashPenalty == 0 {
+		cfg.CrashPenalty = def.CrashPenalty
+	}
+	if cfg.DDPG.ActionDim != cfg.Cat.Len() {
+		return nil, fmt.Errorf("core: DDPG action dim %d != %d knobs", cfg.DDPG.ActionDim, cfg.Cat.Len())
+	}
+	return &Tuner{cfg: cfg, agent: ddpg.New(cfg.DDPG)}, nil
+}
+
+// Config returns the tuner configuration.
+func (t *Tuner) Config() Config { return t.cfg }
+
+// Agent exposes the underlying DDPG agent (diagnostics and tests).
+func (t *Tuner) Agent() *ddpg.Agent { return t.agent }
+
+// Iterations reports the total environment steps consumed by training —
+// the "number of iterations" metric of Figures 8/14 and Table 6.
+func (t *Tuner) Iterations() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.iterations
+}
+
+// Save and Load persist the trained model.
+func (t *Tuner) Save(w io.Writer) error { return t.agent.Save(w) }
+func (t *Tuner) Load(r io.Reader) error { return t.agent.Load(r) }
+
+// TrainReport summarizes an offline training run.
+type TrainReport struct {
+	Episodes    int
+	Iterations  int
+	Crashes     int
+	Converged   bool
+	ConvergedAt int // iteration index of convergence, 0 if never
+	// BestPerf is the best stress-test result seen during training.
+	BestPerf metrics.External
+	// VirtualSeconds is the simulated wall-clock cost (without the
+	// parallel-worker discount).
+	VirtualSeconds float64
+}
+
+// EnvFactory produces a fresh training environment per episode — the
+// workload generator driving standard workloads against a training
+// instance (§2.2.1 cold start).
+type EnvFactory func(episode int) *env.Env
+
+// OfflineTrain trains the model for the given number of episodes. Each
+// episode resets to the default configuration, measures T0/L0, then
+// walks StepsPerEpisode try-and-error steps. Crashes are punished
+// (§5.2.3) and the instance is restarted with defaults so the episode's
+// remaining steps still produce samples.
+func (t *Tuner) OfflineTrain(mkEnv EnvFactory, episodes int) (TrainReport, error) {
+	var rep TrainReport
+	flat := 0 // consecutive episodes without material improvement
+	var bestSoFar float64
+
+	for ep := 0; ep < episodes; ep++ {
+		e := mkEnv(ep)
+		if e.Cat.Len() != t.cfg.Cat.Len() {
+			return rep, fmt.Errorf("core: episode env has %d knobs, tuner expects %d", e.Cat.Len(), t.cfg.Cat.Len())
+		}
+		crashes, bestEp, convergedAt, err := t.runEpisode(e, true)
+		if err != nil {
+			return rep, err
+		}
+		rep.Crashes += crashes
+		if bestEp.Throughput > rep.BestPerf.Throughput {
+			rep.BestPerf = bestEp
+		}
+		_ = convergedAt
+		rep.Episodes++
+		rep.VirtualSeconds += e.Clock.Seconds()
+		t.agent.Noise.Decay()
+		t.agent.Noise.Reset()
+
+		// Convergence (§C.1.1, adapted to noisy episode data): converged
+		// once the best performance seen has not improved by more than
+		// ConvergeEps for ConvergeWindow consecutive episodes.
+		if bestSoFar > 0 && bestEp.Throughput <= bestSoFar*(1+t.cfg.ConvergeEps) {
+			flat++
+		} else {
+			flat = 0
+		}
+		if bestEp.Throughput > bestSoFar {
+			bestSoFar = bestEp.Throughput
+		}
+		if !rep.Converged && flat >= t.cfg.ConvergeWindow {
+			rep.Converged = true
+			rep.ConvergedAt = t.Iterations()
+		}
+
+		if t.cfg.SnapshotEvery > 0 && (ep+1)%t.cfg.SnapshotEvery == 0 {
+			if err := t.maybeSnapshot(mkEnv(ep)); err != nil {
+				return rep, err
+			}
+		}
+	}
+	if err := t.restoreBest(); err != nil {
+		return rep, err
+	}
+	rep.Iterations = t.Iterations()
+	return rep, nil
+}
+
+// maybeSnapshot probes the current greedy policy on a fresh environment
+// and keeps a copy of the model when it is the best seen so far. Probe
+// steps do not enter the memory pool or the iteration count.
+func (t *Tuner) maybeSnapshot(e *env.Env) error {
+	base, err := e.Measure()
+	if err != nil {
+		return fmt.Errorf("core: snapshot probe: %w", err)
+	}
+	best := base.Ext.Throughput
+	state := metrics.Normalize(base.State)
+	probeSteps := 3
+	for i := 0; i < probeSteps; i++ {
+		t.agentMu.Lock()
+		action := t.agent.Act(state)
+		t.agentMu.Unlock()
+		res, err := e.Step(action)
+		if err != nil {
+			if errors.Is(err, simdb.ErrCrashed) {
+				e.DB.ResetDefaults()
+				continue
+			}
+			return err
+		}
+		state = metrics.Normalize(res.State)
+		if res.Ext.Throughput > best {
+			best = res.Ext.Throughput
+		}
+	}
+	t.agentMu.Lock()
+	defer t.agentMu.Unlock()
+	if t.bestSnapshot == nil || best > t.bestEval {
+		var buf bytes.Buffer
+		if err := t.agent.Save(&buf); err != nil {
+			return err
+		}
+		t.bestSnapshot = buf.Bytes()
+		t.bestEval = best
+	}
+	return nil
+}
+
+// restoreBest reloads the best snapshot taken during training.
+func (t *Tuner) restoreBest() error {
+	t.agentMu.Lock()
+	defer t.agentMu.Unlock()
+	if t.bestSnapshot == nil {
+		return nil
+	}
+	return t.agent.Load(bytes.NewReader(t.bestSnapshot))
+}
+
+// runEpisode executes one try-and-error episode on e. When train is true
+// the agent explores and learns; otherwise it acts greedily.
+func (t *Tuner) runEpisode(e *env.Env, train bool) (crashes int, best metrics.External, convergedAt int, err error) {
+	base, err := e.Measure()
+	if err != nil {
+		return 0, best, 0, fmt.Errorf("core: measuring initial performance: %w", err)
+	}
+	rf := reward.New(t.cfg.RewardKind, t.cfg.CT, t.cfg.CL)
+	rf.Init(base.Ext.Throughput, base.Ext.Latency99)
+	best = base.Ext
+	state := metrics.Normalize(base.State)
+
+	flat := 0
+	var prevT float64 = base.Ext.Throughput
+	for step := 0; step < t.cfg.StepsPerEpisode; step++ {
+		var action []float64
+		t.agentMu.Lock()
+		if train {
+			action = t.agent.ActNoisy(state)
+		} else {
+			action = t.agent.Act(state)
+		}
+		t.agentMu.Unlock()
+		e.Clock.Charge(RecommendSec)
+		res, err := e.Step(action)
+		t.mu.Lock()
+		t.iterations++
+		t.mu.Unlock()
+		if err != nil {
+			if !errors.Is(err, simdb.ErrCrashed) {
+				return crashes, best, convergedAt, err
+			}
+			crashes++
+			t.observeRaw(rl.Transition{
+				State: state, Action: action,
+				Reward: t.cfg.CrashPenalty, NextState: state, Done: true,
+			})
+			if train {
+				t.trainUpdates(e)
+			}
+			// The controller redeploys defaults and the episode continues
+			// from the recovered instance — §5.2.3 reports frequent
+			// crashes early in training that the negative reward
+			// gradually eliminates; each one costs a restart, not the
+			// rest of the episode's samples.
+			e.DB.ResetDefaults()
+			continue
+		}
+		r := rf.Compute(res.Ext.Throughput, res.Ext.Latency99)
+		next := metrics.Normalize(res.State)
+		t.observe(rl.Transition{
+			State: state, Action: action, Reward: r,
+			NextState: next, Done: step == t.cfg.StepsPerEpisode-1,
+		})
+		if train {
+			t.trainUpdates(e)
+		}
+		state = next
+		if res.Ext.Throughput > best.Throughput {
+			best = res.Ext
+		}
+		if train {
+			t.noteBestAction(action, res.Ext.Throughput)
+		}
+		if prevT > 0 && math.Abs(res.Ext.Throughput-prevT)/prevT <= t.cfg.ConvergeEps {
+			flat++
+			if flat >= t.cfg.ConvergeWindow && convergedAt == 0 {
+				convergedAt = step + 1
+			}
+		} else {
+			flat = 0
+		}
+		prevT = res.Ext.Throughput
+	}
+	return crashes, best, convergedAt, nil
+}
+
+// noteBestAction feeds the self-imitation target: the best-throughput
+// action observed during training (see ddpg.Config.BCWeight).
+func (t *Tuner) noteBestAction(action []float64, tput float64) {
+	t.agentMu.Lock()
+	defer t.agentMu.Unlock()
+	if tput > t.bestActionPerf {
+		t.bestActionPerf = tput
+		t.agent.SetBCTarget(action)
+	}
+}
+
+// observeRaw stores a transition whose reward is already in stored scale.
+func (t *Tuner) observeRaw(tr rl.Transition) {
+	t.agentMu.Lock()
+	t.agent.Observe(tr)
+	t.agentMu.Unlock()
+}
+
+// observe stores a transition in the memory pool under the agent lock,
+// scaling and clipping the reward per Config.RewardScale/RewardClip.
+func (t *Tuner) observe(tr rl.Transition) {
+	r := tr.Reward * t.cfg.RewardScale
+	if r > t.cfg.RewardClip {
+		r = t.cfg.RewardClip
+	}
+	if r < -t.cfg.RewardFloor {
+		r = -t.cfg.RewardFloor
+	}
+	tr.Reward = r
+	t.agentMu.Lock()
+	t.agent.Observe(tr)
+	t.agentMu.Unlock()
+}
+
+func (t *Tuner) trainUpdates(e *env.Env) {
+	t.agentMu.Lock()
+	defer t.agentMu.Unlock()
+	for i := 0; i < t.cfg.UpdatesPerStep; i++ {
+		if _, ok := t.agent.TrainStep(); ok {
+			e.Clock.Charge(ModelUpdateSec)
+		}
+	}
+}
+
+// TuneResult is the outcome of one online tuning request.
+type TuneResult struct {
+	Best     []float64
+	BestPerf metrics.External
+	Initial  metrics.External
+	History  []metrics.External
+	Crashes  int
+	// Seconds is the request's virtual wall-clock cost; Table 2 expects
+	// ≈ 25 minutes for the 5-step protocol.
+	Seconds float64
+}
+
+// OnlineTune serves one tuning request (§2.1.2): replay the user's
+// workload (already baked into e), recommend with the trained model for
+// `steps` steps (the paper uses 5), fine-tune the model on the observed
+// feedback, and return the configuration with the best observed
+// performance. The memory pool keeps the new transitions — incremental
+// training (§2.1.1).
+func (t *Tuner) OnlineTune(e *env.Env, steps int, fineTune bool) (TuneResult, error) {
+	var out TuneResult
+	if steps <= 0 {
+		steps = 5
+	}
+	start := e.Clock.Seconds()
+	base, err := e.Measure()
+	if err != nil {
+		return out, fmt.Errorf("core: measuring initial performance: %w", err)
+	}
+	rf := reward.New(t.cfg.RewardKind, t.cfg.CT, t.cfg.CL)
+	rf.Init(base.Ext.Throughput, base.Ext.Latency99)
+	out.Initial = base.Ext
+	out.BestPerf = base.Ext
+	out.Best = e.DB.CurrentKnobs(e.Cat)
+	state := metrics.Normalize(base.State)
+
+	for step := 0; step < steps; step++ {
+		var action []float64
+		t.agentMu.Lock()
+		if best := t.agent.BCTarget(); step == 0 && best != nil {
+			// The memory pool's best-known configuration is the first
+			// recommendation — §2.1.2: "those knobs corresponding to the
+			// best performance in online tuning will be recommended".
+			action = append([]float64(nil), best...)
+		} else if fineTune && step > 1 {
+			// Small exploration during fine-tuning adapts the standard
+			// model to the user's real workload.
+			action = t.agent.ActNoisy(state)
+		} else {
+			action = t.agent.Act(state)
+		}
+		t.agentMu.Unlock()
+		e.Clock.Charge(RecommendSec)
+		res, err := e.Step(action)
+		if err != nil {
+			if !errors.Is(err, simdb.ErrCrashed) {
+				return out, err
+			}
+			out.Crashes++
+			t.observeRaw(rl.Transition{
+				State: state, Action: action,
+				Reward: t.cfg.CrashPenalty, NextState: state, Done: true,
+			})
+			e.DB.ResetDefaults()
+			continue
+		}
+		r := rf.Compute(res.Ext.Throughput, res.Ext.Latency99)
+		next := metrics.Normalize(res.State)
+		t.observe(rl.Transition{
+			State: state, Action: action, Reward: r,
+			NextState: next, Done: step == steps-1,
+		})
+		if fineTune {
+			t.trainUpdates(e)
+		}
+		state = next
+		out.History = append(out.History, res.Ext)
+		if res.Ext.Throughput > out.BestPerf.Throughput {
+			out.BestPerf = res.Ext
+			out.Best = append([]float64(nil), action...)
+		}
+	}
+	// Deploy the best configuration found (§2.1.2: "those knobs
+	// corresponding to the best performance will be recommended").
+	if _, err := e.DB.ApplyKnobs(e.Cat, out.Best); err != nil {
+		return out, err
+	}
+	out.Seconds = e.Clock.Seconds() - start
+	return out, nil
+}

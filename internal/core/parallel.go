@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OfflineTrainParallel runs offline training with `workers` concurrent
+// environments sharing one agent, the simulator's stand-in for the 30
+// training servers §5.1 uses to cut offline training time. Agent access
+// (action selection, observation, gradient updates) is serialized inside
+// the tuner; the stress tests — the expensive part in real life — run
+// concurrently. Episode indices are handed out in order, so mkEnv(ep) sees
+// every episode exactly once.
+func (t *Tuner) OfflineTrainParallel(mkEnv EnvFactory, episodes, workers int) (TrainReport, error) {
+	if workers <= 1 {
+		return t.OfflineTrain(mkEnv, episodes)
+	}
+	var (
+		rep   TrainReport
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		next  int
+		fatal error
+	)
+	takeEpisode := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= episodes || fatal != nil {
+			return 0, false
+		}
+		ep := next
+		next++
+		return ep, true
+	}
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ep, ok := takeEpisode()
+				if !ok {
+					return
+				}
+				e := mkEnv(ep)
+				crashes, best, _, err := t.runEpisode(e, true)
+				if err == nil && t.cfg.SnapshotEvery > 0 && (ep+1)%t.cfg.SnapshotEvery == 0 {
+					err = t.maybeSnapshot(mkEnv(ep))
+				}
+				mu.Lock()
+				if err != nil && fatal == nil {
+					fatal = fmt.Errorf("core: parallel episode %d: %w", ep, err)
+				}
+				rep.Episodes++
+				rep.Crashes += crashes
+				if best.Throughput > rep.BestPerf.Throughput {
+					rep.BestPerf = best
+				}
+				if e.Clock.Seconds() > rep.VirtualSeconds {
+					rep.VirtualSeconds = e.Clock.Seconds()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fatal != nil {
+		return rep, fatal
+	}
+	t.agentMu.Lock()
+	t.agent.Noise.Decay()
+	t.agentMu.Unlock()
+	if err := t.restoreBest(); err != nil {
+		return rep, err
+	}
+	rep.Iterations = t.Iterations()
+	return rep, nil
+}

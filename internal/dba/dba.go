@@ -1,0 +1,154 @@
+// Package dba encodes the expert rule-of-thumb tuning the paper's three
+// Tencent DBAs apply (§5). The rules capture standard MySQL lore — buffer
+// pool at ~75 % of RAM, moderate redo log growth, IO threads raised with
+// the workload, durable flush settings kept — and deliberately stop at the
+// major knobs: a DBA does not hand-tune two hundred minor parameters, which
+// is exactly the gap §5.2 shows CDBTune exploiting (largest on write-heavy
+// workloads, where the conservative durability rules cost the most).
+package dba
+
+import (
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// TuneSeconds is the §5.1.2 cost of one expert tuning request: 8.6 hours.
+const TuneSeconds = 8.6 * 3600
+
+// Recommend returns the expert configuration for the environment's
+// workload and hardware, over the environment's tunable knob subset.
+// Knobs the rules do not cover are set to a midpoint guess — the
+// "reasonable looking" value an expert writes into an unfamiliar knob.
+func Recommend(e *env.Env) []float64 {
+	hw := e.DB.Instance().HW
+	w := e.W
+	x := e.Default()
+	for i, k := range e.Cat.Knobs {
+		if v, ok := ruleFor(k, hw, w); ok {
+			x[i] = v
+		} else if k.Role == knobs.RoleAux {
+			// Midpoint guess for unfamiliar knobs; §5.2.1 shows this is
+			// where experts lose ground in high-dimensional spaces.
+			x[i] = 0.5
+		}
+	}
+	return x
+}
+
+// ruleFor returns the normalized setting the expert rules give for one
+// knob, or ok=false if no rule covers it.
+func ruleFor(k knobs.Knob, hw simdb.Hardware, w workload.Workload) (float64, bool) {
+	norm := func(actual float64) float64 { return k.Normalize(actual, hw.RAMGB, hw.DiskGB) }
+	switch k.Role {
+	case knobs.RoleBufferPool:
+		return norm(0.75 * hw.RAMGB * 1024), true
+	case knobs.RoleLogFileSize:
+		// Conservative: 512 MiB per file regardless of write pressure.
+		return norm(512), true
+	case knobs.RoleLogFilesInGroup:
+		return norm(2), true
+	case knobs.RoleFlushLogAtCommit:
+		// Durability first: DBAs keep full fsync-per-commit.
+		return norm(1), true
+	case knobs.RoleSyncBinlog:
+		return norm(1), true
+	case knobs.RoleReadIOThreads:
+		if w.ReadFraction > 0.6 {
+			return norm(16), true
+		}
+		return norm(8), true
+	case knobs.RoleWriteIOThreads:
+		if w.WriteFraction() > 0.4 {
+			return norm(16), true
+		}
+		return norm(8), true
+	case knobs.RolePurgeThreads:
+		return norm(4), true
+	case knobs.RoleThreadConcurrency:
+		return norm(float64(2 * hw.Cores)), true
+	case knobs.RoleMaxConnections:
+		return norm(1.2 * float64(w.Threads)), true
+	case knobs.RoleIOCapacity:
+		return norm(2000), true
+	case knobs.RoleLogBufferSize:
+		return norm(64), true
+	case knobs.RoleQueryCacheSize:
+		if w.WriteFraction() < 0.05 {
+			return norm(256), true
+		}
+		return norm(0), true
+	case knobs.RoleQueryCacheType:
+		if w.WriteFraction() < 0.05 {
+			return norm(1), true
+		}
+		return norm(0), true
+	case knobs.RoleMaxDirtyPct:
+		return norm(80), true
+	case knobs.RoleSortBufferSize:
+		if w.SortFraction > 0.3 {
+			return norm(8), true
+		}
+		return norm(2), true
+	case knobs.RoleJoinBufferSize:
+		if w.JoinFraction > 0.3 {
+			return norm(16), true
+		}
+		return norm(1), true
+	case knobs.RoleTmpTableSize:
+		return norm(128), true
+	case knobs.RoleThreadCacheSize:
+		return norm(float64(w.Threads) / 4), true
+	case knobs.RoleTableOpenCache:
+		return norm(8192), true
+	default:
+		return 0, false
+	}
+}
+
+// Tune runs one expert tuning request: recommend, deploy, measure; charge
+// the 8.6-hour expert time (§5.1.2 Table 2).
+func Tune(e *env.Env) (cfg []float64, perf metrics.External, err error) {
+	cfg = Recommend(e)
+	e.Clock.Charge(TuneSeconds)
+	res, err := e.Step(cfg)
+	if err != nil {
+		return nil, metrics.External{}, err
+	}
+	return cfg, res.Ext, nil
+}
+
+// ImportanceOrder returns the indices of cat's knobs in the expert's
+// importance ranking (Figure 6): semantically known knobs first, in rule
+// order, then the remainder in catalog order.
+func ImportanceOrder(cat *knobs.Catalog) []int {
+	priority := []knobs.Role{
+		knobs.RoleBufferPool, knobs.RoleLogFileSize, knobs.RoleFlushLogAtCommit,
+		knobs.RoleMaxConnections, knobs.RoleLogFilesInGroup, knobs.RoleSyncBinlog,
+		knobs.RoleWriteIOThreads, knobs.RoleReadIOThreads, knobs.RoleIOCapacity,
+		knobs.RoleThreadConcurrency, knobs.RoleMaxDirtyPct, knobs.RolePurgeThreads,
+		knobs.RoleLogBufferSize, knobs.RoleTmpTableSize, knobs.RoleSortBufferSize,
+		knobs.RoleJoinBufferSize, knobs.RoleQueryCacheSize, knobs.RoleQueryCacheType,
+		knobs.RoleThreadCacheSize, knobs.RoleTableOpenCache, knobs.RoleAdaptiveHash,
+		knobs.RoleDoublewrite, knobs.RoleChangeBuffering, knobs.RoleBufferPoolInstances,
+		knobs.RoleReadAhead, knobs.RoleSpinWaitDelay, knobs.RoleCheckpointTarget,
+	}
+	order := make([]int, 0, cat.Len())
+	used := make([]bool, cat.Len())
+	for _, r := range priority {
+		for i, k := range cat.Knobs {
+			if k.Role == r && !used[i] {
+				order = append(order, i)
+				used[i] = true
+			}
+		}
+	}
+	for i := range cat.Knobs {
+		if !used[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}

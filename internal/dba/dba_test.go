@@ -1,0 +1,143 @@
+package dba
+
+import (
+	"testing"
+
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func newEnv(t *testing.T, w workload.Workload) *env.Env {
+	t.Helper()
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 1)
+	return env.New(db, db.Catalog(), w)
+}
+
+func TestRecommendBeatsDefaults(t *testing.T) {
+	for _, w := range []workload.Workload{workload.SysbenchRO(), workload.SysbenchRW(), workload.SysbenchWO(), workload.TPCC()} {
+		e := newEnv(t, w)
+		base, err := e.Measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, perf, err := Tune(e)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if perf.Throughput <= base.Ext.Throughput {
+			t.Errorf("%s: expert tuning %v did not beat default %v", w.Name, perf.Throughput, base.Ext.Throughput)
+		}
+	}
+}
+
+func TestTuneChargesExpertTime(t *testing.T) {
+	e := newEnv(t, workload.TPCC())
+	if _, _, err := Tune(e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Clock.Seconds() < TuneSeconds {
+		t.Fatalf("clock = %v, want ≥ %v (8.6 h expert time)", e.Clock.Seconds(), TuneSeconds)
+	}
+}
+
+func TestRecommendedValuesFollowRules(t *testing.T) {
+	e := newEnv(t, workload.SysbenchRO())
+	cfg := Recommend(e)
+	if _, err := e.Step(cfg); err != nil {
+		t.Fatal(err)
+	}
+	bp, _ := e.DB.KnobValue("innodb_buffer_pool_size")
+	wantBP := 0.75 * 8 * 1024
+	if bp < wantBP*0.9 || bp > wantBP*1.1 {
+		t.Fatalf("buffer pool = %v MiB, want ≈%v (75%% of RAM)", bp, wantBP)
+	}
+	flush, _ := e.DB.KnobValue("innodb_flush_log_at_trx_commit")
+	if flush != 1 {
+		t.Fatalf("flush policy = %v, DBAs keep durability (1)", flush)
+	}
+	qc, _ := e.DB.KnobValue("query_cache_type")
+	if qc != 1 {
+		t.Fatalf("query cache type = %v on read-only, want enabled", qc)
+	}
+}
+
+func TestQueryCacheDisabledOnWrites(t *testing.T) {
+	e := newEnv(t, workload.SysbenchRW())
+	cfg := Recommend(e)
+	if _, err := e.Step(cfg); err != nil {
+		t.Fatal(err)
+	}
+	qc, _ := e.DB.KnobValue("query_cache_type")
+	if qc != 0 {
+		t.Fatalf("query cache type = %v on read-write, want disabled", qc)
+	}
+}
+
+func TestRecommendScalesWithHardware(t *testing.T) {
+	small := simdb.New(knobs.EngineCDB, simdb.MakeX1(4), 1)
+	big := simdb.New(knobs.EngineCDB, simdb.MakeX1(64), 1)
+	es := env.New(small, small.Catalog(), workload.SysbenchWO())
+	eb := env.New(big, big.Catalog(), workload.SysbenchWO())
+	es.Step(Recommend(es))
+	eb.Step(Recommend(eb))
+	bs, _ := small.KnobValue("innodb_buffer_pool_size")
+	bb, _ := big.KnobValue("innodb_buffer_pool_size")
+	if bb <= bs {
+		t.Fatalf("expert buffer pool must scale with RAM: %v vs %v", bs, bb)
+	}
+}
+
+func TestImportanceOrderValidPermutation(t *testing.T) {
+	cat := knobs.MySQL(knobs.EngineCDB)
+	order := ImportanceOrder(cat)
+	if len(order) != cat.Len() {
+		t.Fatalf("order len %d, want %d", len(order), cat.Len())
+	}
+	seen := make(map[int]bool)
+	for _, i := range order {
+		if seen[i] || i < 0 || i >= cat.Len() {
+			t.Fatalf("order is not a permutation at %d", i)
+		}
+		seen[i] = true
+	}
+	// Most important knob per expert lore: the buffer pool.
+	if cat.Knobs[order[0]].Role != knobs.RoleBufferPool {
+		t.Fatalf("top knob = %s, want buffer pool", cat.Knobs[order[0]].Name)
+	}
+	// Aux knobs come after every semantically known knob.
+	majorSeen := 0
+	for _, i := range order {
+		if cat.Knobs[i].Role != knobs.RoleAux {
+			majorSeen++
+		} else if majorSeen < 27 {
+			t.Fatal("aux knob ranked above a major knob")
+		}
+	}
+}
+
+func TestRulesCoverEveryEngine(t *testing.T) {
+	// The expert can tune any engine: every core role resolves to a rule.
+	for _, e := range []knobs.Engine{knobs.EngineCDB, knobs.EngineMongoDB, knobs.EnginePostgres} {
+		db := simdb.New(e, simdb.CDBD, 1)
+		var w workload.Workload
+		if e == knobs.EngineMongoDB {
+			w = workload.YCSB()
+		} else {
+			w = workload.TPCC()
+		}
+		ev := env.New(db, db.Catalog(), w)
+		base, err := ev.Measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, perf, err := Tune(ev)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if perf.Throughput <= base.Ext.Throughput {
+			t.Errorf("%v: expert rules did not help (%v vs %v)", e, perf.Throughput, base.Ext.Throughput)
+		}
+	}
+}

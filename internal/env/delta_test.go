@@ -1,0 +1,62 @@
+package env
+
+import (
+	"testing"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func TestDeltaScaleAdjustsIncrementally(t *testing.T) {
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 1)
+	cat := db.Catalog().Subset([]int{0}) // buffer pool only
+	e := New(db, cat, workload.TPCC())
+	e.DeltaScale = 0.1
+
+	start := db.CurrentKnobs(cat)[0]
+	// Action 1.0 = maximum positive delta (+0.2 of the normalized range).
+	if _, err := e.Step([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	after := db.CurrentKnobs(cat)[0]
+	moved := after - start
+	if moved <= 0 || moved > 0.21 {
+		t.Fatalf("delta step moved %v, want ≈+0.2", moved)
+	}
+	// Action 0.5 = no change.
+	if _, err := e.Step([]float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.CurrentKnobs(cat)[0]; got < after-0.01 || got > after+0.01 {
+		t.Fatalf("neutral delta moved the knob: %v -> %v", after, got)
+	}
+}
+
+func TestDeltaScaleClampsAtBounds(t *testing.T) {
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 1)
+	cat := db.Catalog().Subset([]int{0})
+	e := New(db, cat, workload.TPCC())
+	e.DeltaScale = 0.5
+	for i := 0; i < 10; i++ {
+		if _, err := e.Step([]float64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.CurrentKnobs(cat)[0]; got != 0 {
+		t.Fatalf("knob should pin at 0, got %v", got)
+	}
+}
+
+func TestAbsoluteModeUnaffected(t *testing.T) {
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 1)
+	cat := db.Catalog().Subset([]int{0})
+	e := New(db, cat, workload.TPCC()) // DeltaScale zero: absolute
+	if _, err := e.Step([]float64{0.8}); err != nil {
+		t.Fatal(err)
+	}
+	got := db.CurrentKnobs(cat)[0]
+	if got < 0.77 || got > 0.83 {
+		t.Fatalf("absolute step landed at %v, want ≈0.8", got)
+	}
+}

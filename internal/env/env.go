@@ -1,0 +1,118 @@
+// Package env wraps a simulated database instance, a tunable knob subset
+// and a workload into the tuning environment every tuner (CDBTune, DBA,
+// OtterTune, BestConfig) acts on. It also keeps the virtual wall clock
+// that reproduces the paper's §5.1.1 time accounting: each evaluation
+// charges the stress-test, metrics-collection and deployment times, plus
+// the two-minute restart when a restart-class knob changed.
+package env
+
+import (
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// Clock is a virtual wall clock measured in seconds.
+type Clock struct{ seconds float64 }
+
+// Charge advances the clock.
+func (c *Clock) Charge(sec float64) { c.seconds += sec }
+
+// Seconds reports elapsed virtual time.
+func (c *Clock) Seconds() float64 { return c.seconds }
+
+// Minutes reports elapsed virtual time in minutes.
+func (c *Clock) Minutes() float64 { return c.seconds / 60 }
+
+// Env is one tuning session's environment.
+type Env struct {
+	DB  *simdb.DB
+	Cat *knobs.Catalog // the tunable subset exposed to the tuner
+	W   workload.Workload
+
+	// DurationSec is the stress-test length per evaluation; the paper
+	// replays ~150 s of workload (§2.1.2).
+	DurationSec float64
+
+	// DeltaScale, when positive, switches the environment to incremental
+	// actions: Step input x is a per-knob adjustment and the deployed
+	// configuration is current + (x−0.5)·2·DeltaScale, clamped to [0,1].
+	// §3.2 notes CDBTune's action adjusts all knobs at a time; the delta
+	// mode exists for the DESIGN.md action-representation ablation.
+	DeltaScale float64
+
+	Clock *Clock
+	steps int
+}
+
+// New builds an environment over db, exposing the knobs of cat, driving
+// workload w.
+func New(db *simdb.DB, cat *knobs.Catalog, w workload.Workload) *Env {
+	return &Env{DB: db, Cat: cat, W: w, DurationSec: simdb.StressTestSec, Clock: &Clock{}}
+}
+
+// Dim is the tunable knob count.
+func (e *Env) Dim() int { return e.Cat.Len() }
+
+// Steps reports how many evaluations have been charged.
+func (e *Env) Steps() int { return e.steps }
+
+// Default returns the normalized default configuration for this
+// environment's hardware.
+func (e *Env) Default() []float64 {
+	hw := e.DB.Instance().HW
+	return e.Cat.Defaults(hw.RAMGB, hw.DiskGB)
+}
+
+// Step deploys the normalized configuration x, stress-tests the workload
+// and returns the result, charging the virtual clock for deployment,
+// restart (when needed), stress testing and metric collection. A crash
+// returns simdb.ErrCrashed; the clock is still charged (the run happened).
+func (e *Env) Step(x []float64) (simdb.Result, error) {
+	e.steps++
+	if e.DeltaScale > 0 {
+		cur := e.DB.CurrentKnobs(e.Cat)
+		adj := make([]float64, len(x))
+		for i := range x {
+			v := cur[i] + (x[i]-0.5)*2*e.DeltaScale
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			adj[i] = v
+		}
+		x = adj
+	}
+	restarted, err := e.DB.ApplyKnobs(e.Cat, x)
+	if err != nil {
+		return simdb.Result{}, err
+	}
+	e.Clock.Charge(simdb.DeploySec)
+	if restarted {
+		e.Clock.Charge(simdb.RestartSec)
+	}
+	res, err := e.DB.RunWorkload(e.W, e.DurationSec)
+	e.Clock.Charge(e.DurationSec + simdb.MetricsCollectSec)
+	if err != nil {
+		// Crashed instances are restarted with the previous sane
+		// configuration before the next step.
+		e.Clock.Charge(simdb.RestartSec)
+		return simdb.Result{}, err
+	}
+	return res, nil
+}
+
+// Measure runs the workload under the current configuration without
+// changing knobs (used to observe T0/L0 and the initial state).
+func (e *Env) Measure() (simdb.Result, error) {
+	res, err := e.DB.RunWorkload(e.W, e.DurationSec)
+	e.Clock.Charge(e.DurationSec + simdb.MetricsCollectSec)
+	return res, err
+}
+
+// NormalizedState converts a raw collector state into the [0,1] vector the
+// agents consume.
+func NormalizedState(raw []float64) []float64 { return metrics.Normalize(raw) }

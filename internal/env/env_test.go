@@ -1,0 +1,109 @@
+package env
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func newEnv(t *testing.T) *Env {
+	t.Helper()
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 1)
+	return New(db, db.Catalog(), workload.SysbenchRW())
+}
+
+func TestStepChargesClock(t *testing.T) {
+	e := newEnv(t)
+	x := e.Default()
+	if _, err := e.Step(x); err != nil {
+		t.Fatal(err)
+	}
+	// No knob changed from default → no restart charge.
+	want := simdb.DeploySec + simdb.StressTestSec + simdb.MetricsCollectSec
+	if math.Abs(e.Clock.Seconds()-want) > 1e-6 {
+		t.Fatalf("clock = %v, want %v", e.Clock.Seconds(), want)
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("Steps = %d", e.Steps())
+	}
+}
+
+func TestStepChargesRestart(t *testing.T) {
+	e := newEnv(t)
+	x := e.Default()
+	x[e.Cat.Index("innodb_buffer_pool_size")] = 0.8
+	if _, err := e.Step(x); err != nil {
+		t.Fatal(err)
+	}
+	want := simdb.DeploySec + simdb.RestartSec + simdb.StressTestSec + simdb.MetricsCollectSec
+	if math.Abs(e.Clock.Seconds()-want) > 1e-6 {
+		t.Fatalf("clock = %v, want %v (restart not charged?)", e.Clock.Seconds(), want)
+	}
+}
+
+func TestStepCrashCharges(t *testing.T) {
+	e := newEnv(t)
+	x := e.Default()
+	x[e.Cat.Index("innodb_log_file_size")] = 1
+	x[e.Cat.Index("innodb_log_files_in_group")] = 1
+	_, err := e.Step(x)
+	if !errors.Is(err, simdb.ErrCrashed) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	if e.Clock.Seconds() <= simdb.RestartSec {
+		t.Fatal("crash must charge restart time")
+	}
+}
+
+func TestMeasureDoesNotDeploy(t *testing.T) {
+	e := newEnv(t)
+	r, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ext.Throughput <= 0 {
+		t.Fatal("Measure returned no performance")
+	}
+	want := simdb.StressTestSec + simdb.MetricsCollectSec
+	if math.Abs(e.Clock.Seconds()-want) > 1e-6 {
+		t.Fatalf("clock = %v, want %v", e.Clock.Seconds(), want)
+	}
+}
+
+func TestClockUnits(t *testing.T) {
+	var c Clock
+	c.Charge(120)
+	if c.Minutes() != 2 || c.Seconds() != 120 {
+		t.Fatalf("clock units wrong: %v s / %v min", c.Seconds(), c.Minutes())
+	}
+}
+
+func TestNormalizedState(t *testing.T) {
+	e := newEnv(t)
+	r, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NormalizedState(r.State)
+	for i, v := range s {
+		if v < 0 || v > 1 {
+			t.Fatalf("state[%d] = %v out of [0,1]", i, v)
+		}
+	}
+}
+
+func TestDimMatchesSubset(t *testing.T) {
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 1)
+	sub := db.Catalog().Subset([]int{0, 1, 2})
+	e := New(db, sub, workload.TPCC())
+	if e.Dim() != 3 {
+		t.Fatalf("Dim = %d", e.Dim())
+	}
+	if len(e.Default()) != 3 {
+		t.Fatalf("Default len = %d", len(e.Default()))
+	}
+}

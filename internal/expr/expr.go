@@ -1,0 +1,137 @@
+// Package expr is the experiment harness: one constructor per table and
+// figure in the paper's evaluation (§5 and Appendix C), each returning the
+// same rows/series the paper reports. cmd/expdriver prints them;
+// bench_test.go regenerates them under `go test -bench`.
+//
+// Absolute numbers come from the simulator substrate and are not expected
+// to match the paper's Tencent testbed; EXPERIMENTS.md records, per
+// experiment, the paper's shape next to the measured shape.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named line of an experiment figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is one experiment table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Figure is a set of series with axis labels.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render formats a table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Render formats a figure's series as aligned columns of (x, y) pairs.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	fmt.Fprintf(&b, "   x = %s, y = %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "-- %s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "   %12.3f  %12.3f\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// Budget scales the compute an experiment spends. Quick keeps every
+// experiment runnable on one laptop core in seconds-to-minutes; Full uses
+// the paper-faithful Table 5 architecture and longer training.
+type Budget struct {
+	Name string
+
+	// Training budget for CDBTune models.
+	Episodes        int
+	StepsPerEpisode int
+	UpdatesPerStep  int
+	ActorHidden     []int
+	CriticHidden    []int
+
+	// Baseline budgets.
+	RepoSamples     int // OtterTune repository size per workload
+	OtterTuneSteps  int
+	BestConfigSteps int
+
+	// OnlineSteps is the per-request recommendation budget (paper: 5).
+	OnlineSteps int
+
+	Seed int64
+}
+
+// Quick is the default experiment budget: reduced episode counts and
+// narrower networks so the whole suite completes on a single core.
+func Quick() Budget {
+	return Budget{
+		Name:            "quick",
+		Episodes:        40,
+		StepsPerEpisode: 20,
+		UpdatesPerStep:  2,
+		ActorHidden:     []int{64, 64},
+		CriticHidden:    []int{128, 64},
+		RepoSamples:     60,
+		OtterTuneSteps:  11,
+		BestConfigSteps: 50,
+		OnlineSteps:     5,
+		Seed:            1,
+	}
+}
+
+// Full is the paper-faithful budget: Table 5 networks and longer training.
+func Full() Budget {
+	return Budget{
+		Name:            "full",
+		Episodes:        60,
+		StepsPerEpisode: 20,
+		UpdatesPerStep:  3,
+		ActorHidden:     []int{128, 128, 128, 64},
+		CriticHidden:    []int{256, 256, 256, 64},
+		RepoSamples:     150,
+		OtterTuneSteps:  11,
+		BestConfigSteps: 50,
+		OnlineSteps:     5,
+		Seed:            1,
+	}
+}

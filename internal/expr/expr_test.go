@@ -1,0 +1,306 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+// micro is the smallest budget that still exercises every code path; the
+// suite must stay unit-test fast on one core.
+func micro() Budget {
+	return Budget{
+		Name:            "micro",
+		Episodes:        3,
+		StepsPerEpisode: 6,
+		UpdatesPerStep:  1,
+		ActorHidden:     []int{24, 24},
+		CriticHidden:    []int{32, 24},
+		RepoSamples:     10,
+		OtterTuneSteps:  2,
+		BestConfigSteps: 6,
+		OnlineSteps:     2,
+		Seed:            1,
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.Episodes >= f.Episodes {
+		t.Fatal("quick budget should train less than full")
+	}
+	if len(f.ActorHidden) != 4 || f.ActorHidden[0] != 128 {
+		t.Fatal("full budget must use the Table 5 actor")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "t", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	out := tb.Render()
+	if !strings.Contains(out, "== t ==") || !strings.Contains(out, "bb") {
+		t.Fatalf("Render output:\n%s", out)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{Title: "f", XLabel: "x", YLabel: "y", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}}
+	out := f.Render()
+	if !strings.Contains(out, "== f ==") || !strings.Contains(out, "-- s") {
+		t.Fatalf("Render output:\n%s", out)
+	}
+}
+
+func TestFig1C(t *testing.T) {
+	tb := Fig1C()
+	if len(tb.Rows) != 7 {
+		t.Fatalf("Fig1C rows = %d, want 7 versions", len(tb.Rows))
+	}
+}
+
+func TestFig1D(t *testing.T) {
+	tb, err := Fig1D(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 || len(tb.Rows[0]) != 6 {
+		t.Fatalf("Fig1D grid shape %dx%d", len(tb.Rows), len(tb.Rows[0]))
+	}
+	// The surface must be non-constant (Figure 1d's point).
+	vals := map[string]bool{}
+	for _, row := range tb.Rows {
+		for _, c := range row[1:] {
+			vals[c] = true
+		}
+	}
+	if len(vals) < 5 {
+		t.Fatalf("surface nearly constant: %d distinct cells", len(vals))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tb := Table1()
+	if len(tb.Rows) != 7 { // 5 fixed + X1 + X2
+		t.Fatalf("Table1 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestTiming(t *testing.T) {
+	tb := Timing()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("Timing rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig1ABMicro(t *testing.T) {
+	figs, err := Fig1AB(micro(), []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("Fig1AB figures = %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 4 {
+			t.Fatalf("%s: series = %d, want 4", f.Title, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.X) != 2 {
+				t.Fatalf("%s/%s: points = %d", f.Title, s.Name, len(s.X))
+			}
+		}
+	}
+}
+
+func TestTable2Micro(t *testing.T) {
+	tb, err := Table2(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("Table2 rows = %d, want 4 tools", len(tb.Rows))
+	}
+	// DBA must be by far the slowest (8.6 h); CDBTune the fastest protocol.
+	if tb.Rows[0][0] != "CDBTune" || tb.Rows[3][0] != "DBA" {
+		t.Fatalf("unexpected tool order: %v", tb.Rows)
+	}
+}
+
+func TestFig9AndTable3Micro(t *testing.T) {
+	tables, err := Fig9(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Fig9 tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 6 {
+			t.Fatalf("%s: rows = %d, want 6 tuners", tb.Title, len(tb.Rows))
+		}
+	}
+	t3, err := Table3(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 3 || len(t3.Header) != 7 {
+		t.Fatalf("Table3 shape %dx%d", len(t3.Rows), len(t3.Header))
+	}
+}
+
+func TestKnobSweepMicro(t *testing.T) {
+	tput, lat, iters, err := KnobSweep(micro(), OrderDBA, []int{5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tput.Series) != 3 || len(lat.Series) != 3 {
+		t.Fatalf("Fig6 series: %d tput, %d lat", len(tput.Series), len(lat.Series))
+	}
+	if len(iters.Series[0].X) != 2 {
+		t.Fatal("iterations series wrong length")
+	}
+	// Random order (Figure 8) only tracks CDBTune.
+	tput8, _, _, err := KnobSweep(micro(), OrderRandom, []int{5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tput8.Series) != 1 {
+		t.Fatalf("Fig8 series = %d, want 1", len(tput8.Series))
+	}
+}
+
+func TestFig5Micro(t *testing.T) {
+	figs, err := Fig5(micro(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 { // 3 workloads × (throughput, latency)
+		t.Fatalf("Fig5 figures = %d", len(figs))
+	}
+}
+
+func TestFig10to12Micro(t *testing.T) {
+	t10, err := Fig10(micro(), []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10) != 1 || len(t10[0].Rows) != 5 {
+		t.Fatalf("Fig10 shape: %d tables, %d rows", len(t10), len(t10[0].Rows))
+	}
+	t11, err := Fig11(micro(), []float64{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t11) != 1 {
+		t.Fatalf("Fig11 tables = %d", len(t11))
+	}
+	t12, err := Fig12(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t12.Rows) != 5 {
+		t.Fatalf("Fig12 rows = %d", len(t12.Rows))
+	}
+}
+
+func TestFig14Micro(t *testing.T) {
+	tables, err := Fig14(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Fig14 tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 4 {
+			t.Fatalf("%s: rows = %d, want 4 reward functions", tb.Title, len(tb.Rows))
+		}
+	}
+}
+
+func TestFig15Micro(t *testing.T) {
+	fig, err := Fig15(micro(), []float64{0.3, 0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || len(fig.Series[0].X) != 3 {
+		t.Fatalf("Fig15 shape wrong")
+	}
+	// The CT=0.5 point is the baseline: ratio exactly 1.
+	for _, s := range fig.Series {
+		if s.Y[1] != 1 {
+			t.Fatalf("baseline ratio = %v, want 1", s.Y[1])
+		}
+	}
+}
+
+func TestTable6Micro(t *testing.T) {
+	tb, err := Table6(micro(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("Table6 rows = %d, want 8 architectures", len(tb.Rows))
+	}
+}
+
+func TestFig16to18Micro(t *testing.T) {
+	tables, err := Fig16to18(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Fig16to18 tables = %d", len(tables))
+	}
+}
+
+func TestQLearnDQNMicro(t *testing.T) {
+	tb, err := QLearnDQN(micro(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("QLearnDQN rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Rows[3][1], "10^") {
+		t.Fatalf("blow-up row missing: %v", tb.Rows[3])
+	}
+}
+
+func TestAblationsMicro(t *testing.T) {
+	rt, err := AblationReplay(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Rows) != 2 {
+		t.Fatalf("AblationReplay rows = %d", len(rt.Rows))
+	}
+	at, err := AblationAction(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at.Rows) != 2 {
+		t.Fatalf("AblationAction rows = %d", len(at.Rows))
+	}
+}
+
+func TestFindingsMicro(t *testing.T) {
+	tb, err := Findings(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 { // defaults + 3 workloads
+		t.Fatalf("Findings rows = %d", len(tb.Rows))
+	}
+	if len(tb.Header) != 7 {
+		t.Fatalf("Findings header = %d", len(tb.Header))
+	}
+}
+
+func TestExtYCSBVariantsMicro(t *testing.T) {
+	tb, err := ExtYCSBVariants(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("variants rows = %d, want 5 (B-F)", len(tb.Rows))
+	}
+}

@@ -1,0 +1,106 @@
+package expr
+
+import (
+	"fmt"
+
+	"cdbtune/internal/core"
+	"cdbtune/internal/dba"
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/ottertune"
+	"cdbtune/internal/rl/ddpg"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// newEnv builds a fresh environment: a new instance of engine on inst
+// driving w, exposing the knobs of cat.
+func newEnv(engine knobs.Engine, inst simdb.Instance, cat *knobs.Catalog, w workload.Workload, seed int64) *env.Env {
+	db := simdb.New(engine, inst, seed)
+	return env.New(db, cat, w)
+}
+
+// tunerConfig assembles a core.Config from the budget.
+func tunerConfig(b Budget, cat *knobs.Catalog) core.Config {
+	cfg := core.DefaultConfig(cat)
+	cfg.StepsPerEpisode = b.StepsPerEpisode
+	cfg.UpdatesPerStep = b.UpdatesPerStep
+	cfg.Seed = b.Seed
+	d := ddpg.DefaultConfig(metrics.NumMetrics, cat.Len())
+	d.ActorHidden = b.ActorHidden
+	d.CriticHidden = b.CriticHidden
+	d.Seed = b.Seed
+	cfg.DDPG = d
+	return cfg
+}
+
+// scaledEpisodes grows the training budget with the action dimension.
+func scaledEpisodes(b Budget, cat *knobs.Catalog) int {
+	episodes := b.Episodes
+	if scaled := b.Episodes * cat.Len() / 133; scaled > episodes {
+		episodes = scaled
+	}
+	return episodes
+}
+
+// warmConfig is tunerConfig plus the default-configuration warm start for
+// the given instance (DESIGN.md §5 item 8).
+func warmConfig(b Budget, cat *knobs.Catalog, inst simdb.Instance) core.Config {
+	cfg := tunerConfig(b, cat)
+	cfg.DDPG.ActionBias = cat.Defaults(inst.HW.RAMGB, inst.HW.DiskGB)
+	return cfg
+}
+
+// trainTuner offline-trains a CDBTune model on the given workloads
+// (cycled across episodes) against the given instance. The episode budget
+// scales with the action dimension: larger knob spaces need proportionally
+// more try-and-error samples (the paper trains every configuration to
+// convergence; a fixed budget would starve the 266-knob models).
+func trainTuner(b Budget, engine knobs.Engine, inst simdb.Instance, cat *knobs.Catalog, ws []workload.Workload, seedBase int64) (*core.Tuner, core.TrainReport, error) {
+	t, err := core.New(warmConfig(b, cat, inst))
+	if err != nil {
+		return nil, core.TrainReport{}, err
+	}
+	episodes := scaledEpisodes(b, cat)
+	rep, err := t.OfflineTrain(func(ep int) *env.Env {
+		w := ws[ep%len(ws)]
+		return newEnv(engine, inst, cat, w, seedBase+int64(ep))
+	}, episodes)
+	return t, rep, err
+}
+
+// cdbDefault is the Tencent CDB shipped configuration: modestly better
+// than the MySQL defaults (a bigger pool and log, more connections) but
+// untuned for any particular workload.
+func cdbDefault(e *env.Env) []float64 {
+	hw := e.DB.Instance().HW
+	x := e.Default()
+	set := func(role knobs.Role, actual float64) {
+		i := e.Cat.RoleIndex(role)
+		if i < 0 {
+			return
+		}
+		x[i] = e.Cat.Knobs[i].Normalize(actual, hw.RAMGB, hw.DiskGB)
+	}
+	set(knobs.RoleBufferPool, 0.25*hw.RAMGB*1024)
+	set(knobs.RoleLogFileSize, 256)
+	set(knobs.RoleMaxConnections, 800)
+	set(knobs.RoleLogBufferSize, 16)
+	return x
+}
+
+// buildRepo collects an OtterTune repository on the given workloads.
+func buildRepo(b Budget, engine knobs.Engine, inst simdb.Instance, cat *knobs.Catalog, ws []workload.Workload, seed int64) (*ottertune.Repository, error) {
+	envs := make([]*env.Env, len(ws))
+	for i, w := range ws {
+		envs[i] = newEnv(engine, inst, cat, w, seed+int64(i))
+	}
+	return ottertune.BuildRepository(envs, b.RepoSamples, dba.Recommend, seed)
+}
+
+// fmtF formats a float with one decimal for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// fmtPct formats a ratio as a signed percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%+.2f%%", v*100) }

@@ -1,0 +1,72 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	f := Figure{
+		Title:  "test",
+		XLabel: "steps",
+		YLabel: "tps",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2, 3, 4}},
+			{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{4, 3, 2, 1}},
+		},
+	}
+	out := f.Plot(40, 10)
+	if !strings.Contains(out, "test") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	// The rising series' first point is bottom-left, last top-right.
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines = append(plotLines, l)
+		}
+	}
+	if len(plotLines) != 10 {
+		t.Fatalf("plot rows = %d, want 10", len(plotLines))
+	}
+	top, bottom := plotLines[0], plotLines[len(plotLines)-1]
+	if !strings.Contains(top, "*") && !strings.Contains(top, "&") {
+		t.Fatalf("rising series missing from top row: %q", top)
+	}
+	if !strings.Contains(bottom, "*") && !strings.Contains(bottom, "&") {
+		t.Fatalf("rising series missing from bottom row: %q", bottom)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	f := Figure{Title: "empty"}
+	if out := f.Plot(20, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty figure output: %q", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	f := Figure{
+		Title:  "flat",
+		Series: []Series{{Name: "c", X: []float64{0, 1}, Y: []float64{5, 5}}},
+	}
+	out := f.Plot(20, 8) // must not divide by zero
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestPlotMinimumDimensions(t *testing.T) {
+	f := Figure{Series: []Series{{Name: "s", X: []float64{0}, Y: []float64{0}}}}
+	out := f.Plot(1, 1) // clamped up internally
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,59 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{
+		Title:  "x",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "two, quoted"}, {"3", `say "hi"`}},
+	}
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"two, quoted"` {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `3,"say ""hi"""` {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"tuner", "tps"},
+		Rows:   [][]string{{"CDBTune", "1900"}, {"a|b", "1"}},
+	}
+	out := tb.Markdown()
+	if !strings.Contains(out, "### demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "| tuner | tps |") {
+		t.Fatalf("header row missing:\n%s", out)
+	}
+	if !strings.Contains(out, `| a\|b | 1 |`) {
+		t.Fatalf("pipe not escaped:\n%s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := Figure{
+		XLabel: "knobs",
+		YLabel: "tps",
+		Series: []Series{{Name: "CDBTune", X: []float64{20, 60}, Y: []float64{1, 2}}},
+	}
+	out := f.CSV()
+	want := "series,knobs,tps\nCDBTune,20,1\nCDBTune,60,2\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,58 @@
+package expr
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestPaperShapeSixWay is the repository's headline integration test: on
+// Sysbench RW over CDB-A, the tuner ordering the paper reports must hold
+// qualitatively — CDBTune clearly above the defaults and competitive with
+// or above every baseline. It uses a reduced (but non-micro) budget, so
+// it is skipped under -short.
+func TestPaperShapeSixWay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	b := Quick()
+	b.Episodes = 25 // trimmed for test time; the bench suite uses the full quick budget
+	tables, err := Fig9(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(tb Table, tuner string) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == tuner {
+				v, err := strconv.ParseFloat(row[1], 64)
+				if err != nil {
+					t.Fatalf("parsing %q: %v", row[1], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("tuner %q missing from %s", tuner, tb.Title)
+		return 0
+	}
+	for _, tb := range tables {
+		def := get(tb, "cdb-mysql default")
+		cdb := get(tb, "CDBTune")
+		dba := get(tb, "DBA")
+		ot := get(tb, "OtterTune")
+		bc := get(tb, "BestConfig")
+		if cdb < def*2 {
+			t.Errorf("%s: CDBTune %v not clearly above default %v", tb.Title, cdb, def)
+		}
+		maxBase := dba
+		if ot > maxBase {
+			maxBase = ot
+		}
+		if bc > maxBase {
+			maxBase = bc
+		}
+		// Paper shape: CDBTune leads; allow a small noise margin so a
+		// single unlucky seed does not flake the suite.
+		if cdb < maxBase*0.8 {
+			t.Errorf("%s: CDBTune %v far below best baseline %v", tb.Title, cdb, maxBase)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package gp implements Gaussian-process regression with a squared
+// exponential kernel, the model OtterTune [4] uses to map configurations
+// to performance. Inputs are expected in normalized [0,1]^d space.
+package gp
+
+import (
+	"errors"
+	"math"
+
+	"cdbtune/internal/mat"
+)
+
+// GP is a fitted Gaussian-process regressor.
+type GP struct {
+	// Kernel hyperparameters.
+	LengthScale float64 // shared RBF length scale
+	SignalVar   float64 // kernel amplitude σ_f²
+	NoiseVar    float64 // observation noise σ_n²
+
+	x     *mat.Matrix // training inputs, n×d
+	alpha []float64   // K⁻¹(y−μ)
+	chol  *mat.Matrix // Cholesky factor of K + σ_n²I
+	yMean float64
+	yStd  float64
+}
+
+// Config selects GP hyperparameters; the zero value gets defaults suited
+// to normalized inputs.
+type Config struct {
+	LengthScale float64
+	SignalVar   float64
+	NoiseVar    float64
+}
+
+// Fit trains a GP on inputs x (n×d) and targets y (len n). Targets are
+// standardized internally. It returns an error when the kernel matrix is
+// numerically singular.
+func Fit(x *mat.Matrix, y []float64, cfg Config) (*GP, error) {
+	if x.Rows != len(y) {
+		return nil, errors.New("gp: x rows and y length differ")
+	}
+	if x.Rows == 0 {
+		return nil, errors.New("gp: no training data")
+	}
+	g := &GP{
+		LengthScale: cfg.LengthScale,
+		SignalVar:   cfg.SignalVar,
+		NoiseVar:    cfg.NoiseVar,
+		x:           x.Clone(),
+	}
+	if g.LengthScale <= 0 {
+		// Scale with dimensionality so that distances between random
+		// points in [0,1]^d stay O(1) in kernel space.
+		g.LengthScale = 0.3 * math.Sqrt(float64(x.Cols))
+	}
+	if g.SignalVar <= 0 {
+		g.SignalVar = 1
+	}
+	if g.NoiseVar <= 0 {
+		g.NoiseVar = 1e-3
+	}
+	g.yMean = mat.Mean(y)
+	g.yStd = mat.Stddev(y)
+	if g.yStd == 0 {
+		g.yStd = 1
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - g.yMean) / g.yStd
+	}
+
+	n := x.Rows
+	k := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.kernel(x.Row(i), x.Row(j))
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+g.NoiseVar)
+	}
+	chol, err := mat.Cholesky(k)
+	if err != nil {
+		return nil, err
+	}
+	g.chol = chol
+	g.alpha = mat.CholSolve(chol, ys)
+	return g, nil
+}
+
+// kernel is the squared-exponential covariance.
+func (g *GP) kernel(a, b []float64) float64 {
+	d := mat.Dist2(a, b)
+	return g.SignalVar * math.Exp(-d*d/(2*g.LengthScale*g.LengthScale))
+}
+
+// Predict returns the posterior mean and variance at query point q.
+func (g *GP) Predict(q []float64) (mean, variance float64) {
+	n := g.x.Rows
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kernel(q, g.x.Row(i))
+	}
+	mu := mat.Dot(ks, g.alpha)
+	v := mat.CholForward(g.chol, ks)
+	variance = g.SignalVar - mat.Dot(v, v)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return mu*g.yStd + g.yMean, variance * g.yStd * g.yStd
+}
+
+// ExpectedImprovement computes the EI acquisition of maximizing the target
+// at q given the best observed value so far.
+func (g *GP) ExpectedImprovement(q []float64, best float64) float64 {
+	mean, variance := g.Predict(q)
+	sd := math.Sqrt(variance)
+	if sd < 1e-12 {
+		return 0
+	}
+	z := (mean - best) / sd
+	return (mean-best)*stdNormCDF(z) + sd*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,149 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cdbtune/internal/mat"
+)
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(mat.New(0, 2), nil, Config{}); err == nil {
+		t.Fatal("empty data must error")
+	}
+	if _, err := Fit(mat.New(2, 2), []float64{1}, Config{}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestInterpolatesTrainingPoints(t *testing.T) {
+	x := mat.FromSlice(4, 1, []float64{0, 0.33, 0.66, 1})
+	y := []float64{1, 3, 2, 5}
+	g, err := Fit(x, y, Config{NoiseVar: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		mean, variance := g.Predict(x.Row(i))
+		if math.Abs(mean-y[i]) > 0.05 {
+			t.Fatalf("point %d: predicted %v, want %v", i, mean, y[i])
+		}
+		if variance < 0 {
+			t.Fatalf("negative variance %v", variance)
+		}
+	}
+}
+
+func TestVarianceGrowsAwayFromData(t *testing.T) {
+	x := mat.FromSlice(3, 1, []float64{0.4, 0.5, 0.6})
+	y := []float64{1, 2, 1}
+	g, err := Fit(x, y, Config{LengthScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vNear := g.Predict([]float64{0.5})
+	_, vFar := g.Predict([]float64{0.0})
+	if vFar <= vNear {
+		t.Fatalf("variance should grow away from data: near %v far %v", vNear, vFar)
+	}
+}
+
+func TestLearnsSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	f := func(a, b float64) float64 { return math.Sin(3*a) + b*b }
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y[i] = f(a, b)
+	}
+	g, err := Fit(x, y, Config{LengthScale: 0.3, NoiseVar: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumErr float64
+	const probes = 40
+	for i := 0; i < probes; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		mean, _ := g.Predict([]float64{a, b})
+		sumErr += math.Abs(mean - f(a, b))
+	}
+	if avg := sumErr / probes; avg > 0.08 {
+		t.Fatalf("mean prediction error %v, want < 0.08", avg)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	x := mat.FromSlice(3, 1, []float64{0.2, 0.5, 0.8})
+	y := []float64{1, 2, 1}
+	g, err := Fit(x, y, Config{LengthScale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EI at a known-bad observed point ≈ 0; EI in unexplored space > 0.
+	eiKnown := g.ExpectedImprovement([]float64{0.2}, 2)
+	eiUnknown := g.ExpectedImprovement([]float64{0.05}, 2)
+	if eiUnknown <= eiKnown {
+		t.Fatalf("EI should prefer unexplored regions: known %v unknown %v", eiKnown, eiUnknown)
+	}
+	if eiKnown < 0 || eiUnknown < 0 {
+		t.Fatal("EI must be non-negative")
+	}
+}
+
+func TestDefaultHyperparameters(t *testing.T) {
+	x := mat.FromSlice(2, 4, []float64{0, 0, 0, 0, 1, 1, 1, 1})
+	g, err := Fit(x, []float64{0, 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LengthScale <= 0 || g.SignalVar != 1 || g.NoiseVar != 1e-3 {
+		t.Fatalf("defaults not applied: %+v", g)
+	}
+}
+
+func TestConstantTargets(t *testing.T) {
+	x := mat.FromSlice(3, 1, []float64{0.1, 0.5, 0.9})
+	g, err := Fit(x, []float64{7, 7, 7}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := g.Predict([]float64{0.3})
+	if math.Abs(mean-7) > 0.01 {
+		t.Fatalf("constant fit predicts %v, want 7", mean)
+	}
+}
+
+// Property: EI is non-negative everywhere and zero-ish at dominated
+// observed points with tight noise.
+func TestEINonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 12
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		x.Set(i, 1, rng.Float64())
+		y[i] = rng.NormFloat64()
+	}
+	g, err := Fit(x, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := y[0]
+	for _, v := range y[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	for i := 0; i < 200; i++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		if ei := g.ExpectedImprovement(q, best); ei < 0 || math.IsNaN(ei) {
+			t.Fatalf("EI(%v) = %v", q, ei)
+		}
+	}
+}

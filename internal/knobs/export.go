@@ -1,0 +1,63 @@
+package knobs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatConfig renders actual knob values (aligned with the catalog) as a
+// configuration file in the engine's native syntax: a my.cnf [mysqld]
+// section for MySQL/CDB, YAML-ish setParameter lines for MongoDB, and
+// postgresql.conf assignments for Postgres. Only values that differ from
+// the knob defaults are emitted, sorted by name; changedOnly=false emits
+// everything.
+func FormatConfig(c *Catalog, values []float64, changedOnly bool) (string, error) {
+	if len(values) != c.Len() {
+		return "", fmt.Errorf("knobs: FormatConfig got %d values for %d knobs", len(values), c.Len())
+	}
+	type kv struct {
+		name  string
+		value float64
+		typ   Type
+	}
+	var out []kv
+	for i, k := range c.Knobs {
+		if changedOnly && values[i] == k.Default {
+			continue
+		}
+		out = append(out, kv{k.Name, values[i], k.Type})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+
+	var b strings.Builder
+	switch c.Engine {
+	case EngineCDB, EngineLocalMySQL:
+		b.WriteString("[mysqld]\n")
+		for _, e := range out {
+			fmt.Fprintf(&b, "%s = %s\n", e.name, formatValue(e.value, e.typ))
+		}
+	case EngineMongoDB:
+		b.WriteString("setParameter:\n")
+		for _, e := range out {
+			fmt.Fprintf(&b, "  %s: %s\n", e.name, formatValue(e.value, e.typ))
+		}
+	case EnginePostgres:
+		b.WriteString("# postgresql.conf\n")
+		for _, e := range out {
+			fmt.Fprintf(&b, "%s = %s\n", e.name, formatValue(e.value, e.typ))
+		}
+	default:
+		return "", fmt.Errorf("knobs: FormatConfig: unknown engine %v", c.Engine)
+	}
+	return b.String(), nil
+}
+
+func formatValue(v float64, t Type) string {
+	switch t {
+	case TypeFloat:
+		return fmt.Sprintf("%g", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

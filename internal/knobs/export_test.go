@@ -1,0 +1,82 @@
+package knobs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatConfigMySQL(t *testing.T) {
+	c := MySQL(EngineCDB)
+	hw := struct{ ram, disk float64 }{8, 100}
+	vals := c.Denormalize(c.Defaults(hw.ram, hw.disk), hw.ram, hw.disk)
+	// Change one knob from default.
+	i := c.Index("innodb_buffer_pool_size")
+	vals[i] = 6144
+	out, err := FormatConfig(c, vals, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "[mysqld]\n") {
+		t.Fatalf("missing section header:\n%s", out)
+	}
+	if !strings.Contains(out, "innodb_buffer_pool_size = 6144") {
+		t.Fatalf("changed knob missing:\n%s", out)
+	}
+	if strings.Contains(out, "innodb_doublewrite") {
+		t.Fatal("unchanged knob leaked into changed-only output")
+	}
+}
+
+func TestFormatConfigAllKnobs(t *testing.T) {
+	c := Postgres()
+	vals := c.Denormalize(c.Defaults(16, 200), 16, 200)
+	out, err := FormatConfig(c, vals, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "# postgresql.conf\n") {
+		t.Fatalf("missing header:\n%.80s", out)
+	}
+	if got := strings.Count(out, "\n"); got != c.Len()+1 {
+		t.Fatalf("emitted %d lines, want %d", got, c.Len()+1)
+	}
+}
+
+func TestFormatConfigMongo(t *testing.T) {
+	c := MongoDB()
+	vals := c.Denormalize(c.Defaults(32, 300), 32, 300)
+	i := c.Index("wiredtiger_cache_size")
+	vals[i] = 20000
+	out, err := FormatConfig(c, vals, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "setParameter:\n") {
+		t.Fatalf("missing header:\n%.80s", out)
+	}
+	if !strings.Contains(out, "  wiredtiger_cache_size: 20000") {
+		t.Fatalf("changed knob missing:\n%s", out)
+	}
+}
+
+func TestFormatConfigSorted(t *testing.T) {
+	c := MySQL(EngineCDB)
+	vals := c.Denormalize(c.Defaults(8, 100), 8, 100)
+	out, err := FormatConfig(c, vals, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("output not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+}
+
+func TestFormatConfigLengthMismatch(t *testing.T) {
+	c := Postgres()
+	if _, err := FormatConfig(c, []float64{1}, true); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}

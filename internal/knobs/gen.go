@@ -1,0 +1,63 @@
+package knobs
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// auxKnobs builds n minor (RoleAux) knobs, drawing names from names and
+// synthesizing extras if the list is shorter than n. Each knob's type,
+// range and default derive deterministically from a hash of its name mixed
+// with seed, so catalogs are stable across runs and engines differ.
+func auxKnobs(names []string, n int, seed uint32) []Knob {
+	ks := make([]Knob, 0, n)
+	for i := 0; i < n; i++ {
+		var name string
+		if i < len(names) {
+			name = names[i]
+		} else {
+			name = fmt.Sprintf("aux_tuning_knob_%03d", i-len(names))
+		}
+		ks = append(ks, auxKnob(name, seed))
+	}
+	return ks
+}
+
+// auxKnob derives a single minor knob from its name hash.
+func auxKnob(name string, seed uint32) Knob {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	x := h.Sum32() ^ seed
+	k := Knob{Name: name, Role: RoleAux}
+	switch x % 5 {
+	case 0: // boolean switch
+		k.Type = TypeBool
+		k.Min, k.Max = 0, 1
+		k.Default = float64((x >> 3) % 2)
+	case 1: // small enum
+		k.Type = TypeEnum
+		k.Min = 0
+		k.Max = float64(2 + (x>>3)%4) // 2..5 levels above zero
+		k.Default = float64((x >> 7) % uint32(k.Max+1))
+	case 2: // wide log-scaled integer (buffer/limit style)
+		k.Type = TypeInt
+		k.Min = 1
+		k.Max = float64(uint32(1) << (10 + (x>>3)%14)) // 1Ki .. 8Mi
+		k.LogScale = true
+		k.Default = k.Min * 16
+		if k.Default > k.Max {
+			k.Default = k.Max
+		}
+	case 3: // linear integer (timeout/count style)
+		k.Type = TypeInt
+		k.Min = 0
+		k.Max = float64(8 + (x>>3)%1024)
+		k.Default = float64(uint32(k.Max) / 4)
+	default: // fractional/percentage knob
+		k.Type = TypeFloat
+		k.Min = 0
+		k.Max = 1 + float64((x>>3)%100)
+		k.Default = k.Max / 2
+	}
+	return k
+}

@@ -1,0 +1,103 @@
+package knobs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	c := MySQL(EngineCDB)
+	vals := c.Denormalize(c.Defaults(8, 100), 8, 100)
+	vals[c.Index("innodb_buffer_pool_size")] = 4096
+	vals[c.Index("max_connections")] = 2000
+	text, err := FormatConfig(c, vals, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, unknown, err := ParseConfig(c, strings.NewReader(text), 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unknown) != 0 {
+		t.Fatalf("unknown keys from our own output: %v", unknown)
+	}
+	for i, k := range c.Knobs {
+		// Round trip exact up to the knob's own value discretization.
+		want := k.Value(k.Normalize(vals[i], 8, 100), 8, 100)
+		if parsed[i] != want {
+			t.Fatalf("knob %s: parsed %v, want %v", k.Name, parsed[i], want)
+		}
+	}
+}
+
+func TestParseConfigIgnoresCommentsAndSections(t *testing.T) {
+	c := MySQL(EngineCDB)
+	text := `
+# a comment
+; another comment
+[mysqld]
+innodb_buffer_pool_size = 2048
+`
+	parsed, unknown, err := ParseConfig(c, strings.NewReader(text), 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unknown) != 0 {
+		t.Fatalf("unknown: %v", unknown)
+	}
+	if got := parsed[c.Index("innodb_buffer_pool_size")]; got != 2048 {
+		t.Fatalf("buffer pool = %v", got)
+	}
+}
+
+func TestParseConfigUnknownKeys(t *testing.T) {
+	c := Postgres()
+	text := "not_a_real_knob = 5\nwork_mem = 64\n"
+	parsed, unknown, err := ParseConfig(c, strings.NewReader(text), 16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unknown) != 1 || unknown[0] != "not_a_real_knob" {
+		t.Fatalf("unknown = %v", unknown)
+	}
+	if got := parsed[c.Index("work_mem")]; got != 64 {
+		t.Fatalf("work_mem = %v", got)
+	}
+}
+
+func TestParseConfigClampsOutOfRange(t *testing.T) {
+	c := MySQL(EngineCDB)
+	text := "innodb_log_files_in_group = 99999\n"
+	parsed, _, err := ParseConfig(c, strings.NewReader(text), 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed[c.Index("innodb_log_files_in_group")]; got != 10 {
+		t.Fatalf("clamped value = %v, want max 10", got)
+	}
+}
+
+func TestParseConfigBadValue(t *testing.T) {
+	c := MySQL(EngineCDB)
+	if _, _, err := ParseConfig(c, strings.NewReader("max_connections = lots\n"), 8, 100); err == nil {
+		t.Fatal("non-numeric value must error")
+	}
+	if _, _, err := ParseConfig(c, strings.NewReader("just some words\n"), 8, 100); err == nil {
+		t.Fatal("unparseable line must error")
+	}
+}
+
+func TestParseConfigMongoSyntax(t *testing.T) {
+	c := MongoDB()
+	text := "setParameter:\n  wiredtiger_cache_size: 8192\n"
+	parsed, unknown, err := ParseConfig(c, strings.NewReader(text), 32, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unknown) != 0 {
+		t.Fatalf("unknown = %v", unknown)
+	}
+	if got := parsed[c.Index("wiredtiger_cache_size")]; got != 8192 {
+		t.Fatalf("cache = %v", got)
+	}
+}

@@ -1,0 +1,270 @@
+package knobs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogSizesMatchPaper(t *testing.T) {
+	tests := []struct {
+		name string
+		cat  *Catalog
+		want int
+	}{
+		{"cdb-mysql", MySQL(EngineCDB), 266},
+		{"local-mysql", MySQL(EngineLocalMySQL), 266},
+		{"mongodb", MongoDB(), 232},
+		{"postgres", Postgres(), 169},
+	}
+	for _, tc := range tests {
+		if got := tc.cat.Len(); got != tc.want {
+			t.Errorf("%s catalog has %d knobs, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	for _, e := range []Engine{EngineCDB, EngineMongoDB, EnginePostgres} {
+		c := ForEngine(e)
+		seen := make(map[string]bool)
+		for _, k := range c.Knobs {
+			if seen[k.Name] {
+				t.Fatalf("%v: duplicate knob %q", e, k.Name)
+			}
+			seen[k.Name] = true
+		}
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate names")
+		}
+	}()
+	NewCatalog(EngineCDB, []Knob{{Name: "a"}, {Name: "a"}})
+}
+
+func TestEveryEngineHasCoreRoles(t *testing.T) {
+	core := []Role{RoleBufferPool, RoleLogFileSize, RoleFlushLogAtCommit,
+		RoleReadIOThreads, RoleWriteIOThreads, RoleMaxConnections}
+	for _, e := range []Engine{EngineCDB, EngineMongoDB, EnginePostgres} {
+		c := ForEngine(e)
+		for _, r := range core {
+			if c.RoleIndex(r) < 0 {
+				t.Errorf("%v: missing role %d", e, r)
+			}
+		}
+	}
+}
+
+func TestValueLinearAndLog(t *testing.T) {
+	lin := Knob{Type: TypeFloat, Min: 0, Max: 10}
+	if v := lin.Value(0.5, 1, 1); v != 5 {
+		t.Fatalf("linear Value(0.5) = %v, want 5", v)
+	}
+	logk := Knob{Type: TypeFloat, Min: 1, Max: 10000, LogScale: true}
+	if v := logk.Value(0.5, 1, 1); math.Abs(v-100) > 1e-9 {
+		t.Fatalf("log Value(0.5) = %v, want 100", v)
+	}
+	if v := logk.Value(0, 1, 1); v != 1 {
+		t.Fatalf("log Value(0) = %v, want 1", v)
+	}
+	if v := logk.Value(1, 1, 1); math.Abs(v-10000) > 1e-9 {
+		t.Fatalf("log Value(1) = %v, want 10000", v)
+	}
+}
+
+func TestValueClampsInput(t *testing.T) {
+	k := Knob{Type: TypeFloat, Min: 0, Max: 10}
+	if v := k.Value(-1, 1, 1); v != 0 {
+		t.Fatalf("Value(-1) = %v", v)
+	}
+	if v := k.Value(2, 1, 1); v != 10 {
+		t.Fatalf("Value(2) = %v", v)
+	}
+}
+
+func TestValueRoundsDiscreteTypes(t *testing.T) {
+	k := Knob{Type: TypeInt, Min: 0, Max: 10}
+	if v := k.Value(0.51, 1, 1); v != 5 {
+		t.Fatalf("int Value = %v, want 5", v)
+	}
+	b := Knob{Type: TypeBool, Min: 0, Max: 1}
+	if v := b.Value(0.7, 1, 1); v != 1 {
+		t.Fatalf("bool Value = %v, want 1", v)
+	}
+}
+
+func TestMemoryScaling(t *testing.T) {
+	c := MySQL(EngineCDB)
+	i := c.Index("innodb_buffer_pool_size")
+	if i < 0 {
+		t.Fatal("missing buffer pool knob")
+	}
+	k := c.Knobs[i]
+	small := k.Value(1, 8, 100)   // 8 GiB RAM
+	large := k.Value(1, 128, 100) // 128 GiB RAM
+	if large <= small {
+		t.Fatalf("memory scaling broken: 8G max %v, 128G max %v", small, large)
+	}
+	// Max at 8 GiB should be ≈ 1228 MiB/GiB × 8 GiB ≈ 9.6 GiB in MiB.
+	if math.Abs(large/small-16) > 0.5 {
+		t.Fatalf("scaling ratio = %v, want ≈16", large/small)
+	}
+}
+
+func TestDiskScaling(t *testing.T) {
+	c := MySQL(EngineCDB)
+	k := c.Knobs[c.Index("innodb_log_file_size")]
+	small := k.Value(1, 8, 32)
+	large := k.Value(1, 8, 512)
+	if large <= small {
+		t.Fatalf("disk scaling broken: %v vs %v", small, large)
+	}
+}
+
+// Property: Normalize ∘ Value ≈ identity for continuous knobs.
+func TestNormalizeValueRoundTrip(t *testing.T) {
+	c := MySQL(EngineCDB)
+	f := func(xRaw uint16, kiRaw uint16) bool {
+		x := float64(xRaw) / 65535
+		k := c.Knobs[int(kiRaw)%c.Len()]
+		if k.Type != TypeFloat {
+			return true // rounding breaks exact inversion for discrete knobs
+		}
+		v := k.Value(x, 12, 200)
+		back := k.Normalize(v, 12, 200)
+		return math.Abs(back-x) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Value always lies within [Min, effective Max].
+func TestValueBoundsProperty(t *testing.T) {
+	c := Postgres()
+	f := func(xRaw uint16, kiRaw uint16, ram, disk uint8) bool {
+		x := float64(xRaw) / 65535
+		ramGB := 1 + float64(ram%128)
+		diskGB := 16 + float64(disk)*4
+		k := c.Knobs[int(kiRaw)%c.Len()]
+		v := k.Value(x, ramGB, diskGB)
+		max := k.Max
+		if k.MemoryScaled {
+			max *= ramGB
+		}
+		if k.DiskScaled {
+			max *= diskGB
+		}
+		return v >= k.Min-0.5 && v <= max+0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsWithinRange(t *testing.T) {
+	for _, e := range []Engine{EngineCDB, EngineMongoDB, EnginePostgres} {
+		c := ForEngine(e)
+		d := c.Defaults(8, 100)
+		if len(d) != c.Len() {
+			t.Fatalf("%v: defaults len %d", e, len(d))
+		}
+		for i, x := range d {
+			if x < 0 || x > 1 {
+				t.Errorf("%v knob %s: normalized default %v out of [0,1]", e, c.Knobs[i].Name, x)
+			}
+		}
+	}
+}
+
+func TestDenormalize(t *testing.T) {
+	c := MySQL(EngineCDB)
+	x := make([]float64, c.Len())
+	for i := range x {
+		x[i] = 0.5
+	}
+	v := c.Denormalize(x, 8, 100)
+	if len(v) != c.Len() {
+		t.Fatalf("Denormalize len = %d", len(v))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong length")
+		}
+	}()
+	c.Denormalize(x[:3], 8, 100)
+}
+
+func TestSubsetPreservesOrder(t *testing.T) {
+	c := MySQL(EngineCDB)
+	s := c.Subset([]int{5, 0, 10})
+	if s.Len() != 3 {
+		t.Fatalf("Subset len = %d", s.Len())
+	}
+	if s.Knobs[0].Name != c.Knobs[5].Name || s.Knobs[1].Name != c.Knobs[0].Name {
+		t.Fatal("Subset order not preserved")
+	}
+}
+
+func TestWithoutBlacklist(t *testing.T) {
+	c := MySQL(EngineCDB)
+	before := c.Len()
+	s := c.WithoutBlacklist([]string{"innodb_doublewrite", "no_such_knob"})
+	if s.Len() != before-1 {
+		t.Fatalf("blacklist removed %d knobs, want 1", before-s.Len())
+	}
+	if s.Index("innodb_doublewrite") != -1 {
+		t.Fatal("blacklisted knob still present")
+	}
+}
+
+func TestIndexMissing(t *testing.T) {
+	c := Postgres()
+	if c.Index("nope") != -1 {
+		t.Fatal("Index of missing knob should be -1")
+	}
+}
+
+func TestTunableKnobCountFig1c(t *testing.T) {
+	prev := 0
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7} {
+		n := TunableKnobCount(v)
+		if n <= prev {
+			t.Fatalf("knob count not increasing at version %v: %d after %d", v, n, prev)
+		}
+		prev = n
+	}
+	if TunableKnobCount(9.9) != 0 {
+		t.Fatal("unknown version should report 0")
+	}
+}
+
+func TestAuxKnobsDeterministic(t *testing.T) {
+	a := auxKnobs([]string{"x", "y"}, 5, 1)
+	b := auxKnobs([]string{"x", "y"}, 5, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("aux knob %d not deterministic", i)
+		}
+	}
+	cSeed := auxKnobs([]string{"x", "y"}, 5, 2)
+	diff := false
+	for i := range a {
+		if a[i] != cSeed[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should produce different aux knobs")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineCDB.String() != "cdb-mysql" || Engine(99).String() == "" {
+		t.Fatal("Engine.String broken")
+	}
+}

@@ -1,0 +1,142 @@
+package knobs
+
+// postgresMajor lists the semantically modeled Postgres knobs. Byte-sized
+// knobs are in MiB (MemoryScaled Max per GiB of RAM).
+func postgresMajor() []Knob {
+	return []Knob{
+		{Desc: "Postgres shared page cache, the dominant memory knob (MiB)",
+			Name: "shared_buffers", Type: TypeInt, Role: RoleBufferPool,
+			Min: 128, Max: 1228, Default: 128, LogScale: true, MemoryScaled: true, Restart: true},
+		{Desc: "WAL ceiling before a forced checkpoint (MiB)",
+			Name: "max_wal_size", Type: TypeInt, Role: RoleLogFileSize,
+			Min: 4, Max: 30, Default: 1024, LogScale: true, DiskScaled: true},
+		{Desc: "retained WAL segments",
+			Name: "wal_keep_segments", Type: TypeInt, Role: RoleLogFilesInGroup,
+			Min: 2, Max: 10, Default: 2},
+		{Desc: "commit durability: 1 = on, 2 = remote-ish, 0 = off",
+			Name: "synchronous_commit", Type: TypeEnum, Role: RoleFlushLogAtCommit,
+			Min: 0, Max: 2, Default: 1},
+		{Desc: "WAL writer flush granularity",
+			Name: "wal_writer_flush_after", Type: TypeInt, Role: RoleSyncBinlog,
+			Min: 0, Max: 1000, Default: 1},
+		{Desc: "expected concurrent IO for prefetching",
+			Name: "effective_io_concurrency", Type: TypeInt, Role: RoleReadIOThreads,
+			Min: 1, Max: 64, Default: 1},
+		{Desc: "background writer pages per round",
+			Name: "bgwriter_lru_maxpages", Type: TypeInt, Role: RoleWriteIOThreads,
+			Min: 1, Max: 64, Default: 4},
+		{Desc: "autovacuum worker processes",
+			Name: "autovacuum_max_workers", Type: TypeInt, Role: RolePurgeThreads,
+			Min: 1, Max: 32, Default: 3},
+		{Desc: "background worker process cap",
+			Name: "max_worker_processes", Type: TypeInt, Role: RoleThreadConcurrency,
+			Min: 0, Max: 1000, Default: 8, Restart: true},
+		{Desc: "client connection cap",
+			Name: "max_connections", Type: TypeInt, Role: RoleMaxConnections,
+			Min: 100, Max: 100000, Default: 100, LogScale: true, Restart: true},
+		{Desc: "checkpoint writeback granularity",
+			Name: "checkpoint_flush_after", Type: TypeInt, Role: RoleIOCapacity,
+			Min: 100, Max: 40000, Default: 256, LogScale: true},
+		{Desc: "WAL write buffer (MiB)",
+			Name: "wal_buffers", Type: TypeInt, Role: RoleLogBufferSize,
+			Min: 1, Max: 256, Default: 4, LogScale: true, Restart: true},
+		{Desc: "per-sort/hash work memory (MiB)",
+			Name: "work_mem", Type: TypeFloat, Role: RoleSortBufferSize,
+			Min: 0.0625, Max: 1024, Default: 4, LogScale: true},
+		{Desc: "per-session temp table buffer (MiB)",
+			Name: "temp_buffers", Type: TypeInt, Role: RoleTmpTableSize,
+			Min: 1, Max: 1024, Default: 8, LogScale: true},
+		{Desc: "planner's OS cache estimate (MiB)",
+			Name: "effective_cache_size", Type: TypeInt, Role: RoleQueryCacheSize,
+			Min: 0, Max: 512, Default: 128},
+		{Desc: "checkpoint spread fraction of the interval (scaled %)",
+			Name: "checkpoint_completion_target", Type: TypeFloat, Role: RoleCheckpointTarget,
+			Min: 0, Max: 70, Default: 35},
+		{Desc: "vacuum IO budget before napping",
+			Name: "vacuum_cost_limit", Type: TypeInt, Role: RoleMaxDirtyPct,
+			Min: 5, Max: 99, Default: 20},
+		{Desc: "full page images after checkpoints (torn-page safety)",
+			Name: "full_page_writes", Type: TypeBool, Role: RoleDoublewrite,
+			Min: 0, Max: 1, Default: 1},
+	}
+}
+
+var postgresAuxNames = []string{
+	"maintenance_work_mem", "autovacuum_work_mem", "max_stack_depth",
+	"dynamic_shared_memory_type", "bgwriter_delay", "bgwriter_lru_multiplier",
+	"bgwriter_flush_after", "backend_flush_after", "max_files_per_process",
+	"vacuum_cost_delay", "vacuum_cost_page_hit", "vacuum_cost_page_miss",
+	"vacuum_cost_page_dirty", "wal_compression", "wal_log_hints",
+	"wal_writer_delay", "commit_delay", "commit_siblings", "checkpoint_timeout",
+	"checkpoint_warning", "min_wal_size", "random_page_cost", "seq_page_cost",
+	"cpu_tuple_cost", "cpu_index_tuple_cost", "cpu_operator_cost",
+	"parallel_tuple_cost", "parallel_setup_cost", "min_parallel_table_scan_size",
+	"min_parallel_index_scan_size", "default_statistics_target",
+	"constraint_exclusion", "cursor_tuple_fraction", "from_collapse_limit",
+	"join_collapse_limit", "force_parallel_mode", "jit_above_cost",
+	"jit_inline_above_cost", "jit_optimize_above_cost", "geqo_threshold",
+	"geqo_effort", "geqo_pool_size", "geqo_generations", "geqo_selection_bias",
+	"geqo_seed", "enable_bitmapscan", "enable_hashagg", "enable_hashjoin",
+	"enable_indexscan", "enable_indexonlyscan", "enable_material",
+	"enable_mergejoin", "enable_nestloop", "enable_parallel_append",
+	"enable_parallel_hash", "enable_partition_pruning", "enable_partitionwise_join",
+	"enable_partitionwise_aggregate", "enable_seqscan", "enable_sort",
+	"enable_tidscan", "max_parallel_workers", "max_parallel_workers_per_gather",
+	"max_parallel_maintenance_workers", "autovacuum_naptime",
+	"autovacuum_vacuum_threshold", "autovacuum_analyze_threshold",
+	"autovacuum_vacuum_scale_factor", "autovacuum_analyze_scale_factor",
+	"autovacuum_freeze_max_age", "autovacuum_multixact_freeze_max_age",
+	"autovacuum_vacuum_cost_delay", "autovacuum_vacuum_cost_limit",
+	"idle_in_transaction_session_timeout", "lock_timeout", "statement_timeout",
+	"deadlock_timeout", "max_locks_per_transaction", "max_pred_locks_per_transaction",
+	"max_pred_locks_per_relation", "max_pred_locks_per_page",
+	"old_snapshot_threshold", "vacuum_freeze_min_age", "vacuum_freeze_table_age",
+	"vacuum_multixact_freeze_min_age", "vacuum_multixact_freeze_table_age",
+	"vacuum_defer_cleanup_age", "hot_standby_feedback_interval",
+	"max_standby_archive_delay", "max_standby_streaming_delay",
+	"wal_receiver_status_interval", "wal_receiver_timeout", "wal_retrieve_retry_interval",
+	"wal_sender_timeout", "max_wal_senders", "max_replication_slots",
+	"track_activity_query_size", "track_commit_timestamp", "track_functions_mode",
+	"track_io_timing", "log_min_duration_statement", "log_autovacuum_min_duration",
+	"log_temp_files", "log_rotation_age", "log_rotation_size",
+	"temp_file_limit", "ssl_session_cache_timeout", "tcp_keepalives_idle",
+	"tcp_keepalives_interval", "tcp_keepalives_count", "extra_float_digits",
+	"gin_fuzzy_search_limit", "gin_pending_list_limit", "array_nulls_mode",
+	"backslash_quote_mode", "escape_string_warning_level", "lo_compat_privileges_mode",
+	"operator_precedence_warning_level", "quote_all_identifiers_mode",
+	"standard_conforming_strings_mode", "synchronize_seqscans",
+	"huge_pages_mode", "replacement_sort_tuples", "pre_auth_delay_tuning",
+	"trace_notify_buffer", "session_replication_role_cache",
+	"max_logical_replication_workers", "max_sync_workers_per_subscription",
+	"logical_decoding_work_mem", "client_connection_check_interval",
+	"recovery_prefetch_depth", "maintenance_io_concurrency", "wal_decode_buffer_size",
+	"wal_init_zero_mode", "wal_recycle_mode", "wal_skip_threshold",
+	"hash_mem_multiplier", "enable_incremental_sort", "enable_memoize",
+	"enable_async_append", "plan_cache_mode_threshold", "stats_fetch_consistency_cache",
+	"recursive_worktable_factor", "vacuum_failsafe_age", "vacuum_index_cleanup_mode",
+	"toast_tuple_target", "default_toast_compression_level", "autovacuum_insert_threshold",
+	"autovacuum_insert_scale_factor", "log_parameter_max_length_tuning",
+	"idle_session_timeout", "checkpoint_segments_compat",
+}
+
+// Postgres builds the 169-knob Postgres catalog (Appendix C.3).
+func Postgres() *Catalog {
+	const total = 169
+	ks := append([]Knob(nil), postgresMajor()...)
+	ks = append(ks, auxKnobs(postgresAuxNames, total-len(ks), 0xc2b2ae35)...)
+	return NewCatalog(EnginePostgres, ks)
+}
+
+// ForEngine returns the canonical catalog for the given engine.
+func ForEngine(e Engine) *Catalog {
+	switch e {
+	case EngineCDB, EngineLocalMySQL:
+		return MySQL(e)
+	case EngineMongoDB:
+		return MongoDB()
+	case EnginePostgres:
+		return Postgres()
+	default:
+		panic("knobs: unknown engine " + e.String())
+	}
+}

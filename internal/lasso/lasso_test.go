@@ -1,0 +1,132 @@
+package lasso
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cdbtune/internal/mat"
+)
+
+func makeData(rng *rand.Rand, n int, coef []float64, noise float64) (*mat.Matrix, []float64) {
+	d := len(coef)
+	x := mat.New(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			x.Set(i, j, rng.Float64())
+		}
+		y[i] = 3 + mat.Dot(x.Row(i), coef) + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(mat.New(0, 2), nil, 0.1, 10); err == nil {
+		t.Fatal("empty data must error")
+	}
+	if _, err := Fit(mat.New(3, 2), []float64{1}, 0.1, 10); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestRecoversSparseSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	coef := []float64{4, 0, 0, -3, 0, 0, 0, 0}
+	x, y := makeData(rng, 200, coef, 0.05)
+	res, err := Fit(x, y, 0.05, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Active set must be exactly features 0 and 3.
+	for j, b := range res.Coef {
+		active := math.Abs(b) > 0.05
+		wantActive := j == 0 || j == 3
+		if active != wantActive {
+			t.Fatalf("feature %d: coef %v, active=%v want %v", j, b, active, wantActive)
+		}
+	}
+	if res.Coef[0] <= 0 || res.Coef[3] >= 0 {
+		t.Fatal("signs wrong")
+	}
+}
+
+func TestPredictAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	coef := []float64{2, -1, 0.5}
+	x, y := makeData(rng, 300, coef, 0.02)
+	res, err := Fit(x, y, 0.001, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < 50; i++ {
+		q := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := 3 + mat.Dot(q, coef)
+		sum += math.Abs(res.Predict(q) - want)
+	}
+	if avg := sum / 50; avg > 0.08 {
+		t.Fatalf("mean prediction error %v", avg)
+	}
+}
+
+func TestHighLambdaKillsAllCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := makeData(rng, 100, []float64{1, 1}, 0.1)
+	res, err := Fit(x, y, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, b := range res.Coef {
+		if b != 0 {
+			t.Fatalf("coef %d = %v, want 0 at huge lambda", j, b)
+		}
+	}
+	// Prediction falls back to the intercept (≈ mean of y).
+	if math.Abs(res.Predict([]float64{0.5, 0.5})-mat.Mean(y)) > 1e-9 {
+		t.Fatal("intercept-only prediction wrong")
+	}
+}
+
+func TestRankFeaturesOrdersByImportance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Feature 2 dominates, then 0, then 5; rest are noise.
+	coef := []float64{2, 0, 8, 0, 0, 0.8, 0, 0}
+	x, y := makeData(rng, 400, coef, 0.05)
+	rank, err := RankFeatures(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) != 8 {
+		t.Fatalf("rank has %d entries", len(rank))
+	}
+	if rank[0] != 2 {
+		t.Fatalf("top feature = %d, want 2 (rank %v)", rank[0], rank)
+	}
+	if rank[1] != 0 {
+		t.Fatalf("second feature = %d, want 0 (rank %v)", rank[1], rank)
+	}
+	pos := make(map[int]int)
+	for i, j := range rank {
+		pos[j] = i
+	}
+	if pos[5] > 4 {
+		t.Fatalf("feature 5 ranked %d, should be near front (rank %v)", pos[5], rank)
+	}
+	// Every feature appears exactly once.
+	if len(pos) != 8 {
+		t.Fatal("rank has duplicates")
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	x := mat.FromSlice(4, 2, []float64{1, 0.1, 1, 0.4, 1, 0.7, 1, 0.9})
+	y := []float64{1, 2, 3, 4}
+	res, err := Fit(x, y, 0.01, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Coef[0]) || math.IsNaN(res.Coef[1]) {
+		t.Fatal("NaN coefficients on constant feature")
+	}
+}

@@ -1,0 +1,93 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L of a symmetric positive
+// definite matrix a such that a = L·Lᵀ. Only the lower triangle of a is
+// read. It returns ErrNotPositiveDefinite if a pivot is non-positive.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("mat: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			lrow := l.Row(i)
+			jrow := l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= lrow[k] * jrow[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/jrow[j])
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholSolve solves a·x = b given the Cholesky factor l of a (a = L·Lᵀ),
+// returning x. b is not modified.
+func CholSolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("mat: CholSolve dimension mismatch")
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			sum -= row[k] * y[k]
+		}
+		y[i] = sum / row[i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// CholForward solves L·y = b by forward substitution, returning y.
+func CholForward(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			sum -= row[k] * y[k]
+		}
+		y[i] = sum / row[i]
+	}
+	return y
+}
+
+// CholLogDet returns log|A| given the Cholesky factor L of A.
+func CholLogDet(l *Matrix) float64 {
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}

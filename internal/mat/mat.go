@@ -1,0 +1,280 @@
+// Package mat provides the small dense linear-algebra kernels used by the
+// neural-network and Gaussian-process packages. It is deliberately minimal:
+// row-major float64 matrices with the handful of operations the rest of the
+// system needs, written for clarity first and cache behaviour second.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major, length rows*cols) in a Matrix without
+// copying. The caller must not reuse data elsewhere.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Mul computes dst = a × b. dst must be a.Rows×b.Cols and must not alias a
+// or b. It returns dst for chaining.
+func Mul(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			axpyUnrolled(drow, b.Row(k), aik)
+		}
+	}
+	return dst
+}
+
+// axpyUnrolled computes dst += s·src with 4-way unrolling; the slice
+// re-bound eliminates bounds checks in the hot loop.
+func axpyUnrolled(dst, src []float64, s float64) {
+	n := len(dst)
+	src = src[:n]
+	j := 0
+	for ; j+3 < n; j += 4 {
+		dst[j] += s * src[j]
+		dst[j+1] += s * src[j+1]
+		dst[j+2] += s * src[j+2]
+		dst[j+3] += s * src[j+3]
+	}
+	for ; j < n; j++ {
+		dst[j] += s * src[j]
+	}
+}
+
+// MulT computes dst = a × bᵀ. dst must be a.Rows×b.Rows.
+func MulT(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulT shape mismatch %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulT dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = dotUnrolled(arow, b.Row(j))
+		}
+	}
+	return dst
+}
+
+// dotUnrolled is an unrolled inner product for the hot paths.
+func dotUnrolled(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+3 < n; j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; j < n; j++ {
+		s += a[j] * b[j]
+	}
+	return s
+}
+
+// TMul computes dst = aᵀ × b. dst must be a.Cols×b.Cols.
+func TMul(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: TMul shape mismatch (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: TMul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			axpyUnrolled(dst.Row(i), brow, aki)
+		}
+	}
+	return dst
+}
+
+// Add computes dst = a + b elementwise. All three may alias.
+func Add(dst, a, b *Matrix) *Matrix {
+	checkSame("Add", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return dst
+}
+
+// Sub computes dst = a − b elementwise.
+func Sub(dst, a, b *Matrix) *Matrix {
+	checkSame("Sub", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return dst
+}
+
+// Hadamard computes dst = a ⊙ b (elementwise product).
+func Hadamard(dst, a, b *Matrix) *Matrix {
+	checkSame("Hadamard", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return dst
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddScaled performs m += s·other in place (axpy).
+func (m *Matrix) AddScaled(s float64, other *Matrix) *Matrix {
+	checkSame("AddScaled", m, other, other)
+	for i := range m.Data {
+		m.Data[i] += s * other.Data[i]
+	}
+	return m
+}
+
+// Apply replaces every element x of m with f(x) in place.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+	return m
+}
+
+// AddRowVector adds the 1×Cols vector v to every row of m in place.
+func (m *Matrix) AddRowVector(v []float64) *Matrix {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+	return m
+}
+
+// ColSums returns the per-column sums of m.
+func (m *Matrix) ColSums() []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// ColMeans returns the per-column means of m.
+func (m *Matrix) ColMeans() []float64 {
+	sums := m.ColSums()
+	inv := 1.0 / float64(m.Rows)
+	for j := range sums {
+		sums[j] *= inv
+	}
+	return sums
+}
+
+// MaxAbs returns the largest absolute value in m.
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func checkSame(op string, ms ...*Matrix) {
+	r, c := ms[0].Rows, ms[0].Cols
+	for _, m := range ms[1:] {
+		if m.Rows != r || m.Cols != c {
+			panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, r, c, m.Rows, m.Cols))
+		}
+	}
+}

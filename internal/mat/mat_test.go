@@ -1,0 +1,310 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("New(3,4) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row(1)[2] = %v", row[2])
+	}
+	row[0] = 5 // views alias
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	m := FromSlice(2, 2, d)
+	d[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Fatal("FromSlice must not copy")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(New(2, 2), a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("Mul[%d] = %v, want %v", i, got.Data[i], want[i])
+		}
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	Mul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+func TestMulTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := randMat(rng, 4, 5), randMat(rng, 3, 5)
+	bt := New(5, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	want := Mul(New(4, 3), a, bt)
+	got := MulT(New(4, 3), a, b)
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("MulT[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTMulMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randMat(rng, 5, 4), randMat(rng, 5, 3)
+	at := New(4, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := Mul(New(4, 3), at, b)
+	got := TMul(New(4, 3), a, b)
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("TMul[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestAddSubHadamardScale(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	sum := Add(New(1, 3), a, b)
+	if sum.Data[0] != 5 || sum.Data[2] != 9 {
+		t.Fatalf("Add = %v", sum.Data)
+	}
+	diff := Sub(New(1, 3), b, a)
+	if diff.Data[0] != 3 || diff.Data[2] != 3 {
+		t.Fatalf("Sub = %v", diff.Data)
+	}
+	had := Hadamard(New(1, 3), a, b)
+	if had.Data[1] != 10 {
+		t.Fatalf("Hadamard = %v", had.Data)
+	}
+	a.Clone().Scale(2)
+	if a.Data[0] != 1 {
+		t.Fatal("Scale on clone mutated original")
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 1})
+	b := FromSlice(1, 2, []float64{2, 4})
+	a.AddScaled(0.5, b)
+	if a.Data[0] != 2 || a.Data[1] != 3 {
+		t.Fatalf("AddScaled = %v", a.Data)
+	}
+}
+
+func TestAddRowVectorAndColMeans(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	m.AddRowVector([]float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddRowVector = %v", m.Data)
+	}
+	means := m.ColMeans()
+	if means[0] != 12 || means[1] != 23 {
+		t.Fatalf("ColMeans = %v", means)
+	}
+}
+
+func TestApplyMaxAbsNorm(t *testing.T) {
+	m := FromSlice(1, 3, []float64{-3, 1, 2})
+	if m.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	m.Apply(math.Abs)
+	if m.Data[0] != 3 {
+		t.Fatalf("Apply = %v", m.Data)
+	}
+	if !almostEq(m.FrobeniusNorm(), math.Sqrt(14), 1e-12) {
+		t.Fatalf("FrobeniusNorm = %v", m.FrobeniusNorm())
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	// Build SPD matrix A = BᵀB + n·I.
+	b := randMat(rng, n, n)
+	a := TMul(New(n, n), b, b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	// Check L·Lᵀ == A.
+	rec := MulT(New(n, n), l, l)
+	for i := range a.Data {
+		if !almostEq(rec.Data[i], a.Data[i], 1e-9) {
+			t.Fatalf("L·Lᵀ[%d] = %v, want %v", i, rec.Data[i], a.Data[i])
+		}
+	}
+	// Check solve: A·x = rhs.
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x := CholSolve(l, rhs)
+	ax := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ax[i] = Dot(a.Row(i), x)
+	}
+	for i := range rhs {
+		if !almostEq(ax[i], rhs[i], 1e-9) {
+			t.Fatalf("A·x[%d] = %v, want %v", i, ax[i], rhs[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if _, err := Cholesky(New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestCholLogDet(t *testing.T) {
+	a := FromSlice(2, 2, []float64{4, 0, 0, 9}) // det = 36
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(CholLogDet(l), math.Log(36), 1e-12) {
+		t.Fatalf("CholLogDet = %v, want %v", CholLogDet(l), math.Log(36))
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2")
+	}
+	if !almostEq(Dist2([]float64{0, 0}, []float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Dist2")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean nil")
+	}
+	if !almostEq(Stddev([]float64{2, 4}), 1, 1e-12) {
+		t.Fatal("Stddev")
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp")
+	}
+	if ArgMax([]float64{1, 3, 2}) != 1 || ArgMax(nil) != -1 {
+		t.Fatal("ArgMax")
+	}
+	z := Standardize([]float64{3}, []float64{1}, []float64{2})
+	if z[0] != 1 {
+		t.Fatal("Standardize")
+	}
+	z = Standardize([]float64{3}, []float64{1}, []float64{0})
+	if z[0] != 0 {
+		t.Fatal("Standardize zero std")
+	}
+}
+
+// Property: matrix multiplication is associative within tolerance.
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randMat(rng, 3, 4), randMat(rng, 4, 2), randMat(rng, 2, 5)
+		ab := Mul(New(3, 2), a, b)
+		abc1 := Mul(New(3, 5), ab, c)
+		bc := Mul(New(4, 5), b, c)
+		abc2 := Mul(New(3, 5), a, bc)
+		for i := range abc1.Data {
+			if !almostEq(abc1.Data[i], abc2.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add then Sub is identity.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randMat(rng, 4, 4), randMat(rng, 4, 4)
+		s := Add(New(4, 4), a, b)
+		r := Sub(New(4, 4), s, b)
+		for i := range a.Data {
+			if !almostEq(r.Data[i], a.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

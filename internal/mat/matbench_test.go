@@ -1,0 +1,19 @@
+package mat
+
+import "testing"
+
+func BenchmarkMul(b *testing.B) {
+	a := New(64, 266)
+	x := New(266, 128)
+	d := New(64, 128)
+	for i := range a.Data {
+		a.Data[i] = 1.1
+	}
+	for i := range x.Data {
+		x.Data[i] = 0.9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(d, a, x)
+	}
+}

@@ -1,0 +1,93 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMul is the reference implementation the unrolled kernels are
+// checked against.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// TestMulMatchesNaiveAcrossShapes covers the unrolled remainder paths
+// (lengths not divisible by 4).
+func TestMulMatchesNaiveAcrossShapes(t *testing.T) {
+	f := func(seed int64, mRaw, kRaw, nRaw uint8) bool {
+		m := 1 + int(mRaw%7)
+		k := 1 + int(kRaw%9)
+		n := 1 + int(nRaw%11)
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		want := naiveMul(a, b)
+		got := Mul(New(m, n), a, b)
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotUnrolledRemainders(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		var want float64
+		for i := 0; i < n; i++ {
+			a[i] = float64(i + 1)
+			b[i] = float64(2 * (i + 1))
+			want += a[i] * b[i]
+		}
+		if got := dotUnrolled(a, b); got != want {
+			t.Fatalf("n=%d: dotUnrolled = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestAxpyUnrolledRemainders(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		dst := make([]float64, n)
+		src := make([]float64, n)
+		for i := range src {
+			dst[i] = 1
+			src[i] = float64(i)
+		}
+		axpyUnrolled(dst, src, 2)
+		for i := range dst {
+			if want := 1 + 2*float64(i); dst[i] != want {
+				t.Fatalf("n=%d dst[%d] = %v, want %v", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulSkipsZeros(t *testing.T) {
+	// The sparse short-circuit (aik == 0) must not change results.
+	a := FromSlice(2, 3, []float64{0, 1, 0, 2, 0, 3})
+	b := FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	want := naiveMul(a, b)
+	got := Mul(New(2, 2), a, b)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("sparse path diverges at %d", i)
+		}
+	}
+}

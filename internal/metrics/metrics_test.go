@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefCounts(t *testing.T) {
+	if len(Defs) != NumMetrics {
+		t.Fatalf("got %d defs, want %d", len(Defs), NumMetrics)
+	}
+	var g, c int
+	for _, d := range Defs {
+		switch d.Kind {
+		case Gauge:
+			g++
+		case Counter:
+			c++
+		}
+	}
+	if g != NumGauges || c != NumCounters {
+		t.Fatalf("got %d gauges / %d counters, want %d / %d", g, c, NumGauges, NumCounters)
+	}
+}
+
+func TestDefNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range Defs {
+		if seen[d.Name] {
+			t.Fatalf("duplicate metric %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestGaugesBeforeCounters(t *testing.T) {
+	for i, d := range Defs {
+		if i < NumGauges && d.Kind != Gauge {
+			t.Fatalf("Defs[%d] = %s should be a gauge", i, d.Name)
+		}
+		if i >= NumGauges && d.Kind != Counter {
+			t.Fatalf("Defs[%d] = %s should be a counter", i, d.Name)
+		}
+	}
+}
+
+func TestIndex(t *testing.T) {
+	if Index("buffer_pool_hit_ratio") != 4 {
+		t.Fatalf("Index(buffer_pool_hit_ratio) = %d", Index("buffer_pool_hit_ratio"))
+	}
+	if Index("nope") != -1 {
+		t.Fatal("Index of unknown metric should be -1")
+	}
+}
+
+func TestCollectorGaugeAveraging(t *testing.T) {
+	c := NewCollector()
+	for _, v := range []float64{10, 20, 30} {
+		var s Snapshot
+		s.Values[0] = v // gauge
+		c.Add(s)
+	}
+	st := c.State()
+	if st[0] != 20 {
+		t.Fatalf("gauge average = %v, want 20", st[0])
+	}
+}
+
+func TestCollectorCounterDifferencing(t *testing.T) {
+	c := NewCollector()
+	ci := NumGauges // first counter
+	for _, v := range []float64{100, 150, 275} {
+		var s Snapshot
+		s.Values[ci] = v
+		c.Add(s)
+	}
+	st := c.State()
+	if st[ci] != 175 {
+		t.Fatalf("counter delta = %v, want 175", st[ci])
+	}
+}
+
+func TestCollectorCounterResetClamp(t *testing.T) {
+	c := NewCollector()
+	ci := NumGauges
+	var s1, s2 Snapshot
+	s1.Values[ci] = 1000
+	s2.Values[ci] = 5 // restart reset the counter
+	c.Add(s1)
+	c.Add(s2)
+	if st := c.State(); st[ci] != 0 {
+		t.Fatalf("reset counter delta = %v, want 0", st[ci])
+	}
+}
+
+func TestCollectorPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCollector().State()
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	c.Add(Snapshot{})
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", c.Count())
+	}
+}
+
+func TestNormalizeBounds(t *testing.T) {
+	raw := make([]float64, NumMetrics)
+	for i := range raw {
+		raw[i] = 1e12 // enormous values
+	}
+	n := Normalize(raw)
+	for i, v := range n {
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized[%d] = %v out of [0,1]", i, v)
+		}
+	}
+	// Zero state maps to zero.
+	z := Normalize(make([]float64, NumMetrics))
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("normalized zero[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestNormalizeMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, NumMetrics)
+		b := make([]float64, NumMetrics)
+		for i := range a {
+			a[i] = rng.Float64() * 1e6
+			b[i] = a[i] * (1 + rng.Float64())
+		}
+		na, nb := Normalize(a), Normalize(b)
+		for i := range na {
+			if nb[i] < na[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizePanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Normalize([]float64{1, 2, 3})
+}
+
+func TestMeanExternal(t *testing.T) {
+	m := MeanExternal([]External{
+		{Throughput: 100, Latency99: 10},
+		{Throughput: 200, Latency99: 30},
+	})
+	if m.Throughput != 150 || m.Latency99 != 20 {
+		t.Fatalf("MeanExternal = %+v", m)
+	}
+	if z := MeanExternal(nil); z.Throughput != 0 || z.Latency99 != 0 {
+		t.Fatalf("MeanExternal(nil) = %+v", z)
+	}
+}

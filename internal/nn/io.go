@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// netState is the serialized form of a Network: parameter tensors in layer
+// order plus BatchNorm running statistics.
+type netState struct {
+	Params       [][]float64
+	RunningMeans [][]float64
+	RunningVars  [][]float64
+}
+
+// Save writes the network's parameters and normalization statistics to w
+// in gob format. The architecture itself is not serialized: Load must be
+// called on a network built with the same layer structure.
+func (n *Network) Save(w io.Writer) error {
+	st := netState{}
+	for _, p := range n.Params() {
+		st.Params = append(st.Params, append([]float64(nil), p.Value.Data...))
+	}
+	for _, l := range n.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			st.RunningMeans = append(st.RunningMeans, append([]float64(nil), bn.RunningMean...))
+			st.RunningVars = append(st.RunningVars, append([]float64(nil), bn.RunningVar...))
+		}
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// Load restores parameters previously written by Save into a network with
+// an identical architecture.
+func (n *Network) Load(r io.Reader) error {
+	var st netState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode network state: %w", err)
+	}
+	ps := n.Params()
+	if len(st.Params) != len(ps) {
+		return fmt.Errorf("nn: state has %d params, network has %d", len(st.Params), len(ps))
+	}
+	for i, p := range ps {
+		if len(st.Params[i]) != len(p.Value.Data) {
+			return fmt.Errorf("nn: param %d has %d values, want %d", i, len(st.Params[i]), len(p.Value.Data))
+		}
+		copy(p.Value.Data, st.Params[i])
+	}
+	var bi int
+	for _, l := range n.Layers {
+		bn, ok := l.(*BatchNorm)
+		if !ok {
+			continue
+		}
+		if bi >= len(st.RunningMeans) {
+			return fmt.Errorf("nn: state missing running stats for BatchNorm %d", bi)
+		}
+		if len(st.RunningMeans[bi]) != bn.Dim {
+			return fmt.Errorf("nn: BatchNorm %d stats dim %d, want %d", bi, len(st.RunningMeans[bi]), bn.Dim)
+		}
+		copy(bn.RunningMean, st.RunningMeans[bi])
+		copy(bn.RunningVar, st.RunningVars[bi])
+		bi++
+	}
+	return nil
+}

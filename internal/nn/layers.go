@@ -1,0 +1,315 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"cdbtune/internal/mat"
+)
+
+// Dense is a fully connected layer computing y = x·W + b for a batch x
+// (rows = samples, cols = In). W is In×Out, b is 1×Out.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+
+	lastInput *mat.Matrix
+}
+
+// NewDense returns a Dense layer with zero-initialized parameters; call one
+// of the Network Init* methods (or set values directly) before use.
+func NewDense(in, out int) *Dense {
+	return &Dense{In: in, Out: out, W: newParam("W", in, out), B: newParam("b", 1, out)}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	d.lastInput = x
+	y := mat.Mul(mat.New(x.Rows, d.Out), x, d.W.Value)
+	y.AddRowVector(d.B.Value.Data)
+	return y
+}
+
+// Backward implements Layer: accumulates dW = xᵀ·grad, db = Σ grad and
+// returns dx = grad·Wᵀ.
+func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
+	dW := mat.TMul(mat.New(d.In, d.Out), d.lastInput, grad)
+	d.W.Grad.AddScaled(1, dW)
+	for j, s := range grad.ColSums() {
+		d.B.Grad.Data[j] += s
+	}
+	return mat.MulT(mat.New(grad.Rows, d.In), grad, d.W.Value)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU applies max(0, x) elementwise. The paper's actor uses a (leaky)
+// ReLU with slope Alpha on the negative side; Alpha = 0 gives plain ReLU
+// and Table 5's "ReLU 0.2" corresponds to Alpha = 0.2.
+type ReLU struct {
+	Alpha float64
+
+	mask *mat.Matrix
+}
+
+// NewReLU returns a plain rectifier.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// NewLeakyReLU returns a leaky rectifier with the given negative slope.
+func NewLeakyReLU(alpha float64) *ReLU { return &ReLU{Alpha: alpha} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	y := mat.New(x.Rows, x.Cols)
+	r.mask = mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			r.mask.Data[i] = 1
+		} else {
+			y.Data[i] = r.Alpha * v
+			r.mask.Data[i] = r.Alpha
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *mat.Matrix) *mat.Matrix {
+	return mat.Hadamard(mat.New(grad.Rows, grad.Cols), grad, r.mask)
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct{ lastOut *mat.Matrix }
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	y := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.lastOut = y
+	return y
+}
+
+// Backward implements Layer: dx = grad ⊙ (1 − y²).
+func (t *Tanh) Backward(grad *mat.Matrix) *mat.Matrix {
+	dx := mat.New(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		y := t.lastOut.Data[i]
+		dx.Data[i] = g * (1 - y*y)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid applies the logistic function elementwise. The actor's output
+// layer uses it to keep normalized knob values in (0, 1).
+type Sigmoid struct{ lastOut *mat.Matrix }
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	y := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.lastOut = y
+	return y
+}
+
+// Backward implements Layer: dx = grad ⊙ y(1−y).
+func (s *Sigmoid) Backward(grad *mat.Matrix) *mat.Matrix {
+	dx := mat.New(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		y := s.lastOut.Data[i]
+		dx.Data[i] = g * y * (1 - y)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Dropout randomly zeroes activations with probability P during training
+// (inverted dropout: surviving units are scaled by 1/(1−P) so evaluation
+// needs no rescaling). Table 5 uses P = 0.3.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	mask *mat.Matrix
+}
+
+// NewDropout returns a Dropout layer with drop probability p, drawing
+// masks from rng.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	d.mask = mat.New(x.Rows, x.Cols)
+	y := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = 1 / keep
+			y.Data[i] = v / keep
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *mat.Matrix) *mat.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	return mat.Hadamard(mat.New(grad.Rows, grad.Cols), grad, d.mask)
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// BatchNorm normalizes each feature over the batch during training and by
+// running statistics during evaluation, then applies a learned affine
+// transform γ·x̂ + β.
+type BatchNorm struct {
+	Dim      int
+	Eps      float64
+	Momentum float64
+
+	Gamma, Beta *Param
+
+	// Running statistics for evaluation mode.
+	RunningMean, RunningVar []float64
+
+	// Cached forward state for backward.
+	xhat   *mat.Matrix
+	invStd []float64
+}
+
+// NewBatchNorm returns a BatchNorm layer over dim features with the usual
+// defaults (eps 1e-5, momentum 0.1).
+func NewBatchNorm(dim int) *BatchNorm {
+	bn := &BatchNorm{
+		Dim:         dim,
+		Eps:         1e-5,
+		Momentum:    0.1,
+		Gamma:       newParam("gamma", 1, dim),
+		Beta:        newParam("beta", 1, dim),
+		RunningMean: make([]float64, dim),
+		RunningVar:  make([]float64, dim),
+	}
+	bn.Gamma.Value.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	y := mat.New(x.Rows, x.Cols)
+	if train && x.Rows > 1 {
+		mean := x.ColMeans()
+		variance := make([]float64, b.Dim)
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			for j, v := range row {
+				d := v - mean[j]
+				variance[j] += d * d
+			}
+		}
+		for j := range variance {
+			variance[j] /= float64(x.Rows)
+		}
+		b.invStd = make([]float64, b.Dim)
+		for j := range b.invStd {
+			b.invStd[j] = 1 / math.Sqrt(variance[j]+b.Eps)
+		}
+		b.xhat = mat.New(x.Rows, x.Cols)
+		for i := 0; i < x.Rows; i++ {
+			xr, hr, yr := x.Row(i), b.xhat.Row(i), y.Row(i)
+			for j := range xr {
+				h := (xr[j] - mean[j]) * b.invStd[j]
+				hr[j] = h
+				yr[j] = b.Gamma.Value.Data[j]*h + b.Beta.Value.Data[j]
+			}
+		}
+		m := b.Momentum
+		for j := range mean {
+			b.RunningMean[j] = (1-m)*b.RunningMean[j] + m*mean[j]
+			b.RunningVar[j] = (1-m)*b.RunningVar[j] + m*variance[j]
+		}
+		return y
+	}
+	// Evaluation (or single-sample) mode: use running statistics.
+	b.xhat = nil
+	for i := 0; i < x.Rows; i++ {
+		xr, yr := x.Row(i), y.Row(i)
+		for j := range xr {
+			h := (xr[j] - b.RunningMean[j]) / math.Sqrt(b.RunningVar[j]+b.Eps)
+			yr[j] = b.Gamma.Value.Data[j]*h + b.Beta.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer using the standard batch-norm gradient.
+func (b *BatchNorm) Backward(grad *mat.Matrix) *mat.Matrix {
+	if b.xhat == nil {
+		// Evaluation-mode backward (used when training with batch size 1):
+		// treat running stats as constants.
+		dx := mat.New(grad.Rows, grad.Cols)
+		for i := 0; i < grad.Rows; i++ {
+			gr, dr := grad.Row(i), dx.Row(i)
+			for j := range gr {
+				dr[j] = gr[j] * b.Gamma.Value.Data[j] / math.Sqrt(b.RunningVar[j]+b.Eps)
+			}
+		}
+		return dx
+	}
+	n := float64(grad.Rows)
+	dgamma := make([]float64, b.Dim)
+	dbeta := make([]float64, b.Dim)
+	for i := 0; i < grad.Rows; i++ {
+		gr, hr := grad.Row(i), b.xhat.Row(i)
+		for j := range gr {
+			dgamma[j] += gr[j] * hr[j]
+			dbeta[j] += gr[j]
+		}
+	}
+	for j := range dgamma {
+		b.Gamma.Grad.Data[j] += dgamma[j]
+		b.Beta.Grad.Data[j] += dbeta[j]
+	}
+	dx := mat.New(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		gr, hr, dr := grad.Row(i), b.xhat.Row(i), dx.Row(i)
+		for j := range gr {
+			g := b.Gamma.Value.Data[j]
+			dr[j] = g * b.invStd[j] / n * (n*gr[j] - dbeta[j] - hr[j]*dgamma[j])
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }

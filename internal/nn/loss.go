@@ -1,0 +1,52 @@
+package nn
+
+import "cdbtune/internal/mat"
+
+// MSELoss returns the mean-squared-error between prediction and target,
+// together with the gradient of the loss with respect to the prediction.
+// Both matrices must have the same shape; the mean is over all elements.
+func MSELoss(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: MSELoss shape mismatch")
+	}
+	n := float64(len(pred.Data))
+	grad := mat.New(pred.Rows, pred.Cols)
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// HuberLoss returns the mean Huber (smooth-L1) loss with threshold delta
+// and its gradient with respect to pred. DQN training traditionally uses
+// this to bound the effect of large TD errors.
+func HuberLoss(pred, target *mat.Matrix, delta float64) (float64, *mat.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: HuberLoss shape mismatch")
+	}
+	n := float64(len(pred.Data))
+	grad := mat.New(pred.Rows, pred.Cols)
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		a := d
+		if a < 0 {
+			a = -a
+		}
+		if a <= delta {
+			loss += 0.5 * d * d
+			grad.Data[i] = d / n
+		} else {
+			loss += delta * (a - 0.5*delta)
+			if d > 0 {
+				grad.Data[i] = delta / n
+			} else {
+				grad.Data[i] = -delta / n
+			}
+		}
+	}
+	return loss / n, grad
+}

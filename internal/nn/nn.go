@@ -1,0 +1,165 @@
+// Package nn implements the small feed-forward neural-network stack used by
+// CDBTune's deep reinforcement-learning agents: dense, ReLU, Tanh, Sigmoid,
+// Dropout and BatchNorm layers with hand-written backpropagation, plus SGD
+// and Adam optimizers. The layer set is exactly what Table 5 of the paper's
+// actor-critic architecture requires.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cdbtune/internal/mat"
+)
+
+// Param is a learnable tensor together with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+}
+
+// newParam allocates a named parameter of the given shape with a zero
+// gradient buffer.
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, Value: mat.New(rows, cols), Grad: mat.New(rows, cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage of a network. Forward consumes a batch
+// (rows = samples) and returns the activated batch; Backward consumes the
+// gradient of the loss with respect to the layer output and returns the
+// gradient with respect to the layer input, accumulating parameter
+// gradients along the way. A layer may behave differently in training and
+// evaluation mode (Dropout, BatchNorm).
+type Layer interface {
+	Forward(x *mat.Matrix, train bool) *mat.Matrix
+	Backward(grad *mat.Matrix) *mat.Matrix
+	Params() []*Param
+}
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a sequential network from the given layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs the batch x through every layer. train selects training-mode
+// behaviour for stochastic/normalizing layers.
+func (n *Network) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the output gradient back through every layer,
+// accumulating parameter gradients, and returns the input gradient.
+func (n *Network) Backward(grad *mat.Matrix) *mat.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns every learnable parameter in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// CopyTo copies every parameter value of n into dst, which must have an
+// identical architecture. Used to initialize DDPG target networks.
+func (n *Network) CopyTo(dst *Network) {
+	sp, dp := n.Params(), dst.Params()
+	if len(sp) != len(dp) {
+		panic(fmt.Sprintf("nn: CopyTo param count mismatch %d vs %d", len(sp), len(dp)))
+	}
+	for i := range sp {
+		copy(dp[i].Value.Data, sp[i].Value.Data)
+	}
+}
+
+// SoftUpdateFrom blends src parameters into n: θ ← τ·θ_src + (1−τ)·θ.
+// This is the Polyak averaging DDPG uses for its target networks.
+func (n *Network) SoftUpdateFrom(src *Network, tau float64) {
+	sp, dp := src.Params(), n.Params()
+	if len(sp) != len(dp) {
+		panic(fmt.Sprintf("nn: SoftUpdateFrom param count mismatch %d vs %d", len(sp), len(dp)))
+	}
+	for i := range sp {
+		d, s := dp[i].Value.Data, sp[i].Value.Data
+		for j := range d {
+			d[j] = tau*s[j] + (1-tau)*d[j]
+		}
+	}
+}
+
+// ClipGradients scales all gradients so the global L2 norm does not exceed
+// maxNorm, returning the pre-clip norm. maxNorm <= 0 disables clipping.
+func (n *Network) ClipGradients(maxNorm float64) float64 {
+	var total float64
+	for _, p := range n.Params() {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range n.Params() {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// InitUniform fills every parameter value of n with Uniform(−a, a) draws,
+// matching the paper's ω ~ Uniform(−0.1, 0.1) initialization (Table 4).
+// Bias-style parameters (single row named "b" or "beta") are zeroed.
+func (n *Network) InitUniform(rng *rand.Rand, a float64) {
+	for _, p := range n.Params() {
+		switch p.Name {
+		case "b", "beta":
+			p.Value.Zero()
+		case "gamma":
+			p.Value.Fill(1)
+		default:
+			for i := range p.Value.Data {
+				p.Value.Data[i] = (rng.Float64()*2 - 1) * a
+			}
+		}
+	}
+}
+
+// InitNormal fills weights with Normal(0, std) draws, matching the paper's
+// θ^µ ~ Normal(0, 0.01) initialization (Table 4).
+func (n *Network) InitNormal(rng *rand.Rand, std float64) {
+	for _, p := range n.Params() {
+		switch p.Name {
+		case "b", "beta":
+			p.Value.Zero()
+		case "gamma":
+			p.Value.Fill(1)
+		default:
+			for i := range p.Value.Data {
+				p.Value.Data[i] = rng.NormFloat64() * std
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package nn
+
+import "math"
+
+// Optimizer updates network parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the current gradients and then clears
+	// them.
+	Step()
+}
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	params   []*Param
+	velocity [][]float64
+}
+
+// NewSGD returns an SGD optimizer over the parameters of net.
+func NewSGD(net *Network, lr, momentum float64) *SGD {
+	ps := net.Params()
+	vel := make([][]float64, len(ps))
+	for i, p := range ps {
+		vel[i] = make([]float64, len(p.Value.Data))
+	}
+	return &SGD{LR: lr, Momentum: momentum, params: ps, velocity: vel}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step() {
+	for i, p := range o.params {
+		v := o.velocity[i]
+		for j := range p.Value.Data {
+			g := p.Grad.Data[j] + o.WeightDecay*p.Value.Data[j]
+			v[j] = o.Momentum*v[j] - o.LR*g
+			p.Value.Data[j] += v[j]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) with optional L2 weight
+// decay, the optimizer used for both actor and critic in our DDPG.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	params []*Param
+	m, v   [][]float64
+	t      int
+}
+
+// NewAdam returns an Adam optimizer over the parameters of net with the
+// standard moment coefficients (0.9, 0.999).
+func NewAdam(net *Network, lr float64) *Adam {
+	ps := net.Params()
+	m := make([][]float64, len(ps))
+	v := make([][]float64, len(ps))
+	for i, p := range ps {
+		m[i] = make([]float64, len(p.Value.Data))
+		v[i] = make([]float64, len(p.Value.Data))
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: ps, m: m, v: v}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step() {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range o.params {
+		mi, vi := o.m[i], o.v[i]
+		for j := range p.Value.Data {
+			g := p.Grad.Data[j] + o.WeightDecay*p.Value.Data[j]
+			mi[j] = o.Beta1*mi[j] + (1-o.Beta1)*g
+			vi[j] = o.Beta2*vi[j] + (1-o.Beta2)*g*g
+			mhat := mi[j] / bc1
+			vhat := vi[j] / bc2
+			p.Value.Data[j] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,313 @@
+// Package ottertune reimplements the OtterTune baseline [4] the paper
+// compares against: a pipelined learning model with (1) Lasso-based knob
+// ranking, (2) workload mapping by internal-metric distance against a
+// repository of historical tuning sessions, and (3) Gaussian-process
+// regression with expected-improvement search to recommend the next
+// configuration. A deep-learning variant (Figure 1's "OtterTune with deep
+// learning") swaps the GP for a feed-forward network.
+package ottertune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cdbtune/internal/env"
+	"cdbtune/internal/gp"
+	"cdbtune/internal/lasso"
+	"cdbtune/internal/mat"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/simdb"
+)
+
+// Session is one historical tuning session: configurations tried on a
+// workload, the observed throughput, and the workload's metric signature.
+type Session struct {
+	Workload string
+	X        *mat.Matrix // n×d normalized configurations
+	Y        []float64   // throughput per configuration
+	// Signature is the normalized internal-metric vector observed under
+	// the default configuration, used for workload mapping.
+	Signature []float64
+}
+
+// Repository is OtterTune's accumulated training data. The paper notes it
+// needs large-scale high-quality samples; BuildRepository in this package
+// collects them by sampling environments.
+type Repository struct {
+	Sessions []Session
+}
+
+// BuildRepository samples each provided environment factory n times with
+// random configurations (plus the expert configuration when expertCfg is
+// non-nil, mirroring the 1:20 DBA-data mix of §5) and records a session
+// per environment.
+func BuildRepository(envs []*env.Env, n int, expertCfg func(*env.Env) []float64, seed int64) (*Repository, error) {
+	rng := rand.New(rand.NewSource(seed))
+	repo := &Repository{}
+	for _, e := range envs {
+		base, err := e.Measure()
+		if err != nil {
+			return nil, fmt.Errorf("ottertune: measuring default: %w", err)
+		}
+		sess := Session{
+			Workload:  e.W.Name,
+			Signature: metrics.Normalize(base.State),
+		}
+		var xs []float64
+		var ys []float64
+		add := func(x []float64) {
+			out, err := e.Step(x)
+			if err != nil {
+				return // crashed samples carry no label (only crashes occur here)
+			}
+			xs = append(xs, x...)
+			ys = append(ys, out.Ext.Throughput)
+		}
+		for i := 0; i < n; i++ {
+			// Every 20th sample is expert data when available (§5 mixes
+			// DBA experience at 1:20).
+			if expertCfg != nil && i%20 == 19 {
+				add(expertCfg(e))
+				continue
+			}
+			x := make([]float64, e.Dim())
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			add(x)
+		}
+		if len(ys) == 0 {
+			return nil, errors.New("ottertune: every repository sample crashed")
+		}
+		sess.X = mat.FromSlice(len(ys), e.Dim(), xs)
+		sess.Y = ys
+		repo.Sessions = append(repo.Sessions, sess)
+	}
+	return repo, nil
+}
+
+// MapWorkload returns the repository session whose metric signature is
+// closest (Euclidean) to the observed one, or nil for an empty repository.
+func (r *Repository) MapWorkload(signature []float64) *Session {
+	var best *Session
+	bestD := 0.0
+	for i := range r.Sessions {
+		d := mat.Dist2(signature, r.Sessions[i].Signature)
+		if best == nil || d < bestD {
+			best = &r.Sessions[i]
+			bestD = d
+		}
+	}
+	return best
+}
+
+// RankKnobs orders knob indices by importance using Lasso paths over the
+// pooled repository samples — OtterTune's knob-ranking stage and the
+// ordering behind Figure 7.
+func (r *Repository) RankKnobs() ([]int, error) {
+	if len(r.Sessions) == 0 {
+		return nil, errors.New("ottertune: empty repository")
+	}
+	d := r.Sessions[0].X.Cols
+	var rows int
+	for _, s := range r.Sessions {
+		rows += s.X.Rows
+	}
+	x := mat.New(rows, d)
+	y := make([]float64, 0, rows)
+	at := 0
+	for _, s := range r.Sessions {
+		// Standardize throughput within a session so workloads with
+		// different scales pool sensibly.
+		m, sd := mat.Mean(s.Y), mat.Stddev(s.Y)
+		if sd == 0 {
+			sd = 1
+		}
+		for i := 0; i < s.X.Rows; i++ {
+			copy(x.Row(at), s.X.Row(i))
+			at++
+			y = append(y, (s.Y[i]-m)/sd)
+		}
+	}
+	return lasso.RankFeatures(x, y, nil)
+}
+
+// Config controls a tuning run.
+type Config struct {
+	// Steps is the number of recommend-deploy-observe iterations; Table 2
+	// gives OtterTune 11 steps per request.
+	Steps int
+	// Candidates is the EI search width per step.
+	Candidates int
+	// UseDNN switches the regression model from GP to the feed-forward
+	// network (Figure 1's "OtterTune with deep learning").
+	UseDNN bool
+	// PruneTo, when positive, restricts workload mapping to the PruneTo
+	// most informative metrics (the pipeline's metric-pruning stage).
+	PruneTo int
+	Seed    int64
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{Steps: 11, Candidates: 600, Seed: 1}
+}
+
+// Result is a tuning outcome.
+type Result struct {
+	Best     []float64
+	BestPerf metrics.External
+	History  []metrics.External
+	Crashes  int
+}
+
+// Tune runs the OtterTune pipeline on the environment: observe, map the
+// workload against the repository, then iterate GP/EI recommendations.
+func Tune(e *env.Env, repo *Repository, cfg Config) (Result, error) {
+	if cfg.Steps <= 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result
+
+	base, err := e.Measure()
+	if err != nil {
+		return res, fmt.Errorf("ottertune: measuring default: %w", err)
+	}
+	var keep []int
+	if cfg.PruneTo > 0 {
+		keep = repo.PruneMetrics(cfg.PruneTo)
+	}
+	mapped := repo.MapWorkloadPruned(metrics.Normalize(base.State), keep)
+
+	// Observation set: mapped-session history plus this session's steps.
+	var xs []float64
+	var ys []float64
+	dim := e.Dim()
+	if mapped != nil {
+		xs = append(xs, mapped.X.Data...)
+		ys = append(ys, mapped.Y...)
+	}
+	addObs := func(x []float64, tps float64) {
+		xs = append(xs, x...)
+		ys = append(ys, tps)
+	}
+
+	best := e.Default()
+	bestPerf := base.Ext
+	bestScore := base.Ext.Throughput
+
+	for step := 0; step < cfg.Steps; step++ {
+		next := recommend(xs, ys, dim, best, bestScore, cfg, rng)
+		out, err := e.Step(next)
+		if err != nil {
+			if !errors.Is(err, simdb.ErrCrashed) {
+				return res, fmt.Errorf("ottertune: step %d: %w", step, err)
+			}
+			res.Crashes++
+			res.History = append(res.History, metrics.External{})
+			addObs(next, 0) // a crash is a terrible observation, not a gap
+			continue
+		}
+		res.History = append(res.History, out.Ext)
+		addObs(next, out.Ext.Throughput)
+		if out.Ext.Throughput > bestScore {
+			bestScore = out.Ext.Throughput
+			bestPerf = out.Ext
+			best = next
+		}
+	}
+	res.Best = best
+	res.BestPerf = bestPerf
+	return res, nil
+}
+
+// recommend fits the surrogate on (xs, ys) and returns the EI-maximizing
+// candidate.
+func recommend(xs []float64, ys []float64, dim int, incumbent []float64, best float64, cfg Config, rng *rand.Rand) []float64 {
+	n := len(ys)
+	if n == 0 {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		return x
+	}
+	// Cap the training set: GP is O(n³). Keep the most recent samples —
+	// they include this session's observations.
+	const maxTrain = 350
+	if n > maxTrain {
+		xs = xs[(n-maxTrain)*dim:]
+		ys = ys[n-maxTrain:]
+		n = maxTrain
+	}
+	x := mat.FromSlice(n, dim, append([]float64(nil), xs...))
+
+	type scorer interface {
+		score(q []float64, best float64) float64
+	}
+	var s scorer
+	if cfg.UseDNN {
+		s = fitDNN(x, ys, rng)
+	} else {
+		g, err := gp.Fit(x, ys, gp.Config{})
+		if err != nil {
+			// Singular kernel (duplicate samples): jitter the noise.
+			g, err = gp.Fit(x, ys, gp.Config{NoiseVar: 1e-1})
+			if err != nil {
+				out := make([]float64, dim)
+				for j := range out {
+					out[j] = rng.Float64()
+				}
+				return out
+			}
+		}
+		s = gpScorer{g}
+	}
+
+	bestEI := -1.0
+	var bestX []float64
+	for c := 0; c < cfg.Candidates; c++ {
+		q := make([]float64, dim)
+		if c%3 == 0 && incumbent != nil {
+			// Local perturbation of the incumbent.
+			for j := range q {
+				q[j] = clamp01(incumbent[j] + 0.15*rng.NormFloat64())
+			}
+		} else {
+			for j := range q {
+				q[j] = rng.Float64()
+			}
+		}
+		if ei := s.score(q, best); !math.IsNaN(ei) && ei > bestEI {
+			bestEI = ei
+			bestX = q
+		}
+	}
+	if bestX == nil {
+		// Degenerate surrogate (e.g. NaN scores): fall back to random.
+		bestX = make([]float64, dim)
+		for j := range bestX {
+			bestX[j] = rng.Float64()
+		}
+	}
+	return bestX
+}
+
+type gpScorer struct{ g *gp.GP }
+
+func (s gpScorer) score(q []float64, best float64) float64 {
+	return s.g.ExpectedImprovement(q, best)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,183 @@
+package ottertune
+
+import (
+	"testing"
+
+	"cdbtune/internal/dba"
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func newEnv(t *testing.T, w workload.Workload, seed int64) *env.Env {
+	t.Helper()
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, seed)
+	return env.New(db, db.Catalog(), w)
+}
+
+// smallRepo builds a modest repository over two workloads.
+func smallRepo(t *testing.T, samples int) *Repository {
+	t.Helper()
+	envs := []*env.Env{
+		newEnv(t, workload.SysbenchRW(), 10),
+		newEnv(t, workload.SysbenchRO(), 11),
+	}
+	repo, err := BuildRepository(envs, samples, dba.Recommend, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestBuildRepository(t *testing.T) {
+	repo := smallRepo(t, 30)
+	if len(repo.Sessions) != 2 {
+		t.Fatalf("repo has %d sessions, want 2", len(repo.Sessions))
+	}
+	for _, s := range repo.Sessions {
+		if s.X.Rows == 0 || s.X.Rows != len(s.Y) {
+			t.Fatalf("session %s has inconsistent data: %d configs, %d labels", s.Workload, s.X.Rows, len(s.Y))
+		}
+		if len(s.Signature) != metrics.NumMetrics {
+			t.Fatalf("signature dim %d", len(s.Signature))
+		}
+	}
+}
+
+func TestMapWorkloadPicksRightSession(t *testing.T) {
+	repo := smallRepo(t, 20)
+	// A fresh read-write environment must map to the read-write session.
+	e := newEnv(t, workload.SysbenchRW(), 12)
+	base, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := repo.MapWorkload(metrics.Normalize(base.State))
+	if m == nil || m.Workload != "sysbench-rw" {
+		t.Fatalf("mapped to %v, want sysbench-rw", m)
+	}
+	// And a read-only one to the read-only session.
+	e2 := newEnv(t, workload.SysbenchRO(), 13)
+	base2, err := e2.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := repo.MapWorkload(metrics.Normalize(base2.State))
+	if m2 == nil || m2.Workload != "sysbench-ro" {
+		t.Fatalf("mapped to %v, want sysbench-ro", m2)
+	}
+}
+
+func TestMapWorkloadEmptyRepo(t *testing.T) {
+	r := &Repository{}
+	if r.MapWorkload(make([]float64, metrics.NumMetrics)) != nil {
+		t.Fatal("empty repository must map to nil")
+	}
+}
+
+func TestTuneImprovesOverDefault(t *testing.T) {
+	repo := smallRepo(t, 40)
+	e := newEnv(t, workload.SysbenchRW(), 14)
+	base, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Candidates = 300
+	res, err := Tune(e, repo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPerf.Throughput <= base.Ext.Throughput {
+		t.Fatalf("OtterTune found nothing better than default: %v vs %v",
+			res.BestPerf.Throughput, base.Ext.Throughput)
+	}
+	if len(res.History) != cfg.Steps {
+		t.Fatalf("history %d, want %d", len(res.History), cfg.Steps)
+	}
+}
+
+func TestTuneWithDNNRuns(t *testing.T) {
+	repo := smallRepo(t, 25)
+	e := newEnv(t, workload.SysbenchRW(), 15)
+	cfg := DefaultConfig()
+	cfg.Steps = 4
+	cfg.Candidates = 120
+	cfg.UseDNN = true
+	res, err := Tune(e, repo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("DNN variant returned no configuration")
+	}
+}
+
+func TestRankKnobsPermutation(t *testing.T) {
+	// Use a small knob subset so Lasso ranking is fast and meaningful.
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 16)
+	sub := db.Catalog().Subset([]int{0, 1, 3, 5, 9, 16, 30, 40})
+	e := env.New(db, sub, workload.SysbenchRW())
+	repo, err := BuildRepository([]*env.Env{e}, 60, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := repo.RankKnobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) != 8 {
+		t.Fatalf("rank len %d", len(rank))
+	}
+	seen := make(map[int]bool)
+	for _, i := range rank {
+		if seen[i] {
+			t.Fatal("duplicate in ranking")
+		}
+		seen[i] = true
+	}
+}
+
+func TestRankKnobsEmptyRepo(t *testing.T) {
+	if _, err := (&Repository{}).RankKnobs(); err == nil {
+		t.Fatal("empty repo must error")
+	}
+}
+
+// TestMoreSamplesPlateau reproduces the Figure 1(a)/(b) observation: past
+// a modest repository size, more samples stop buying OtterTune better
+// recommendations (the pipeline, not data volume, is the bottleneck).
+func TestMoreSamplesPlateau(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	perfAt := func(samples int) float64 {
+		var sum float64
+		for seed := int64(0); seed < 3; seed++ {
+			envs := []*env.Env{newEnv(t, workload.SysbenchRW(), 20+seed)}
+			repo, err := BuildRepository(envs, samples, dba.Recommend, 3+seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := newEnv(t, workload.SysbenchRW(), 30+seed)
+			cfg := DefaultConfig()
+			cfg.Steps = 5
+			cfg.Candidates = 200
+			cfg.Seed = seed
+			res, err := Tune(e, repo, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.BestPerf.Throughput
+		}
+		return sum / 3
+	}
+	small := perfAt(150)
+	large := perfAt(800)
+	// 5x the samples may help some, but not transformatively: under 2x.
+	if large > small*2 {
+		t.Fatalf("sample volume alone transformed OtterTune: %v -> %v", small, large)
+	}
+}

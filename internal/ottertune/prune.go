@@ -1,0 +1,121 @@
+package ottertune
+
+import (
+	"math"
+	"sort"
+
+	"cdbtune/internal/mat"
+	"cdbtune/internal/metrics"
+)
+
+// PruneMetrics implements OtterTune's metric-pruning stage in simplified
+// form: the original uses factor analysis plus k-means to drop redundant
+// metrics before workload mapping; here metrics are ranked by their
+// variance across session signatures and greedily deduplicated by
+// correlation, returning the indices of the k metrics that carry the most
+// independent signal. Workload mapping restricted to these indices is
+// faster and less noise-prone.
+func (r *Repository) PruneMetrics(k int) []int {
+	if k <= 0 || k > metrics.NumMetrics {
+		k = metrics.NumMetrics
+	}
+	n := len(r.Sessions)
+	if n == 0 {
+		out := make([]int, k)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Column statistics over the session signatures.
+	cols := make([][]float64, metrics.NumMetrics)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i, s := range r.Sessions {
+			cols[j][i] = s.Signature[j]
+		}
+	}
+	variance := make([]float64, metrics.NumMetrics)
+	for j, c := range cols {
+		sd := mat.Stddev(c)
+		variance[j] = sd * sd
+	}
+	order := make([]int, metrics.NumMetrics)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return variance[order[a]] > variance[order[b]] })
+
+	// Greedy selection: skip metrics highly correlated with an already
+	// selected one (the factor-analysis dedup, poor man's version).
+	var selected []int
+	for _, j := range order {
+		if len(selected) == k {
+			break
+		}
+		dup := false
+		for _, s := range selected {
+			if math.Abs(correlation(cols[j], cols[s])) > 0.98 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			selected = append(selected, j)
+		}
+	}
+	// Top up with remaining metrics if dedup left fewer than k.
+	for _, j := range order {
+		if len(selected) == k {
+			break
+		}
+		found := false
+		for _, s := range selected {
+			if s == j {
+				found = true
+				break
+			}
+		}
+		if !found {
+			selected = append(selected, j)
+		}
+	}
+	sort.Ints(selected)
+	return selected
+}
+
+// MapWorkloadPruned maps a signature using only the given metric indices.
+func (r *Repository) MapWorkloadPruned(signature []float64, keep []int) *Session {
+	if len(keep) == 0 {
+		return r.MapWorkload(signature)
+	}
+	var best *Session
+	bestD := 0.0
+	for i := range r.Sessions {
+		var d float64
+		for _, j := range keep {
+			diff := signature[j] - r.Sessions[i].Signature[j]
+			d += diff * diff
+		}
+		if best == nil || d < bestD {
+			best = &r.Sessions[i]
+			bestD = d
+		}
+	}
+	return best
+}
+
+func correlation(a, b []float64) float64 {
+	ma, mb := mat.Mean(a), mat.Mean(b)
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,94 @@
+package ottertune
+
+import (
+	"testing"
+
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/workload"
+)
+
+func TestPruneMetricsSelection(t *testing.T) {
+	repo := smallRepo(t, 15)
+	keep := repo.PruneMetrics(10)
+	if len(keep) != 10 {
+		t.Fatalf("kept %d metrics, want 10", len(keep))
+	}
+	seen := map[int]bool{}
+	for _, j := range keep {
+		if j < 0 || j >= metrics.NumMetrics {
+			t.Fatalf("index %d out of range", j)
+		}
+		if seen[j] {
+			t.Fatalf("duplicate index %d", j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestPruneMetricsEmptyRepo(t *testing.T) {
+	r := &Repository{}
+	keep := r.PruneMetrics(5)
+	if len(keep) != 5 {
+		t.Fatalf("fallback kept %d", len(keep))
+	}
+}
+
+func TestPruneMetricsDefaultsToAll(t *testing.T) {
+	repo := smallRepo(t, 10)
+	if got := len(repo.PruneMetrics(0)); got != metrics.NumMetrics {
+		t.Fatalf("k=0 kept %d, want all %d", got, metrics.NumMetrics)
+	}
+	if got := len(repo.PruneMetrics(10_000)); got != metrics.NumMetrics {
+		t.Fatalf("oversized k kept %d", got)
+	}
+}
+
+func TestMapWorkloadPrunedStillDiscriminates(t *testing.T) {
+	repo := smallRepo(t, 25)
+	keep := repo.PruneMetrics(12)
+	e := newEnv(t, workload.SysbenchRW(), 30)
+	base, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := repo.MapWorkloadPruned(metrics.Normalize(base.State), keep)
+	if m == nil || m.Workload != "sysbench-rw" {
+		t.Fatalf("pruned mapping picked %v, want sysbench-rw", m)
+	}
+	// Empty keep falls back to the full-distance mapping.
+	m2 := repo.MapWorkloadPruned(metrics.Normalize(base.State), nil)
+	if m2 == nil || m2.Workload != "sysbench-rw" {
+		t.Fatalf("fallback mapping picked %v", m2)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if c := correlation(a, a); c < 0.999 {
+		t.Fatalf("self correlation = %v", c)
+	}
+	b := []float64{4, 3, 2, 1}
+	if c := correlation(a, b); c > -0.999 {
+		t.Fatalf("anti correlation = %v", c)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if c := correlation(a, flat); c != 0 {
+		t.Fatalf("constant correlation = %v, want 0", c)
+	}
+}
+
+func TestTuneWithPruning(t *testing.T) {
+	repo := smallRepo(t, 15)
+	e := newEnv(t, workload.SysbenchRW(), 31)
+	cfg := DefaultConfig()
+	cfg.Steps = 2
+	cfg.Candidates = 80
+	cfg.PruneTo = 12
+	res, err := Tune(e, repo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("pruned pipeline returned nothing")
+	}
+}

@@ -1,0 +1,187 @@
+package reward
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func calcT(kind Kind) *Calc {
+	// Throughput-only weighting isolates the throughput term.
+	c := New(kind, 1, 0)
+	c.Init(100, 50)
+	return c
+}
+
+func TestNewValidatesCoefficients(t *testing.T) {
+	for _, bad := range [][2]float64{{0.3, 0.3}, {-0.1, 1.1}, {0.8, 0.4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CT=%v CL=%v should panic", bad[0], bad[1])
+				}
+			}()
+			New(RFCDBTune, bad[0], bad[1])
+		}()
+	}
+	New(RFCDBTune, 0.5, 0.5) // must not panic
+}
+
+func TestComputeBeforeInitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(RFCDBTune, 0.5, 0.5).Compute(1, 1)
+}
+
+func TestImprovementPositive(t *testing.T) {
+	c := calcT(RFCDBTune)
+	if r := c.Compute(120, 50); r <= 0 {
+		t.Fatalf("20%% throughput gain reward = %v, want > 0", r)
+	}
+}
+
+func TestRegressionNegative(t *testing.T) {
+	c := calcT(RFCDBTune)
+	if r := c.Compute(80, 50); r >= 0 {
+		t.Fatalf("20%% throughput loss reward = %v, want < 0", r)
+	}
+}
+
+func TestEq6Values(t *testing.T) {
+	// First step after Init: prev == initial, so d0 == dt.
+	c := calcT(RFCDBTune)
+	// T: 100→110: d0 = dt = 0.1. r = ((1.1)²−1)·|1.1| = 0.21·1.1 = 0.231.
+	if r := c.Compute(110, 50); math.Abs(r-0.231) > 1e-12 {
+		t.Fatalf("reward = %v, want 0.231", r)
+	}
+	// T: 110→90: d0 = −0.1, dt = −0.1818…
+	// r = −((1.1)²−1)·|1−dt| = −0.21·1.1818… = −0.2481…
+	want := -0.21 * (1 + 20.0/110.0)
+	if r := c.Compute(90, 50); math.Abs(r-want) > 1e-12 {
+		t.Fatalf("reward = %v, want %v", r, want)
+	}
+}
+
+func TestZeroingRule(t *testing.T) {
+	// Above initial but below previous: positive branch with dt < 0 → 0
+	// for RF-CDBTune, non-zero for RF-C.
+	c := calcT(RFCDBTune)
+	c.Compute(150, 50) // prev = 150
+	if r := c.Compute(120, 50); r != 0 {
+		t.Fatalf("RF-CDBTune reward = %v, want 0 (above init, below prev)", r)
+	}
+	cc := calcT(RFC)
+	cc.Compute(150, 50)
+	if r := cc.Compute(120, 50); r <= 0 {
+		t.Fatalf("RF-C reward = %v, want > 0 (no zeroing rule)", r)
+	}
+}
+
+func TestRFAOnlyPrevious(t *testing.T) {
+	c := calcT(RFA)
+	c.Compute(50, 50) // big drop; prev = 50
+	// Now improve to 60: still below T0=100, but above previous. RF-A must
+	// be positive, RF-CDBTune negative.
+	if r := c.Compute(60, 50); r <= 0 {
+		t.Fatalf("RF-A reward = %v, want > 0", r)
+	}
+	d := calcT(RFCDBTune)
+	d.Compute(50, 50)
+	if r := d.Compute(60, 50); r >= 0 {
+		t.Fatalf("RF-CDBTune reward = %v, want < 0 (still below initial)", r)
+	}
+}
+
+func TestRFBOnlyInitial(t *testing.T) {
+	c := calcT(RFB)
+	c.Compute(150, 50)
+	// Drop to 120: still above initial; RF-B stays positive even though
+	// the step regressed.
+	if r := c.Compute(120, 50); r <= 0 {
+		t.Fatalf("RF-B reward = %v, want > 0", r)
+	}
+}
+
+func TestLatencyRewardSign(t *testing.T) {
+	c := New(RFCDBTune, 0, 1)
+	c.Init(100, 50)
+	if r := c.Compute(100, 40); r <= 0 {
+		t.Fatalf("latency improvement reward = %v, want > 0", r)
+	}
+	c2 := New(RFCDBTune, 0, 1)
+	c2.Init(100, 50)
+	if r := c2.Compute(100, 70); r >= 0 {
+		t.Fatalf("latency regression reward = %v, want < 0", r)
+	}
+}
+
+func TestCombinedWeights(t *testing.T) {
+	// With CT=1 the latency change must not matter and vice versa.
+	ct := New(RFCDBTune, 1, 0)
+	ct.Init(100, 50)
+	r1 := ct.Compute(120, 500) // latency 10x worse, ignored
+	ct2 := New(RFCDBTune, 1, 0)
+	ct2.Init(100, 50)
+	r2 := ct2.Compute(120, 5)
+	if r1 != r2 {
+		t.Fatalf("CT=1 rewards differ with latency: %v vs %v", r1, r2)
+	}
+}
+
+func TestCTSweepShiftsBalance(t *testing.T) {
+	// Same observation, increasing CT: the throughput component dominates.
+	// Observation: throughput better, latency worse.
+	var prev float64 = math.Inf(-1)
+	for _, ct := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		c := New(RFCDBTune, ct, 1-ct)
+		c.Init(100, 50)
+		r := c.Compute(130, 65)
+		if r < prev {
+			t.Fatalf("reward not monotone in CT: %v after %v", r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestCrashRewardConstant(t *testing.T) {
+	if CrashReward != -100 {
+		t.Fatalf("CrashReward = %v, want -100 (§5.2.3)", CrashReward)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{RFCDBTune: "RF-CDBTune", RFA: "RF-A", RFB: "RF-B", RFC: "RF-C"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// Property: strictly improving both metrics never yields negative reward,
+// and strictly degrading both never yields positive reward, under every
+// variant.
+func TestRewardSignProperty(t *testing.T) {
+	f := func(tGainRaw, lGainRaw uint8, kindRaw uint8) bool {
+		kind := Kind(kindRaw % 4)
+		gainT := 1 + float64(tGainRaw%50+1)/100
+		gainL := 1 - float64(lGainRaw%50+1)/200
+		c := New(kind, 0.5, 0.5)
+		c.Init(100, 50)
+		if c.Compute(100*gainT, 50*gainL) < 0 {
+			return false
+		}
+		c2 := New(kind, 0.5, 0.5)
+		c2.Init(100, 50)
+		if c2.Compute(100/gainT, 50/gainL) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

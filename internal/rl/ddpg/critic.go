@@ -1,0 +1,143 @@
+package ddpg
+
+import (
+	"math/rand"
+
+	"cdbtune/internal/mat"
+	"cdbtune/internal/nn"
+)
+
+// parallelDense is the critic's first stage from Table 5 ("Parallel Full
+// Connection 128+128"): the state and action halves of the input each pass
+// through their own dense head and the results are concatenated.
+type parallelDense struct {
+	stateDim, actionDim int
+	stateHead           *nn.Dense
+	actionHead          *nn.Dense
+}
+
+func newParallelDense(stateDim, actionDim, width int) *parallelDense {
+	half := width / 2
+	return &parallelDense{
+		stateDim:   stateDim,
+		actionDim:  actionDim,
+		stateHead:  nn.NewDense(stateDim, half),
+		actionHead: nn.NewDense(actionDim, width-half),
+	}
+}
+
+// Forward implements nn.Layer. The input batch columns are the state
+// vector followed by the action vector.
+func (p *parallelDense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	n := x.Rows
+	s := mat.New(n, p.stateDim)
+	a := mat.New(n, p.actionDim)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		copy(s.Row(i), row[:p.stateDim])
+		copy(a.Row(i), row[p.stateDim:])
+	}
+	fs := p.stateHead.Forward(s, train)
+	fa := p.actionHead.Forward(a, train)
+	out := mat.New(n, fs.Cols+fa.Cols)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		copy(row[:fs.Cols], fs.Row(i))
+		copy(row[fs.Cols:], fa.Row(i))
+	}
+	return out
+}
+
+// Backward implements nn.Layer, returning the gradient with respect to the
+// concatenated [state|action] input.
+func (p *parallelDense) Backward(grad *mat.Matrix) *mat.Matrix {
+	n := grad.Rows
+	sw := p.stateHead.Out
+	gs := mat.New(n, sw)
+	ga := mat.New(n, grad.Cols-sw)
+	for i := 0; i < n; i++ {
+		row := grad.Row(i)
+		copy(gs.Row(i), row[:sw])
+		copy(ga.Row(i), row[sw:])
+	}
+	ds := p.stateHead.Backward(gs)
+	da := p.actionHead.Backward(ga)
+	out := mat.New(n, p.stateDim+p.actionDim)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		copy(row[:p.stateDim], ds.Row(i))
+		copy(row[p.stateDim:], da.Row(i))
+	}
+	return out
+}
+
+// Params implements nn.Layer.
+func (p *parallelDense) Params() []*nn.Param {
+	return append(p.stateHead.Params(), p.actionHead.Params()...)
+}
+
+// critic wraps the critic network, presenting a (state, action) interface
+// over a network whose input is the concatenated pair.
+type critic struct {
+	network             *nn.Network
+	stateDim, actionDim int
+}
+
+// newCritic assembles the Table 5 critic: parallel heads, leaky ReLU,
+// Dense→Tanh→Dropout trunk stages, and a scalar output.
+func newCritic(cfg Config, rng *rand.Rand) *critic {
+	hidden := cfg.CriticHidden
+	layers := []nn.Layer{
+		newParallelDense(cfg.StateDim, cfg.ActionDim, hidden[0]),
+		nn.NewLeakyReLU(0.2),
+	}
+	in := hidden[0]
+	for i, h := range hidden[1:] {
+		layers = append(layers, nn.NewDense(in, h), nn.NewTanh())
+		if i == 0 {
+			layers = append(layers, nn.NewDropout(cfg.Dropout, rng))
+		}
+		in = h
+	}
+	layers = append(layers, nn.NewDense(in, 1))
+	return &critic{
+		network:   nn.NewNetwork(layers...),
+		stateDim:  cfg.StateDim,
+		actionDim: cfg.ActionDim,
+	}
+}
+
+func (c *critic) net() *nn.Network { return c.network }
+
+func (c *critic) forward(states, actions *mat.Matrix, train bool) *mat.Matrix {
+	n := states.Rows
+	x := mat.New(n, c.stateDim+c.actionDim)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		copy(row[:c.stateDim], states.Row(i))
+		copy(row[c.stateDim:], actions.Row(i))
+	}
+	return c.network.Forward(x, train)
+}
+
+// backward propagates grad through the critic and splits the input
+// gradient into its state and action parts. The action part is the
+// ∇_a Q(s, a) term of the deterministic policy gradient.
+func (c *critic) backward(grad *mat.Matrix) (dState, dAction *mat.Matrix) {
+	dx := c.network.Backward(grad)
+	n := dx.Rows
+	dState = mat.New(n, c.stateDim)
+	dAction = mat.New(n, c.actionDim)
+	for i := 0; i < n; i++ {
+		row := dx.Row(i)
+		copy(dState.Row(i), row[:c.stateDim])
+		copy(dAction.Row(i), row[c.stateDim:])
+	}
+	return dState, dAction
+}
+
+func (c *critic) initUniform(rng *rand.Rand, a float64) { c.network.InitUniform(rng, a) }
+func (c *critic) copyTo(dst *critic)                    { c.network.CopyTo(dst.network) }
+func (c *critic) softUpdateFrom(src *critic, tau float64) {
+	c.network.SoftUpdateFrom(src.network, tau)
+}

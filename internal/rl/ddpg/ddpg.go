@@ -1,0 +1,432 @@
+// Package ddpg implements Deep Deterministic Policy Gradient (Lillicrap et
+// al. 2015) exactly as CDBTune uses it (paper §4, Algorithm 1, Table 5):
+// an actor µ(s|θ^µ) mapping the 63 internal database metrics to a full
+// normalized knob configuration, and a critic Q(s, a|θ^Q) scoring the
+// configuration, trained from the experience-replay memory pool with soft
+// target networks.
+package ddpg
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"cdbtune/internal/mat"
+	"cdbtune/internal/nn"
+	"cdbtune/internal/rl"
+)
+
+// Config selects the agent's architecture and hyperparameters. The zero
+// value is not usable; call DefaultConfig and adjust.
+type Config struct {
+	StateDim  int // 63 internal metrics
+	ActionDim int // number of tunable knobs
+
+	// ActorHidden and CriticHidden list hidden-layer widths. The defaults
+	// are Table 5 / Table 6's best row: actor 128-128-128-64, critic
+	// 256-256-256-64 with a parallel 128+128 first stage.
+	ActorHidden  []int
+	CriticHidden []int
+
+	ActorLR  float64 // paper Table 4: α = 0.001
+	CriticLR float64
+	// Gamma is the discount factor. The paper sets 0.99; the default here
+	// is 0.2 because the Eq. 6 reward pays a recovery step in proportion
+	// to the size of the dip it recovers from — with a long horizon the
+	// bootstrapped value of deliberately bad configurations exceeds that
+	// of staying tuned, and the policy oscillates. Knob tuning is nearly
+	// a contextual bandit (the action fully determines the next
+	// performance), so a short horizon loses nothing.
+	Gamma float64
+	Tau   float64 // soft target update rate
+
+	BatchSize      int
+	MemoryCapacity int
+	Prioritized    bool // prioritized experience replay (§5.1)
+
+	NoiseSigma float64 // initial exploration noise scale
+	// ExploreDims, when positive, perturbs only that many randomly chosen
+	// action dimensions per step instead of all of them. Isotropic noise
+	// over hundreds of knobs displaces the configuration so far that the
+	// best sample quality *drops* with dimensionality; sparse
+	// coordinate-subset exploration keeps per-knob moves large while
+	// bounding the joint displacement. 0 perturbs every dimension.
+	ExploreDims int
+	Dropout     float64 // Table 5: 0.3
+
+	// MinMemory is the number of transitions required before learning
+	// starts.
+	MinMemory int
+
+	// WeightDecay is the critic optimizer's L2 coefficient.
+	WeightDecay float64
+
+	// PolicyDelay applies the actor (and actor-target) update only every
+	// PolicyDelay critic updates (Fujimoto et al. 2018), damping policy
+	// oscillation on top of a still-converging critic.
+	PolicyDelay int
+
+	// ActionBias, when non-nil (length ActionDim), warm-starts the
+	// untrained policy at the given normalized action: the output layer's
+	// bias is set to logit(ActionBias) so µ(s) ≈ ActionBias before
+	// training. For knob tuning this is the default configuration —
+	// without it the fresh policy sets every knob to the sigmoid midpoint,
+	// which for hundreds of minor knobs is strictly worse than their
+	// defaults.
+	ActionBias []float64
+
+	// BCWeight adds a self-imitation term to the actor update: the actor
+	// is additionally pulled toward the best-rewarded action the
+	// exploration has discovered (set via SetBCTarget). In very high
+	// dimensional knob spaces the deterministic policy gradient alone is
+	// too diluted to move 266 outputs with a few thousand samples; the
+	// paper's try-and-error exploration *does* find strong configurations
+	// (its Figure 5 outliers), and this term distills them into the
+	// policy, with the policy gradient refining around them. 0 disables.
+	BCWeight float64
+
+	Seed int64
+}
+
+// DefaultConfig returns the paper's hyperparameters for the given state
+// and action dimensionality.
+func DefaultConfig(stateDim, actionDim int) Config {
+	return Config{
+		StateDim:       stateDim,
+		ActionDim:      actionDim,
+		ActorHidden:    []int{128, 128, 128, 64},
+		CriticHidden:   []int{256, 256, 256, 64},
+		ActorLR:        1e-3,
+		CriticLR:       1e-3,
+		Gamma:          0.2,
+		Tau:            0.01,
+		BatchSize:      64,
+		MemoryCapacity: 100000,
+		Prioritized:    true,
+		NoiseSigma:     0.2,
+		ExploreDims:    32,
+		Dropout:        0.3,
+		MinMemory:      64,
+		WeightDecay:    1e-4,
+		PolicyDelay:    2,
+		BCWeight:       2,
+		Seed:           1,
+	}
+}
+
+// Agent is a DDPG learner.
+type Agent struct {
+	cfg Config
+	rng *rand.Rand
+
+	actor       *nn.Network
+	actorTarget *nn.Network
+	critic      *critic
+	critTarget  *critic
+
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+
+	Memory rl.Memory
+	Noise  rl.Noise
+
+	bcTarget []float64
+
+	trainSteps int
+}
+
+// New builds a DDPG agent from cfg.
+func New(cfg Config) *Agent {
+	if cfg.StateDim <= 0 || cfg.ActionDim <= 0 {
+		panic("ddpg: StateDim and ActionDim must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &Agent{cfg: cfg, rng: rng}
+
+	a.actor = buildActor(cfg, rng)
+	a.actorTarget = buildActor(cfg, rng)
+	// Table 4: θ^µ initialized from Normal(0, 0.01), ω (critic weights)
+	// from Uniform(−0.1, 0.1).
+	a.actor.InitNormal(rng, 0.01)
+	if cfg.ActionBias != nil {
+		if len(cfg.ActionBias) != cfg.ActionDim {
+			panic(fmt.Sprintf("ddpg: ActionBias length %d != ActionDim %d", len(cfg.ActionBias), cfg.ActionDim))
+		}
+		// The output layer is the penultimate network layer (Sigmoid last).
+		out := a.actor.Layers[len(a.actor.Layers)-2].(*nn.Dense)
+		for j, x := range cfg.ActionBias {
+			out.B.Value.Data[j] = logit(x)
+		}
+	}
+	a.actor.CopyTo(a.actorTarget)
+
+	a.critic = newCritic(cfg, rng)
+	a.critTarget = newCritic(cfg, rng)
+	a.critic.initUniform(rng, 0.1)
+	a.critic.copyTo(a.critTarget)
+
+	a.actorOpt = nn.NewAdam(a.actor, cfg.ActorLR)
+	a.criticOpt = nn.NewAdam(a.critic.net(), cfg.CriticLR)
+	a.criticOpt.WeightDecay = cfg.WeightDecay
+
+	if cfg.Prioritized {
+		a.Memory = rl.NewPrioritizedMemory(cfg.MemoryCapacity)
+	} else {
+		a.Memory = rl.NewUniformMemory(cfg.MemoryCapacity)
+	}
+	a.Noise = rl.NewOUNoise(cfg.NoiseSigma)
+	return a
+}
+
+// buildActor assembles the Table 5 actor: Dense→LeakyReLU(0.2)→BatchNorm
+// for the first stage, Dense→Tanh→Dropout for intermediate stages, a
+// BatchNorm'd penultimate stage, and a Sigmoid output squashing normalized
+// knob values into (0, 1).
+func buildActor(cfg Config, rng *rand.Rand) *nn.Network {
+	var layers []nn.Layer
+	in := cfg.StateDim
+	for i, h := range cfg.ActorHidden {
+		layers = append(layers, nn.NewDense(in, h))
+		switch i {
+		case 0:
+			layers = append(layers, nn.NewLeakyReLU(0.2), nn.NewBatchNorm(h))
+		case len(cfg.ActorHidden) - 1:
+			layers = append(layers, nn.NewTanh(), nn.NewBatchNorm(h))
+		default:
+			layers = append(layers, nn.NewTanh(), nn.NewDropout(cfg.Dropout, rng))
+		}
+		in = h
+	}
+	layers = append(layers, nn.NewDense(in, cfg.ActionDim), nn.NewSigmoid())
+	return nn.NewNetwork(layers...)
+}
+
+// Config returns the agent's configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// TrainSteps reports how many gradient updates have been applied.
+func (a *Agent) TrainSteps() int { return a.trainSteps }
+
+// Act returns the deterministic policy action µ(s) for a single state.
+func (a *Agent) Act(state []float64) []float64 {
+	x := mat.FromSlice(1, a.cfg.StateDim, append([]float64(nil), state...))
+	out := a.actor.Forward(x, false)
+	return append([]float64(nil), out.Data...)
+}
+
+// ActNoisy returns µ(s) perturbed by exploration noise. Out-of-range
+// values are reflected back into [0, 1] rather than clamped: clamping
+// piles a large fraction of exploration exactly onto the boundary values,
+// which for knobs like the buffer pool is the pathological corner of the
+// configuration space.
+func (a *Agent) ActNoisy(state []float64) []float64 {
+	act := a.Act(state)
+	noise := a.Noise.Sample(a.rng, len(act))
+	k := a.cfg.ExploreDims
+	if k <= 0 || k >= len(act) {
+		for i := range act {
+			act[i] = reflect01(act[i] + noise[i])
+		}
+		return act
+	}
+	for _, i := range a.rng.Perm(len(act))[:k] {
+		act[i] = reflect01(act[i] + noise[i])
+	}
+	return act
+}
+
+// logit is the inverse sigmoid, clamped so extreme defaults stay inside
+// the trainable region.
+func logit(x float64) float64 {
+	if x < 0.02 {
+		x = 0.02
+	}
+	if x > 0.98 {
+		x = 0.98
+	}
+	return math.Log(x / (1 - x))
+}
+
+// reflect01 folds x into [0, 1] by reflection at the boundaries.
+func reflect01(x float64) float64 {
+	for x < 0 || x > 1 {
+		if x < 0 {
+			x = -x
+		}
+		if x > 1 {
+			x = 2 - x
+		}
+	}
+	return x
+}
+
+// Observe stores a transition in the memory pool.
+func (a *Agent) Observe(t rl.Transition) { a.Memory.Add(t) }
+
+// SetBCTarget records the best-known action for the self-imitation term
+// (see Config.BCWeight). Pass nil to clear it.
+func (a *Agent) SetBCTarget(action []float64) {
+	if action == nil {
+		a.bcTarget = nil
+		return
+	}
+	a.bcTarget = append(a.bcTarget[:0], action...)
+}
+
+// BCTarget returns the current self-imitation target, or nil.
+func (a *Agent) BCTarget() []float64 { return a.bcTarget }
+
+// TrainStep performs one critic and one actor update from a replayed
+// batch, then soft-updates the target networks (Algorithm 1). It returns
+// the critic loss, or ok=false if the memory pool is still too small.
+func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
+	if a.Memory.Len() < a.cfg.MinMemory || a.Memory.Len() < a.cfg.BatchSize {
+		return 0, false
+	}
+	n := a.cfg.BatchSize
+	batch, indices, weights := a.Memory.Sample(a.rng, n)
+
+	states := mat.New(n, a.cfg.StateDim)
+	actions := mat.New(n, a.cfg.ActionDim)
+	next := mat.New(n, a.cfg.StateDim)
+	for i, t := range batch {
+		copy(states.Row(i), t.State)
+		copy(actions.Row(i), t.Action)
+		copy(next.Row(i), t.NextState)
+	}
+
+	// Step 2-4 of Algorithm 1: y_i = r + γ·Q'(s', µ'(s')). The target
+	// action is smoothed with small clipped noise (Fujimoto et al. 2018):
+	// it regularizes the bootstrapped value against the critic's sharp
+	// extrapolation errors, which otherwise drag the actor into
+	// action-space corners.
+	nextActions := a.actorTarget.Forward(next, false)
+	for i := range nextActions.Data {
+		eps := 0.05 * a.rng.NormFloat64()
+		if eps > 0.1 {
+			eps = 0.1
+		}
+		if eps < -0.1 {
+			eps = -0.1
+		}
+		nextActions.Data[i] = mat.Clamp(nextActions.Data[i]+eps, 0, 1)
+	}
+	nextQ := a.critTarget.forward(next, nextActions, false)
+	target := mat.New(n, 1)
+	for i, t := range batch {
+		y := t.Reward
+		if !t.Done {
+			y += a.cfg.Gamma * nextQ.Data[i]
+		}
+		target.Data[i] = y
+	}
+
+	// Step 5-6: critic regression toward y with importance weights.
+	a.critic.net().ZeroGrad()
+	q := a.critic.forward(states, actions, true)
+	grad := mat.New(n, 1)
+	tdErrors := make([]float64, n)
+	var loss float64
+	for i := 0; i < n; i++ {
+		d := q.Data[i] - target.Data[i]
+		tdErrors[i] = d
+		w := weights[i]
+		loss += w * d * d
+		grad.Data[i] = 2 * w * d / float64(n)
+	}
+	loss /= float64(n)
+	a.critic.backward(grad)
+	a.critic.net().ClipGradients(5)
+	a.criticOpt.Step()
+	a.Memory.UpdatePriorities(indices, tdErrors)
+	a.critTarget.softUpdateFrom(a.critic, a.cfg.Tau)
+
+	a.trainSteps++
+	delay := a.cfg.PolicyDelay
+	if delay < 1 {
+		delay = 1
+	}
+	if a.trainSteps%delay != 0 {
+		return loss, true
+	}
+
+	// Step 7: actor ascends ∇_a Q(s, µ(s)) via the chain rule. The first
+	// (train-mode) pass only refreshes BatchNorm running statistics; the
+	// gradient pass runs in evaluation mode so the update applies to the
+	// exact function that Act deploys (batch-vs-running-stats mismatch
+	// otherwise biases the learned policy).
+	a.actor.Forward(states.Clone(), true)
+	a.actor.ZeroGrad()
+	a.critic.net().ZeroGrad()
+	mu := a.actor.Forward(states, false)
+	a.critic.forward(states, mu, false)
+	ones := mat.New(n, 1)
+	ones.Fill(-1.0 / float64(n)) // minimize −Q
+	_, dAction := a.critic.backward(ones)
+	a.critic.net().ZeroGrad() // critic grads from this pass are discarded
+	if a.cfg.BCWeight > 0 && a.bcTarget != nil {
+		// Self-imitation: add the gradient of
+		// BCWeight·‖µ(s) − a_best‖²/n to the action gradient.
+		w := 2 * a.cfg.BCWeight / float64(n*len(a.bcTarget))
+		for i := 0; i < n; i++ {
+			row := mu.Row(i)
+			drow := dAction.Row(i)
+			for j := range drow {
+				drow[j] += w * (row[j] - a.bcTarget[j])
+			}
+		}
+	}
+	a.actor.Backward(dAction)
+	a.actor.ClipGradients(5)
+	a.actorOpt.Step()
+
+	// Soft target update: θ' ← τθ + (1−τ)θ'.
+	a.actorTarget.SoftUpdateFrom(a.actor, a.cfg.Tau)
+	return loss, true
+}
+
+// QValue returns the critic's score for a single (state, action) pair,
+// used by diagnostics and tests.
+func (a *Agent) QValue(state, action []float64) float64 {
+	s := mat.FromSlice(1, a.cfg.StateDim, append([]float64(nil), state...))
+	act := mat.FromSlice(1, a.cfg.ActionDim, append([]float64(nil), action...))
+	return a.critic.forward(s, act, false).Data[0]
+}
+
+// Save serializes actor, critic, their targets, and the remembered best
+// configuration (the self-imitation target that also seeds online
+// recommendations).
+func (a *Agent) Save(w io.Writer) error {
+	for _, n := range []*nn.Network{a.actor, a.actorTarget, a.critic.net(), a.critTarget.net()} {
+		if err := n.Save(w); err != nil {
+			return fmt.Errorf("ddpg: save: %w", err)
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(agentExtras{BCTarget: a.bcTarget}); err != nil {
+		return fmt.Errorf("ddpg: save extras: %w", err)
+	}
+	return nil
+}
+
+// Load restores state previously written by Save into an agent built with
+// the same Config.
+func (a *Agent) Load(r io.Reader) error {
+	for _, n := range []*nn.Network{a.actor, a.actorTarget, a.critic.net(), a.critTarget.net()} {
+		if err := n.Load(r); err != nil {
+			return fmt.Errorf("ddpg: load: %w", err)
+		}
+	}
+	var ex agentExtras
+	if err := gob.NewDecoder(r).Decode(&ex); err != nil {
+		return fmt.Errorf("ddpg: load extras: %w", err)
+	}
+	a.bcTarget = ex.BCTarget
+	return nil
+}
+
+// agentExtras is the non-network agent state included in Save/Load.
+type agentExtras struct {
+	BCTarget []float64
+}

@@ -1,0 +1,73 @@
+package ddpg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diagnostics summarizes the agent's health for logging and tests:
+// saturation of the policy outputs (actions pinned near 0/1 indicate a
+// collapsed policy), Q-value statistics for a probe batch, and training
+// progress counters.
+type Diagnostics struct {
+	TrainSteps int
+	MemorySize int
+	// Saturated is the fraction of probe action components within 0.02 of
+	// a boundary.
+	Saturated float64
+	// ActionMean and ActionSpread summarize the probe actions.
+	ActionMean   float64
+	ActionSpread float64
+	// QMean is the critic's mean score of the probe policy actions.
+	QMean float64
+	// HasBCTarget reports whether a remembered best configuration exists.
+	HasBCTarget bool
+}
+
+// Diagnose probes the agent on the given states.
+func (a *Agent) Diagnose(states [][]float64) Diagnostics {
+	d := Diagnostics{
+		TrainSteps:  a.trainSteps,
+		MemorySize:  a.Memory.Len(),
+		HasBCTarget: a.bcTarget != nil,
+	}
+	if len(states) == 0 {
+		return d
+	}
+	var sum, sumSq, qSum float64
+	var saturated, total int
+	for _, s := range states {
+		act := a.Act(s)
+		for _, v := range act {
+			sum += v
+			sumSq += v * v
+			total++
+			if v < 0.02 || v > 0.98 {
+				saturated++
+			}
+		}
+		qSum += a.QValue(s, act)
+	}
+	n := float64(total)
+	d.ActionMean = sum / n
+	variance := sumSq/n - d.ActionMean*d.ActionMean
+	if variance > 0 {
+		d.ActionSpread = sqrtPos(variance)
+	}
+	d.Saturated = float64(saturated) / n
+	d.QMean = qSum / float64(len(states))
+	return d
+}
+
+// String implements fmt.Stringer with a compact single-line summary.
+func (d Diagnostics) String() string {
+	return fmt.Sprintf("steps=%d mem=%d sat=%.1f%% act=%.2f±%.2f Q=%.2f bc=%v",
+		d.TrainSteps, d.MemorySize, d.Saturated*100, d.ActionMean, d.ActionSpread, d.QMean, d.HasBCTarget)
+}
+
+func sqrtPos(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,112 @@
+package dqn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallConfig(stateDim, actions int) Config {
+	cfg := DefaultConfig(stateDim, actions)
+	cfg.Hidden = []int{32}
+	cfg.BatchSize = 16
+	cfg.MinMemory = 32
+	return cfg
+}
+
+func TestQValuesShape(t *testing.T) {
+	a := New(smallConfig(3, 5))
+	q := a.QValues([]float64{0.1, 0.2, 0.3})
+	if len(q) != 5 {
+		t.Fatalf("QValues len = %d, want 5", len(q))
+	}
+}
+
+func TestTrainRefusesWhenEmpty(t *testing.T) {
+	a := New(smallConfig(2, 3))
+	if _, ok := a.TrainStep(); ok {
+		t.Fatal("TrainStep should refuse with empty memory")
+	}
+}
+
+func TestEpsilonDecays(t *testing.T) {
+	a := New(smallConfig(2, 3))
+	start := a.Epsilon
+	for i := 0; i < 50; i++ {
+		a.ActEpsilonGreedy([]float64{0, 0})
+	}
+	if a.Epsilon >= start {
+		t.Fatalf("epsilon did not decay: %v -> %v", start, a.Epsilon)
+	}
+	for i := 0; i < 10000; i++ {
+		a.ActEpsilonGreedy([]float64{0, 0})
+	}
+	if a.Epsilon != a.cfg.EpsilonEnd {
+		t.Fatalf("epsilon = %v, want floor %v", a.Epsilon, a.cfg.EpsilonEnd)
+	}
+}
+
+// TestLearnsContextualBandit trains DQN on a 2-state bandit: state 0 prefers
+// action 0, state 1 prefers action 2.
+func TestLearnsContextualBandit(t *testing.T) {
+	cfg := smallConfig(1, 3)
+	cfg.Seed = 3
+	a := New(cfg)
+	rng := rand.New(rand.NewSource(4))
+	reward := func(s []float64, act int) float64 {
+		if s[0] < 0.5 {
+			if act == 0 {
+				return 1
+			}
+			return 0
+		}
+		if act == 2 {
+			return 1
+		}
+		return 0
+	}
+	for ep := 0; ep < 1500; ep++ {
+		s := []float64{float64(rng.Intn(2))}
+		act := a.ActEpsilonGreedy(s)
+		r := reward(s, act)
+		a.Observe(s, act, r, s, true)
+		a.TrainStep()
+	}
+	if got := a.Act([]float64{0}); got != 0 {
+		t.Fatalf("state 0 action = %d, want 0 (Q=%v)", got, a.QValues([]float64{0}))
+	}
+	if got := a.Act([]float64{1}); got != 2 {
+		t.Fatalf("state 1 action = %d, want 2 (Q=%v)", got, a.QValues([]float64{1}))
+	}
+}
+
+func TestTargetSyncHappens(t *testing.T) {
+	cfg := smallConfig(1, 2)
+	cfg.TargetSync = 1 // sync after every step: nets must agree exactly
+	a := New(cfg)
+	for i := 0; i < 64; i++ {
+		a.Observe([]float64{0.5}, i%2, 1, []float64{0.5}, true)
+	}
+	if _, ok := a.TrainStep(); !ok {
+		t.Fatal("TrainStep refused")
+	}
+	sp, tp := a.net.Params(), a.target.Params()
+	for i := range sp {
+		for j := range sp[i].Value.Data {
+			if sp[i].Value.Data[j] != tp[i].Value.Data[j] {
+				t.Fatal("target network not synced")
+			}
+		}
+	}
+}
+
+func TestTrainCounter(t *testing.T) {
+	a := New(smallConfig(1, 2))
+	for i := 0; i < 64; i++ {
+		a.Observe([]float64{0}, 0, 0, []float64{0}, true)
+	}
+	a.TrainStep()
+	a.TrainStep()
+	if a.TrainSteps() != 2 {
+		t.Fatalf("TrainSteps = %d, want 2", a.TrainSteps())
+	}
+}

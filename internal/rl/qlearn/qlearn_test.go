@@ -1,0 +1,113 @@
+package qlearn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDiscretizeState(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.StateBins = 4
+	a := New(cfg)
+	tests := []struct {
+		in   []float64
+		want string
+	}{
+		{[]float64{0, 0.99}, "03"},
+		{[]float64{0.25, 0.5}, "12"},
+		{[]float64{1.0, -0.5}, "30"}, // clamped at both ends
+	}
+	for _, tc := range tests {
+		if got := a.DiscretizeState(tc.in); got != tc.want {
+			t.Errorf("DiscretizeState(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestUpdateBellman(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Alpha = 0.5
+	cfg.Gamma = 0.9
+	a := New(cfg)
+	s, next := []float64{0.1}, []float64{0.9}
+	// Seed next state's Q so max is 2.
+	nq := a.row(a.DiscretizeState(next))
+	nq[1] = 2
+	a.Update(s, 0, 1, next, false)
+	// Q(s,0) = 0 + 0.5*(1 + 0.9*2 − 0) = 1.4
+	if got := a.row(a.DiscretizeState(s))[0]; got != 1.4 {
+		t.Fatalf("Q(s,0) = %v, want 1.4", got)
+	}
+	// Terminal transition ignores bootstrap.
+	a2 := New(cfg)
+	a2.Update(s, 0, 1, next, true)
+	if got := a2.row(a2.DiscretizeState(s))[0]; got != 0.5 {
+		t.Fatalf("terminal Q(s,0) = %v, want 0.5", got)
+	}
+}
+
+func TestUpdatePanicsOnBadAction(t *testing.T) {
+	a := New(DefaultConfig(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Update([]float64{0}, 5, 0, []float64{0}, true)
+}
+
+func TestLearnsBandit(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Seed = 5
+	a := New(cfg)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		s := []float64{rng.Float64()}
+		act := a.ActEpsilonGreedy(s)
+		var r float64
+		if s[0] < 0.5 && act == 1 {
+			r = 1
+		}
+		if s[0] >= 0.5 && act == 2 {
+			r = 1
+		}
+		a.Update(s, act, r, s, true)
+	}
+	if got := a.Act([]float64{0.2}); got != 1 {
+		t.Fatalf("low-state action = %d, want 1", got)
+	}
+	if got := a.Act([]float64{0.8}); got != 2 {
+		t.Fatalf("high-state action = %d, want 2", got)
+	}
+}
+
+// TestTableExplosion demonstrates the §3.3 state-space argument: with 63
+// state dimensions, almost every observed state is distinct, so the table
+// grows linearly with experience and generalizes nothing.
+func TestTableExplosion(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.StateBins = 10
+	a := New(cfg)
+	rng := rand.New(rand.NewSource(7))
+	const n = 500
+	for i := 0; i < n; i++ {
+		s := make([]float64, 63)
+		for j := range s {
+			s[j] = rng.Float64()
+		}
+		a.Update(s, 0, 0, s, true)
+	}
+	if a.TableSize() != n {
+		t.Fatalf("table size = %d, want %d (every 63-dim state distinct)", a.TableSize(), n)
+	}
+}
+
+func TestEpsilonFloor(t *testing.T) {
+	a := New(DefaultConfig(2))
+	for i := 0; i < 100000; i++ {
+		a.ActEpsilonGreedy([]float64{0})
+	}
+	if a.Epsilon != a.cfg.EpsilonEnd {
+		t.Fatalf("epsilon = %v, want %v", a.Epsilon, a.cfg.EpsilonEnd)
+	}
+}

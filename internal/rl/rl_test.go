@@ -1,0 +1,204 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tr(r float64) Transition {
+	return Transition{State: []float64{r}, Action: []float64{r}, Reward: r, NextState: []float64{r}}
+}
+
+func TestUniformMemoryRingBuffer(t *testing.T) {
+	m := NewUniformMemory(3)
+	for i := 0; i < 5; i++ {
+		m.Add(tr(float64(i)))
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	// Oldest two (0, 1) must have been evicted.
+	rng := rand.New(rand.NewSource(1))
+	batch, _, w := m.Sample(rng, 100)
+	for i, b := range batch {
+		if b.Reward < 2 {
+			t.Fatalf("sampled evicted transition with reward %v", b.Reward)
+		}
+		if w[i] != 1 {
+			t.Fatalf("uniform weight = %v, want 1", w[i])
+		}
+	}
+}
+
+func TestUniformMemoryEmptySample(t *testing.T) {
+	m := NewUniformMemory(3)
+	batch, idx, w := m.Sample(rand.New(rand.NewSource(1)), 4)
+	if batch != nil || idx != nil || w != nil {
+		t.Fatal("sampling empty memory should return nils")
+	}
+}
+
+func TestMemoryCapacityPanics(t *testing.T) {
+	for _, f := range []func(){func() { NewUniformMemory(0) }, func() { NewPrioritizedMemory(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for non-positive capacity")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPrioritizedMemoryPrefersHighTDError(t *testing.T) {
+	m := NewPrioritizedMemory(64)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 64; i++ {
+		m.Add(tr(float64(i)))
+	}
+	// Give transition 7 a huge TD error and everything else a tiny one.
+	idx := make([]int, 64)
+	errs := make([]float64, 64)
+	for i := range idx {
+		idx[i] = i
+		errs[i] = 0.001
+	}
+	errs[7] = 100
+	m.UpdatePriorities(idx, errs)
+
+	counts := make(map[float64]int)
+	for i := 0; i < 200; i++ {
+		batch, _, _ := m.Sample(rng, 8)
+		for _, b := range batch {
+			counts[b.Reward]++
+		}
+	}
+	if counts[7] < 800 {
+		t.Fatalf("high-priority sample drawn only %d/1600 times", counts[7])
+	}
+}
+
+func TestPrioritizedMemoryWeightsNormalized(t *testing.T) {
+	m := NewPrioritizedMemory(16)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 16; i++ {
+		m.Add(tr(float64(i)))
+	}
+	_, _, w := m.Sample(rng, 8)
+	var maxW float64
+	for _, x := range w {
+		if x <= 0 || x > 1+1e-12 {
+			t.Fatalf("IS weight %v out of (0, 1]", x)
+		}
+		if x > maxW {
+			maxW = x
+		}
+	}
+	if math.Abs(maxW-1) > 1e-9 {
+		t.Fatalf("max IS weight = %v, want 1", maxW)
+	}
+}
+
+func TestPrioritizedMemoryEviction(t *testing.T) {
+	m := NewPrioritizedMemory(4)
+	for i := 0; i < 9; i++ {
+		m.Add(tr(float64(i)))
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+	rng := rand.New(rand.NewSource(4))
+	batch, _, _ := m.Sample(rng, 50)
+	for _, b := range batch {
+		if b.Reward < 5 {
+			t.Fatalf("sampled evicted transition %v", b.Reward)
+		}
+	}
+}
+
+// Property: the sum-tree root always equals the sum of leaf priorities.
+func TestSumTreeInvariantProperty(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		m := NewPrioritizedMemory(8)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range opsRaw {
+			if op%2 == 0 {
+				m.Add(tr(rng.Float64()))
+			} else if m.Len() > 0 {
+				idx := []int{rng.Intn(m.Len())}
+				m.UpdatePriorities(idx, []float64{rng.Float64() * 10})
+			}
+		}
+		var leafSum float64
+		for i := 0; i < m.capacity; i++ {
+			leafSum += m.tree[i+m.capacity]
+		}
+		return math.Abs(leafSum-m.TotalPriority()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOUNoiseTemporallyCorrelated(t *testing.T) {
+	n := NewOUNoise(0.3)
+	rng := rand.New(rand.NewSource(5))
+	prev := n.Sample(rng, 4)
+	var sumAbsDelta, sumAbs float64
+	for i := 0; i < 200; i++ {
+		cur := n.Sample(rng, 4)
+		for j := range cur {
+			sumAbsDelta += math.Abs(cur[j] - prev[j])
+			sumAbs += math.Abs(cur[j])
+		}
+		prev = cur
+	}
+	// OU increments are smaller than the process magnitude on average.
+	if sumAbsDelta >= sumAbs {
+		t.Fatalf("OU noise not temporally correlated: Δ=%v |x|=%v", sumAbsDelta, sumAbs)
+	}
+}
+
+func TestOUNoiseResetAndDecay(t *testing.T) {
+	n := NewOUNoise(0.5)
+	rng := rand.New(rand.NewSource(6))
+	n.Sample(rng, 2)
+	n.Reset()
+	if n.state != nil {
+		t.Fatal("Reset did not clear state")
+	}
+	s := n.Decay()
+	if math.Abs(s-0.5*0.99) > 1e-12 {
+		t.Fatalf("Decay = %v", s)
+	}
+	for i := 0; i < 10000; i++ {
+		n.Decay()
+	}
+	if n.Sigma != n.MinSigma {
+		t.Fatalf("Sigma = %v, want floor %v", n.Sigma, n.MinSigma)
+	}
+}
+
+func TestGaussianNoiseStats(t *testing.T) {
+	g := NewGaussianNoise(2)
+	rng := rand.New(rand.NewSource(7))
+	var sum, sq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := g.Sample(rng, 1)[0]
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.05 || math.Abs(std-2) > 0.05 {
+		t.Fatalf("gaussian noise mean %v std %v, want 0 / 2", mean, std)
+	}
+	g.Reset() // no-op, must not panic
+	if d := g.Decay(); math.Abs(d-1.98) > 1e-12 {
+		t.Fatalf("Decay = %v", d)
+	}
+}

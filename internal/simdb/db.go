@@ -1,0 +1,182 @@
+package simdb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/workload"
+)
+
+// ErrCrashed is returned by RunWorkload when the configuration makes the
+// instance fall over mid-run — the paper's example is the redo-log group
+// outgrowing the disk (§5.2.3), and memory over-subscription does the same.
+var ErrCrashed = errors.New("simdb: instance crashed under this configuration")
+
+// Nominal wall-clock costs of one tuning step, from §5.1.1. The simulator
+// completes instantly; the virtual clock in internal/core charges these.
+const (
+	StressTestSec     = 152.88
+	MetricsCollectSec = 0.00086
+	DeploySec         = 16.68
+	RestartSec        = 120
+	SamplePeriodSec   = 5 // external/internal metric sampling cadence
+)
+
+// DB is one simulated database instance.
+type DB struct {
+	engine  knobs.Engine
+	inst    Instance
+	catalog *knobs.Catalog // full engine catalog
+	values  []float64      // actual knob values, aligned with catalog
+	aux     *auxSurface
+	rng     *rand.Rand
+
+	cum      [metrics.NumMetrics]float64 // cumulative counter state
+	restarts int
+	runs     int
+}
+
+// New creates an instance of the given engine on the given hardware with
+// every knob at its default. seed fixes the run-to-run measurement noise.
+func New(engine knobs.Engine, inst Instance, seed int64) *DB {
+	cat := knobs.ForEngine(engine)
+	db := &DB{
+		engine:  engine,
+		inst:    inst,
+		catalog: cat,
+		rng:     rand.New(rand.NewSource(seed)),
+		aux:     newAuxSurface(cat),
+	}
+	db.values = cat.Denormalize(cat.Defaults(inst.HW.RAMGB, inst.HW.DiskGB), inst.HW.RAMGB, inst.HW.DiskGB)
+	return db
+}
+
+// Engine reports the engine variant.
+func (db *DB) Engine() knobs.Engine { return db.engine }
+
+// Instance reports the hardware instance.
+func (db *DB) Instance() Instance { return db.inst }
+
+// Catalog returns the full knob catalog of the engine.
+func (db *DB) Catalog() *knobs.Catalog { return db.catalog }
+
+// Restarts reports how many knob deployments required a restart.
+func (db *DB) Restarts() int { return db.restarts }
+
+// Runs reports how many stress tests have been executed.
+func (db *DB) Runs() int { return db.runs }
+
+// ApplyKnobs deploys a normalized configuration over the knobs of cat
+// (which may be a subset of the full catalog); knobs outside cat keep
+// their current values. It reports whether the deployment needed a
+// restart (§5.1.1 charges 2 minutes for restarts).
+func (db *DB) ApplyKnobs(cat *knobs.Catalog, x []float64) (restarted bool, err error) {
+	if cat.Engine != db.engine {
+		return false, fmt.Errorf("simdb: catalog engine %v does not match instance engine %v", cat.Engine, db.engine)
+	}
+	if len(x) != cat.Len() {
+		return false, fmt.Errorf("simdb: got %d knob values for %d knobs", len(x), cat.Len())
+	}
+	for i, k := range cat.Knobs {
+		full := db.catalog.Index(k.Name)
+		if full < 0 {
+			return false, fmt.Errorf("simdb: knob %q not in engine catalog", k.Name)
+		}
+		v := k.Value(x[i], db.inst.HW.RAMGB, db.inst.HW.DiskGB)
+		if v != db.values[full] && k.Restart {
+			restarted = true
+		}
+		db.values[full] = v
+	}
+	if restarted {
+		db.restarts++
+	}
+	return restarted, nil
+}
+
+// ResetDefaults restores every knob to its default value.
+func (db *DB) ResetDefaults() {
+	db.values = db.catalog.Denormalize(db.catalog.Defaults(db.inst.HW.RAMGB, db.inst.HW.DiskGB), db.inst.HW.RAMGB, db.inst.HW.DiskGB)
+	db.restarts++
+}
+
+// CurrentKnobs returns the normalized current values of the knobs in cat.
+func (db *DB) CurrentKnobs(cat *knobs.Catalog) []float64 {
+	x := make([]float64, cat.Len())
+	for i, k := range cat.Knobs {
+		full := db.catalog.Index(k.Name)
+		if full < 0 {
+			continue
+		}
+		x[i] = k.Normalize(db.values[full], db.inst.HW.RAMGB, db.inst.HW.DiskGB)
+	}
+	return x
+}
+
+// KnobValue returns the actual value of the named knob.
+func (db *DB) KnobValue(name string) (float64, bool) {
+	i := db.catalog.Index(name)
+	if i < 0 {
+		return 0, false
+	}
+	return db.values[i], true
+}
+
+// Result is the outcome of one stress test: the averaged external metrics
+// and the collector-reduced raw internal state vector.
+type Result struct {
+	Ext   metrics.External
+	State []float64 // 63 raw internal metrics (collector output)
+}
+
+// RunWorkload stress-tests the instance under w for durationSec seconds of
+// virtual time, sampling internal and external metrics every 5 seconds
+// (§2.2.2). On a crash it returns ErrCrashed; the caller translates that
+// into the paper's large negative reward.
+func (db *DB) RunWorkload(w workload.Workload, durationSec float64) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	db.runs++
+	p := db.evaluate(w)
+	if p.Crashed {
+		// A crash still moves the clock and leaves the counters as they
+		// were; there is nothing meaningful to collect.
+		return Result{}, fmt.Errorf("%w: %s", ErrCrashed, p.CrashReason)
+	}
+	n := int(durationSec / SamplePeriodSec)
+	if n < 2 {
+		n = 2
+	}
+	col := metrics.NewCollector()
+	var ext []metrics.External
+	for i := 0; i < n; i++ {
+		db.advance(p, SamplePeriodSec)
+		col.Add(db.snapshot(p))
+		ext = append(ext, metrics.External{
+			Throughput: p.TPS * db.noise(0.015),
+			Latency99:  p.LatencyMS * db.noise(0.03),
+		})
+	}
+	return Result{Ext: metrics.MeanExternal(ext), State: col.State()}, nil
+}
+
+// ShowStatus returns an instantaneous raw snapshot, the "show status"
+// command a DBA runs by hand. Rates reflect the most recent evaluation of
+// the idle default workload if nothing has run yet.
+func (db *DB) ShowStatus(w workload.Workload) metrics.Snapshot {
+	p := db.evaluate(w)
+	return db.snapshot(p)
+}
+
+// noise draws a multiplicative 1±σ measurement perturbation.
+func (db *DB) noise(sigma float64) float64 {
+	f := 1 + sigma*db.rng.NormFloat64()
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}

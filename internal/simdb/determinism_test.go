@@ -1,0 +1,118 @@
+package simdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/workload"
+)
+
+// TestEvaluateDeterministic: the cost model itself (before measurement
+// noise) is a pure function of (engine, hardware, config, workload).
+func TestEvaluateDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *DB {
+			db := New(knobs.EngineCDB, CDBB, 1)
+			cat := db.Catalog()
+			x := cat.Defaults(12, 100)
+			r2 := rand.New(rand.NewSource(seed))
+			for i := range x {
+				if r2.Float64() < 0.2 {
+					x[i] = r2.Float64() * 0.8
+				}
+			}
+			db.ApplyKnobs(cat, x)
+			return db
+		}
+		a, b := mk().evaluate(workload.TPCC()), mk().evaluate(workload.TPCC())
+		_ = rng
+		return a.TPS == b.TPS && a.LatencyMS == b.LatencyMS && a.Crashed == b.Crashed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSameSeedSameRun: identical seeds reproduce identical measured runs.
+func TestSameSeedSameRun(t *testing.T) {
+	run := func() Result {
+		db := New(knobs.EngineCDB, CDBA, 42)
+		r, err := db.RunWorkload(workload.SysbenchRW(), 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Ext != b.Ext {
+		t.Fatalf("externals differ across identical seeds: %+v vs %+v", a.Ext, b.Ext)
+	}
+	for i := range a.State {
+		if a.State[i] != b.State[i] {
+			t.Fatalf("state[%d] differs across identical seeds", i)
+		}
+	}
+}
+
+// TestWorkloadsOrderingUnderDefaults: lighter per-transaction workloads
+// run at higher transaction rates under identical configurations.
+func TestWorkloadsOrderingUnderDefaults(t *testing.T) {
+	db := New(knobs.EngineCDB, CDBA, 1)
+	ycsb := db.evaluate(workload.YCSB()).TPS     // 1 op/txn
+	rw := db.evaluate(workload.SysbenchRW()).TPS // 18 ops/txn
+	if ycsb <= rw {
+		t.Fatalf("YCSB (%v) should out-rate Sysbench RW (%v) per txn", ycsb, rw)
+	}
+	tpch := db.evaluate(workload.TPCH()).TPS
+	if tpch >= rw {
+		t.Fatalf("TPC-H (%v) analytic queries cannot out-rate OLTP (%v)", tpch, rw)
+	}
+}
+
+// TestPerfFieldsConsistent: derived rates are internally consistent.
+func TestPerfFieldsConsistent(t *testing.T) {
+	db := New(knobs.EngineCDB, CDBA, 1)
+	for _, w := range workload.All() {
+		p := db.evaluate(w)
+		if p.Crashed {
+			t.Fatalf("%s: defaults must not crash", w.Name)
+		}
+		ops := p.ReadOps + p.WriteOps
+		want := p.TPS * w.OpsPerTxn
+		if math.Abs(ops-want) > want*1e-6 {
+			t.Fatalf("%s: ops %v != tps×opsPerTxn %v", w.Name, ops, want)
+		}
+		if p.HitRatio <= 0 || p.HitRatio >= 1 {
+			t.Fatalf("%s: hit ratio %v out of (0,1)", w.Name, p.HitRatio)
+		}
+		if p.PageMisses > p.PageReqs {
+			t.Fatalf("%s: misses exceed requests", w.Name)
+		}
+		if w.ReadFraction == 0 && p.ReadOps != 0 {
+			t.Fatalf("%s: write-only workload has reads", w.Name)
+		}
+		if w.ReadFraction == 1 && p.WriteOps != 0 {
+			t.Fatalf("%s: read-only workload has writes", w.Name)
+		}
+	}
+}
+
+// TestYCSBVariantShapes: the extension variants respond sensibly — the
+// read-only variant benefits from the cache, the scan variant pays for
+// scans.
+func TestYCSBVariantShapes(t *testing.T) {
+	db := New(knobs.EngineCDB, CDBE, 1)
+	a := db.evaluate(workload.YCSB()).TPS
+	c := db.evaluate(workload.YCSBC()).TPS
+	e := db.evaluate(workload.YCSBE()).TPS
+	if c <= a {
+		t.Fatalf("read-only YCSB-C (%v) should out-run update-heavy A (%v) at defaults", c, a)
+	}
+	if e >= c {
+		t.Fatalf("scan-heavy YCSB-E (%v) should trail point-read C (%v)", e, c)
+	}
+}

@@ -1,0 +1,82 @@
+// Package simdb simulates the cloud database instances the paper tunes.
+//
+// We have no Tencent CDB fleet, so this package is the substitute substrate
+// (see DESIGN.md §1): a knob-driven performance model exposing exactly the
+// surface the tuners consume — apply a configuration, run a stress test,
+// read back the 63 internal metrics ("show status") and the two external
+// metrics (throughput, 99th-percentile latency). The model reproduces the
+// qualitative structure the paper reports: saturating buffer-pool returns
+// with a swap cliff, redo-log checkpoint pressure with a crash when the log
+// group outgrows the disk (§5.2.3), inverted-U IO-thread and concurrency
+// responses, flush-durability tradeoffs, and a 266-dimensional nonlinear
+// minor-knob surface with pairwise interactions (Figure 1d).
+package simdb
+
+import "fmt"
+
+// DiskKind is the storage medium; §5.3 notes experiments on SSD and NVM.
+type DiskKind int
+
+// Disk media.
+const (
+	DiskSSD DiskKind = iota
+	DiskHDD
+	DiskNVM
+)
+
+// Hardware describes one cloud instance's resources.
+type Hardware struct {
+	RAMGB  float64
+	DiskGB float64
+	Disk   DiskKind
+	Cores  int
+}
+
+// Instance is a named CDB instance from Table 1.
+type Instance struct {
+	Name string
+	HW   Hardware
+}
+
+// The Table 1 instance matrix. CDB-X1 varies RAM at 100 GB disk; CDB-X2
+// varies disk at 12 GB RAM; use MakeX1/MakeX2 for those.
+var (
+	CDBA = Instance{Name: "CDB-A", HW: Hardware{RAMGB: 8, DiskGB: 100, Disk: DiskSSD, Cores: 12}}
+	CDBB = Instance{Name: "CDB-B", HW: Hardware{RAMGB: 12, DiskGB: 100, Disk: DiskSSD, Cores: 12}}
+	CDBC = Instance{Name: "CDB-C", HW: Hardware{RAMGB: 12, DiskGB: 200, Disk: DiskSSD, Cores: 12}}
+	CDBD = Instance{Name: "CDB-D", HW: Hardware{RAMGB: 16, DiskGB: 200, Disk: DiskSSD, Cores: 12}}
+	CDBE = Instance{Name: "CDB-E", HW: Hardware{RAMGB: 32, DiskGB: 300, Disk: DiskSSD, Cores: 12}}
+)
+
+// MakeX1 builds a CDB-X1 instance: X GB RAM, 100 GB disk. Valid X per
+// Table 1: 4, 12, 32, 64, 128.
+func MakeX1(ramGB float64) Instance {
+	return Instance{
+		Name: fmt.Sprintf("CDB-X1-%.0fG", ramGB),
+		HW:   Hardware{RAMGB: ramGB, DiskGB: 100, Disk: DiskSSD, Cores: 12},
+	}
+}
+
+// MakeX2 builds a CDB-X2 instance: 12 GB RAM, X GB disk. Valid X per
+// Table 1: 32, 64, 100, 256, 512.
+func MakeX2(diskGB float64) Instance {
+	return Instance{
+		Name: fmt.Sprintf("CDB-X2-%.0fG", diskGB),
+		HW:   Hardware{RAMGB: 12, DiskGB: diskGB, Disk: DiskSSD, Cores: 12},
+	}
+}
+
+// Table1 returns the five fixed instances.
+func Table1() []Instance { return []Instance{CDBA, CDBB, CDBC, CDBD, CDBE} }
+
+// diskSpeedFactor scales IO cost by medium: HDD misses hurt more, NVM less.
+func (h Hardware) diskSpeedFactor() float64 {
+	switch h.Disk {
+	case DiskHDD:
+		return 2.4
+	case DiskNVM:
+		return 0.55
+	default:
+		return 1.0
+	}
+}

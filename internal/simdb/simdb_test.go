@@ -1,0 +1,475 @@
+package simdb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/workload"
+)
+
+func newDefault(t *testing.T) *DB {
+	t.Helper()
+	return New(knobs.EngineCDB, CDBA, 1)
+}
+
+// withKnobs returns a DB with the named normalized knob settings applied
+// on top of the defaults.
+func withKnobs(t *testing.T, inst Instance, settings map[string]float64) *DB {
+	t.Helper()
+	db := New(knobs.EngineCDB, inst, 1)
+	cat := db.Catalog()
+	x := cat.Defaults(db.Instance().HW.RAMGB, db.Instance().HW.DiskGB)
+	for name, v := range settings {
+		i := cat.Index(name)
+		if i < 0 {
+			t.Fatalf("unknown knob %q", name)
+		}
+		x[i] = v
+	}
+	if _, err := db.ApplyKnobs(cat, x); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func run(t *testing.T, db *DB, w workload.Workload) Result {
+	t.Helper()
+	r, err := db.RunWorkload(w, 150)
+	if err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+	return r
+}
+
+func TestTable1Instances(t *testing.T) {
+	insts := Table1()
+	if len(insts) != 5 {
+		t.Fatalf("Table1 has %d instances, want 5", len(insts))
+	}
+	if CDBA.HW.RAMGB != 8 || CDBA.HW.DiskGB != 100 {
+		t.Fatalf("CDB-A = %+v, want 8 GB / 100 GB", CDBA.HW)
+	}
+	if CDBE.HW.RAMGB != 32 || CDBE.HW.DiskGB != 300 {
+		t.Fatalf("CDB-E = %+v", CDBE.HW)
+	}
+	x1 := MakeX1(64)
+	if x1.HW.RAMGB != 64 || x1.HW.DiskGB != 100 {
+		t.Fatalf("MakeX1(64) = %+v", x1.HW)
+	}
+	x2 := MakeX2(512)
+	if x2.HW.RAMGB != 12 || x2.HW.DiskGB != 512 {
+		t.Fatalf("MakeX2(512) = %+v", x2.HW)
+	}
+}
+
+func TestRunProducesPositiveMetrics(t *testing.T) {
+	db := newDefault(t)
+	for _, w := range workload.All() {
+		r, err := db.RunWorkload(w, 150)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if r.Ext.Throughput <= 0 || r.Ext.Latency99 <= 0 {
+			t.Fatalf("%s: non-positive externals %+v", w.Name, r.Ext)
+		}
+		if len(r.State) != metrics.NumMetrics {
+			t.Fatalf("%s: state dim %d", w.Name, len(r.State))
+		}
+	}
+}
+
+func TestBufferPoolMonotoneUntilSwap(t *testing.T) {
+	w := workload.SysbenchRO()
+	var prev float64
+	// Raising the buffer pool (within RAM) must not hurt a read workload.
+	for _, frac := range []float64{0.0, 0.3, 0.6, 0.85} {
+		db := withKnobs(t, CDBA, map[string]float64{"innodb_buffer_pool_size": frac})
+		tps := db.evaluate(w).TPS
+		if tps < prev*0.999 {
+			t.Fatalf("buffer pool %v lowered read throughput: %v < %v", frac, tps, prev)
+		}
+		prev = tps
+	}
+	// Max setting over-subscribes 8 GB RAM: swap cliff must bite.
+	over := withKnobs(t, CDBA, map[string]float64{"innodb_buffer_pool_size": 1.0})
+	sane := withKnobs(t, CDBA, map[string]float64{"innodb_buffer_pool_size": 0.85})
+	if over.evaluate(w).TPS >= sane.evaluate(w).TPS {
+		t.Fatal("over-subscribed buffer pool should hit the swap cliff")
+	}
+}
+
+func TestLogSizeHelpsWrites(t *testing.T) {
+	w := workload.SysbenchWO()
+	small := withKnobs(t, CDBA, map[string]float64{"innodb_log_file_size": 0})
+	big := withKnobs(t, CDBA, map[string]float64{"innodb_log_file_size": 0.8})
+	if big.evaluate(w).TPS <= small.evaluate(w).TPS {
+		t.Fatal("larger redo log must reduce checkpoint pressure for writes")
+	}
+}
+
+func TestLogOverflowCrashes(t *testing.T) {
+	db := withKnobs(t, CDBA, map[string]float64{
+		"innodb_log_file_size":      1.0,
+		"innodb_log_files_in_group": 1.0,
+	})
+	_, err := db.RunWorkload(workload.SysbenchWO(), 150)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed (log group > disk, §5.2.3)", err)
+	}
+}
+
+func TestMemoryOversubscriptionCrashes(t *testing.T) {
+	db := withKnobs(t, CDBA, map[string]float64{
+		"innodb_buffer_pool_size": 1.0,
+		"sort_buffer_size":        1.0,
+		"join_buffer_size":        1.0,
+	})
+	_, err := db.RunWorkload(workload.SysbenchRW(), 150)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestFlushPolicyTradeoff(t *testing.T) {
+	w := workload.SysbenchWO()
+	durable := withKnobs(t, CDBA, map[string]float64{"innodb_flush_log_at_trx_commit": 0.5}) // =1
+	relaxed := withKnobs(t, CDBA, map[string]float64{"innodb_flush_log_at_trx_commit": 0.0}) // =0
+	if relaxed.evaluate(w).TPS <= durable.evaluate(w).TPS {
+		t.Fatal("flush_log_at_trx_commit=0 must outrun =1 on writes")
+	}
+	// Flush policy must not matter on pure reads.
+	ro := workload.SysbenchRO()
+	d, r := durable.evaluate(ro).TPS, relaxed.evaluate(ro).TPS
+	if d != r {
+		t.Fatalf("flush policy changed read-only throughput: %v vs %v", d, r)
+	}
+}
+
+func TestIOThreadsInvertedU(t *testing.T) {
+	w := workload.SysbenchRO() // big miss pressure at default buffer pool
+	low := withKnobs(t, CDBA, map[string]float64{"innodb_read_io_threads": 0.0})
+	mid := withKnobs(t, CDBA, map[string]float64{"innodb_read_io_threads": 0.55})
+	max := withKnobs(t, CDBA, map[string]float64{"innodb_read_io_threads": 1.0})
+	tl, tm, th := low.evaluate(w).TPS, mid.evaluate(w).TPS, max.evaluate(w).TPS
+	if !(tm > tl && tm > th) {
+		t.Fatalf("read IO threads not inverted-U: low %v mid %v high %v", tl, tm, th)
+	}
+}
+
+func TestQueryCacheHelpsROHurtsRW(t *testing.T) {
+	on := map[string]float64{"query_cache_size": 0.6, "query_cache_type": 0.5}
+	dbOn := withKnobs(t, CDBA, on)
+	dbOff := newDefault(t)
+	ro := workload.SysbenchRO()
+	if dbOn.evaluate(ro).TPS <= dbOff.evaluate(ro).TPS {
+		t.Fatal("query cache should help read-only")
+	}
+	rw := workload.SysbenchRW()
+	if dbOn.evaluate(rw).TPS >= dbOff.evaluate(rw).TPS {
+		t.Fatal("query cache invalidation should hurt read-write")
+	}
+}
+
+func TestMaxConnectionsGate(t *testing.T) {
+	w := workload.SysbenchRW()                                              // 1500 clients
+	tight := withKnobs(t, CDBA, map[string]float64{"max_connections": 0.0}) // 100 conns
+	ample := withKnobs(t, CDBA, map[string]float64{"max_connections": 0.55})
+	pt, pa := tight.evaluate(w), ample.evaluate(w)
+	if pt.TPS >= pa.TPS {
+		t.Fatal("connection starvation must cap throughput")
+	}
+	if pt.LatencyMS <= pa.LatencyMS {
+		t.Fatal("connection starvation must inflate tail latency")
+	}
+}
+
+func TestMoreRAMHelps(t *testing.T) {
+	w := workload.SysbenchWO()
+	cfg := map[string]float64{"innodb_buffer_pool_size": 0.85}
+	small := withKnobs(t, MakeX1(4), cfg)
+	big := withKnobs(t, MakeX1(32), cfg)
+	if big.evaluate(w).TPS <= small.evaluate(w).TPS {
+		t.Fatal("same normalized config on more RAM must go faster (bigger pool)")
+	}
+}
+
+func TestHigherThroughputLowerLatency(t *testing.T) {
+	// Property: across random configurations, throughput and latency move
+	// inversely (the paper's figures all show this coupling).
+	w := workload.SysbenchRW()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := New(knobs.EngineCDB, CDBA, 1)
+		cat := db.Catalog()
+		x := cat.Defaults(db.Instance().HW.RAMGB, db.Instance().HW.DiskGB)
+		// Perturb a handful of major knobs only, avoiding crash zones.
+		for _, name := range []string{"innodb_buffer_pool_size", "innodb_log_file_size", "innodb_flush_log_at_trx_commit", "innodb_write_io_threads"} {
+			x[cat.Index(name)] = rng.Float64() * 0.8
+		}
+		if _, err := db.ApplyKnobs(cat, x); err != nil {
+			return false
+		}
+		p := db.evaluate(w)
+		if p.Crashed {
+			return true
+		}
+		q := New(knobs.EngineCDB, CDBA, 1).evaluate(w)
+		// If p is faster than default q, its latency must be lower.
+		if p.TPS > q.TPS*1.05 && p.LatencyMS > q.LatencyMS {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuxSurfaceNonTrivial(t *testing.T) {
+	db := newDefault(t)
+	w := workload.SysbenchRW()
+	base := db.aux.factor(db, w)
+	// Move every aux knob to its hidden peak: factor must rise.
+	cat := db.Catalog()
+	for i, k := range cat.Knobs {
+		if k.Role != knobs.RoleAux {
+			continue
+		}
+		for j, full := range db.aux.idx {
+			if full == i {
+				db.values[i] = k.Value(db.aux.peak[j], CDBA.HW.RAMGB, CDBA.HW.DiskGB)
+			}
+		}
+	}
+	tuned := db.aux.factor(db, w)
+	if tuned <= base {
+		t.Fatalf("aux factor at peaks %v not above default %v", tuned, base)
+	}
+	if tuned/base < 1.02 {
+		t.Fatalf("aux headroom too small: %v", tuned/base)
+	}
+}
+
+func TestAuxSurfaceDeterministic(t *testing.T) {
+	a := New(knobs.EngineCDB, CDBA, 1)
+	b := New(knobs.EngineCDB, CDBA, 99) // different noise seed, same surface
+	w := workload.TPCC()
+	if a.aux.factor(a, w) != b.aux.factor(b, w) {
+		t.Fatal("aux surface must be seed-independent (deterministic per engine)")
+	}
+}
+
+func TestApplyKnobsSubset(t *testing.T) {
+	db := newDefault(t)
+	sub := db.Catalog().Subset([]int{0, 3}) // buffer pool, flush policy
+	restarted, err := db.ApplyKnobs(sub, []float64{0.9, 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restarted {
+		t.Fatal("buffer pool resize requires restart")
+	}
+	bp, _ := db.KnobValue("innodb_buffer_pool_size")
+	if bp <= 128 {
+		t.Fatalf("buffer pool not applied: %v", bp)
+	}
+	// Non-subset knob untouched.
+	lf, _ := db.KnobValue("innodb_log_file_size")
+	if lf != 48 {
+		t.Fatalf("log file size changed unexpectedly: %v", lf)
+	}
+}
+
+func TestApplyKnobsErrors(t *testing.T) {
+	db := newDefault(t)
+	if _, err := db.ApplyKnobs(db.Catalog(), []float64{0.5}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	pg := knobs.Postgres()
+	if _, err := db.ApplyKnobs(pg, pg.Defaults(8, 100)); err == nil {
+		t.Fatal("engine mismatch must error")
+	}
+}
+
+func TestCurrentKnobsRoundTrip(t *testing.T) {
+	db := newDefault(t)
+	cat := db.Catalog()
+	x := cat.Defaults(db.Instance().HW.RAMGB, db.Instance().HW.DiskGB)
+	x[cat.Index("innodb_buffer_pool_size")] = 0.7
+	if _, err := db.ApplyKnobs(cat, x); err != nil {
+		t.Fatal(err)
+	}
+	back := db.CurrentKnobs(cat)
+	i := cat.Index("innodb_buffer_pool_size")
+	if diff := back[i] - 0.7; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("CurrentKnobs round trip: got %v, want ≈0.7", back[i])
+	}
+}
+
+func TestResetDefaults(t *testing.T) {
+	db := newDefault(t)
+	cat := db.Catalog()
+	x := cat.Defaults(db.Instance().HW.RAMGB, db.Instance().HW.DiskGB)
+	x[cat.Index("innodb_buffer_pool_size")] = 0.9
+	db.ApplyKnobs(cat, x)
+	db.ResetDefaults()
+	bp, _ := db.KnobValue("innodb_buffer_pool_size")
+	if bp != 128 {
+		t.Fatalf("ResetDefaults: buffer pool %v, want 128", bp)
+	}
+}
+
+func TestCountersMonotone(t *testing.T) {
+	db := newDefault(t)
+	w := workload.SysbenchRW()
+	r1 := run(t, db, w)
+	before := db.cum
+	run(t, db, w)
+	for i := metrics.NumGauges; i < metrics.NumMetrics; i++ {
+		if db.cum[i] < before[i] {
+			t.Fatalf("counter %s decreased", metrics.Defs[i].Name)
+		}
+	}
+	_ = r1
+}
+
+func TestStateReflectsBufferPool(t *testing.T) {
+	// The hit-ratio metric must respond to the buffer pool knob — this is
+	// what lets the RL agent read the environment.
+	w := workload.SysbenchRO()
+	small := run(t, newDefault(t), w)
+	big := run(t, withKnobs(t, CDBA, map[string]float64{"innodb_buffer_pool_size": 0.85}), w)
+	hi := metrics.Index("buffer_pool_hit_ratio")
+	if big.State[hi] <= small.State[hi] {
+		t.Fatalf("hit ratio did not rise with buffer pool: %v vs %v", big.State[hi], small.State[hi])
+	}
+	mi := metrics.Index("buffer_pool_reads")
+	if big.State[mi] >= small.State[mi] {
+		t.Fatalf("physical reads did not fall with buffer pool: %v vs %v", big.State[mi], small.State[mi])
+	}
+}
+
+func TestStateReflectsWorkloadMix(t *testing.T) {
+	db := newDefault(t)
+	ro := run(t, db, workload.SysbenchRO())
+	wo := run(t, db, workload.SysbenchWO())
+	sel := metrics.Index("com_select")
+	ins := metrics.Index("com_insert")
+	if ro.State[sel] <= wo.State[sel] {
+		t.Fatal("read-only must issue more selects than write-only")
+	}
+	if wo.State[ins] <= ro.State[ins] {
+		t.Fatal("write-only must issue more inserts than read-only")
+	}
+}
+
+func TestOtherEnginesRun(t *testing.T) {
+	for _, e := range []knobs.Engine{knobs.EngineLocalMySQL, knobs.EngineMongoDB, knobs.EnginePostgres} {
+		db := New(e, CDBD, 2)
+		var w workload.Workload
+		switch e {
+		case knobs.EngineMongoDB:
+			w = workload.YCSB()
+		default:
+			w = workload.TPCC()
+		}
+		r, err := db.RunWorkload(w, 150)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if r.Ext.Throughput <= 0 {
+			t.Fatalf("%v: zero throughput", e)
+		}
+		// The common roles must exist so tuning has leverage.
+		cat := db.Catalog()
+		x := cat.Defaults(db.Instance().HW.RAMGB, db.Instance().HW.DiskGB)
+		x[cat.RoleIndex(knobs.RoleBufferPool)] = 0.85
+		if _, err := db.ApplyKnobs(cat, x); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := db.RunWorkload(w, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Ext.Throughput <= r.Ext.Throughput {
+			t.Fatalf("%v: buffer-pool tuning had no effect", e)
+		}
+	}
+}
+
+func TestRestartAccounting(t *testing.T) {
+	db := newDefault(t)
+	cat := db.Catalog()
+	x := cat.Defaults(db.Instance().HW.RAMGB, db.Instance().HW.DiskGB)
+	x[cat.Index("innodb_max_dirty_pages_pct")] = 0.9 // dynamic knob
+	restarted, err := db.ApplyKnobs(cat, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restarted {
+		t.Fatal("dynamic-only change must not restart")
+	}
+	x[cat.Index("innodb_buffer_pool_size")] = 0.8
+	restarted, err = db.ApplyKnobs(cat, x)
+	if err != nil || !restarted {
+		t.Fatalf("restart knob change: restarted=%v err=%v", restarted, err)
+	}
+	if db.Restarts() != 1 {
+		t.Fatalf("Restarts = %d, want 1 (only the buffer-pool apply restarts)", db.Restarts())
+	}
+}
+
+func TestRunsCounter(t *testing.T) {
+	db := newDefault(t)
+	run(t, db, workload.TPCC())
+	run(t, db, workload.TPCC())
+	if db.Runs() != 2 {
+		t.Fatalf("Runs = %d, want 2", db.Runs())
+	}
+}
+
+func TestRejectsInvalidWorkload(t *testing.T) {
+	db := newDefault(t)
+	_, err := db.RunWorkload(workload.Workload{Name: "bad"}, 150)
+	if err == nil {
+		t.Fatal("invalid workload must be rejected")
+	}
+}
+
+func TestNoiseIsBounded(t *testing.T) {
+	db := newDefault(t)
+	w := workload.TPCC()
+	base := db.evaluate(w).TPS
+	for i := 0; i < 20; i++ {
+		r := run(t, db, w)
+		ratio := r.Ext.Throughput / base
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("measurement noise out of band: ratio %v", ratio)
+		}
+	}
+}
+
+func TestShowStatus(t *testing.T) {
+	db := newDefault(t)
+	s := db.ShowStatus(workload.TPCC())
+	if s.Values[metrics.Index("buffer_pool_pages_total")] <= 0 {
+		t.Fatal("ShowStatus gauge missing")
+	}
+}
+
+func TestDiskKindAffectsMissCost(t *testing.T) {
+	w := workload.SysbenchRO()
+	ssd := Instance{Name: "ssd", HW: Hardware{RAMGB: 8, DiskGB: 100, Disk: DiskSSD, Cores: 12}}
+	hdd := Instance{Name: "hdd", HW: Hardware{RAMGB: 8, DiskGB: 100, Disk: DiskHDD, Cores: 12}}
+	nvm := Instance{Name: "nvm", HW: Hardware{RAMGB: 8, DiskGB: 100, Disk: DiskNVM, Cores: 12}}
+	ts := New(knobs.EngineCDB, ssd, 1).evaluate(w).TPS
+	th := New(knobs.EngineCDB, hdd, 1).evaluate(w).TPS
+	tn := New(knobs.EngineCDB, nvm, 1).evaluate(w).TPS
+	if !(tn > ts && ts > th) {
+		t.Fatalf("disk media ordering wrong: nvm %v ssd %v hdd %v", tn, ts, th)
+	}
+}

@@ -1,0 +1,118 @@
+package simdb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/workload"
+)
+
+// TestSurfaceNonMonotone reproduces the Figure 1(d) premise: the
+// performance surface is not monotone in every direction — there exist
+// knobs whose response has an interior optimum.
+func TestSurfaceNonMonotone(t *testing.T) {
+	db := New(knobs.EngineCDB, CDBA, 1)
+	cat := db.Catalog()
+	w := workload.SysbenchRW()
+	i := cat.Index("innodb_write_io_threads")
+	var prev float64
+	direction := 0 // +1 rising, -1 falling
+	changes := 0
+	for _, x := range []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95} {
+		cfg := cat.Defaults(8, 100)
+		cfg[i] = x
+		if _, err := db.ApplyKnobs(cat, cfg); err != nil {
+			t.Fatal(err)
+		}
+		tps := db.evaluate(w).TPS
+		if prev != 0 {
+			d := 0
+			if tps > prev {
+				d = 1
+			} else if tps < prev {
+				d = -1
+			}
+			if d != 0 && direction != 0 && d != direction {
+				changes++
+			}
+			if d != 0 {
+				direction = d
+			}
+		}
+		prev = tps
+	}
+	if changes == 0 {
+		t.Fatal("write IO threads response is monotone; Figure 1(d) requires an interior optimum")
+	}
+}
+
+// TestAuxInteractionsExist: at least one minor-knob pair interacts — the
+// effect of moving knob A depends on where knob B sits.
+func TestAuxInteractionsExist(t *testing.T) {
+	db := New(knobs.EngineCDB, CDBA, 1)
+	s := db.aux
+	var pairIdx = -1
+	for j, p := range s.pair {
+		if p >= 0 && s.g[j] != 0 {
+			pairIdx = j
+			break
+		}
+	}
+	if pairIdx < 0 {
+		t.Fatal("no interacting minor-knob pairs generated")
+	}
+	w := workload.SysbenchRW()
+	partner := s.pair[pairIdx]
+	setAux := func(j int, x float64) {
+		full := s.idx[j]
+		k := db.catalog.Knobs[full]
+		db.values[full] = k.Value(x, CDBA.HW.RAMGB, CDBA.HW.DiskGB)
+	}
+	effectOfA := func(bPos float64) float64 {
+		setAux(partner, bPos)
+		setAux(pairIdx, 0.1)
+		lo := s.factor(db, w)
+		setAux(pairIdx, 0.9)
+		hi := s.factor(db, w)
+		return hi - lo
+	}
+	d1 := effectOfA(0.1)
+	d2 := effectOfA(0.9)
+	if d1 == d2 {
+		t.Fatal("knob A's effect is independent of knob B: no interaction")
+	}
+}
+
+// Property: the aux factor is always positive and bounded (the clamps).
+func TestAuxFactorBoundedProperty(t *testing.T) {
+	db := New(knobs.EngineCDB, CDBA, 1)
+	cat := db.Catalog()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, cat.Len())
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		if _, err := db.ApplyKnobs(cat, x); err != nil {
+			return false
+		}
+		v := db.aux.factor(db, workload.TPCC())
+		return v > 0.25 && v < 2.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuxWorkloadAffinity: a minor knob's contribution shifts with the
+// read/write mix (the mix term).
+func TestAuxWorkloadAffinity(t *testing.T) {
+	db := New(knobs.EngineCDB, CDBA, 1)
+	ro := db.aux.factor(db, workload.SysbenchRO())
+	wo := db.aux.factor(db, workload.SysbenchWO())
+	if ro == wo {
+		t.Fatal("aux surface ignores the workload mix")
+	}
+}

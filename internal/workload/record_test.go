@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRecordDeterministic: identical seeds reproduce identical traces.
+func TestRecordDeterministic(t *testing.T) {
+	mk := func() Trace {
+		return Record(TPCC(), 60, 100, rand.New(rand.NewSource(9)))
+	}
+	a, b := mk(), mk()
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+// Property: replaying any recorded trace yields a valid workload whose
+// read fraction is within sampling error of the source.
+func TestRecordReplayProperty(t *testing.T) {
+	ws := All()
+	f := func(seed int64, wi uint8) bool {
+		w := ws[int(wi)%len(ws)]
+		tr := Record(w, 60, 200, rand.New(rand.NewSource(seed)))
+		got, err := Replay(tr)
+		if err != nil {
+			return false
+		}
+		if err := got.Validate(); err != nil {
+			return false
+		}
+		diff := got.ReadFraction - w.ReadFraction
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpKindsCovered: a mixed workload's trace contains every op family.
+func TestOpKindsCovered(t *testing.T) {
+	tr := Record(SysbenchRW(), 120, 300, rand.New(rand.NewSource(3)))
+	seen := map[OpKind]bool{}
+	for _, op := range tr.Ops {
+		seen[op.Kind] = true
+	}
+	for _, k := range []OpKind{OpPointRead, OpScanRead, OpInsert, OpUpdate, OpDelete} {
+		if !seen[k] {
+			t.Fatalf("op kind %d never recorded from a RW workload", k)
+		}
+	}
+}

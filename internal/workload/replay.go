@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind classifies one captured operation for replay.
+type OpKind int
+
+// Captured operation kinds.
+const (
+	OpPointRead OpKind = iota
+	OpScanRead
+	OpInsert
+	OpUpdate
+	OpDelete
+)
+
+// Op is one record in a captured user-workload trace.
+type Op struct {
+	Kind OpKind
+	// AtMS is the capture-relative timestamp in milliseconds.
+	AtMS int
+	// Sorted marks queries that needed a sort / temp table.
+	Sorted bool
+	// Joined marks multi-table queries.
+	Joined bool
+}
+
+// Trace is a captured slice of a user's real workload, the input to the
+// workload generator's replay mechanism (§2.2.1). The paper captures
+// roughly 150 seconds of the user's SQL records.
+type Trace struct {
+	Ops []Op
+	// DurationMS is the capture window length.
+	DurationMS int
+	// Threads and data sizes are observable from the connection count and
+	// catalog stats at capture time.
+	Threads      int
+	DataSizeGB   float64
+	WorkingSetGB float64
+	Skew         float64
+}
+
+// Record simulates capturing a trace of the given workload over windowSec
+// seconds at the given operation rate (ops/sec). The sampled operation mix
+// follows the workload's profile, so replaying the trace reconstructs an
+// equivalent profile up to sampling noise.
+func Record(w Workload, windowSec int, opsPerSec float64, rng *rand.Rand) Trace {
+	n := int(float64(windowSec) * opsPerSec)
+	if n < 1 {
+		n = 1
+	}
+	tr := Trace{
+		DurationMS:   windowSec * 1000,
+		Threads:      w.Threads,
+		DataSizeGB:   w.DataSizeGB,
+		WorkingSetGB: w.WorkingSetGB,
+		Skew:         w.Skew,
+		Ops:          make([]Op, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		op := Op{AtMS: rng.Intn(tr.DurationMS)}
+		if rng.Float64() < w.ReadFraction {
+			if rng.Float64() < w.ScanFraction {
+				op.Kind = OpScanRead
+			} else {
+				op.Kind = OpPointRead
+			}
+		} else {
+			switch {
+			case rng.Float64() < w.DeleteShare:
+				op.Kind = OpDelete
+			case rng.Float64() < 0.5:
+				op.Kind = OpUpdate
+			default:
+				op.Kind = OpInsert
+			}
+		}
+		op.Sorted = rng.Float64() < w.SortFraction
+		op.Joined = rng.Float64() < w.JoinFraction
+		tr.Ops = append(tr.Ops, op)
+	}
+	return tr
+}
+
+// Replay reconstructs a workload profile from a captured trace: the
+// replayed stress test drives the database with the same operation mix,
+// concurrency and data shape the user's workload exhibited.
+func Replay(tr Trace) (Workload, error) {
+	if len(tr.Ops) == 0 {
+		return Workload{}, fmt.Errorf("workload: empty trace")
+	}
+	var reads, scans, inserts, updates, deletes, sorted, joined int
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case OpPointRead:
+			reads++
+		case OpScanRead:
+			reads++
+			scans++
+		case OpInsert:
+			inserts++
+		case OpUpdate:
+			updates++
+		case OpDelete:
+			deletes++
+		}
+		if op.Sorted {
+			sorted++
+		}
+		if op.Joined {
+			joined++
+		}
+	}
+	total := float64(len(tr.Ops))
+	writes := float64(inserts + updates + deletes)
+	w := Workload{
+		Name:         "replayed",
+		Class:        OLTP,
+		ReadFraction: float64(reads) / total,
+		SortFraction: float64(sorted) / total,
+		JoinFraction: float64(joined) / total,
+		DataSizeGB:   tr.DataSizeGB,
+		WorkingSetGB: tr.WorkingSetGB,
+		Skew:         tr.Skew,
+		Threads:      tr.Threads,
+		OpsPerTxn:    10,
+	}
+	if reads > 0 {
+		w.ScanFraction = float64(scans) / float64(reads)
+	}
+	if w.ScanFraction > 0.5 && w.ReadFraction > 0.9 {
+		w.Class = OLAP
+	}
+	if writes > 0 {
+		w.DeleteShare = float64(deletes) / writes
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}

@@ -1,0 +1,73 @@
+package workload
+
+// QueryClass describes one analytic query template's operational
+// character: how much of the dataset it scans, how deep its join tree is,
+// whether it sorts/aggregates heavily, and its relative execution weight
+// in the power run. The TPC-H profile the simulator consumes is the
+// weighted aggregate of the 22 classes below.
+type QueryClass struct {
+	Name string
+	// ScanShare is the fraction of the database the query touches.
+	ScanShare float64
+	// Joins is the number of joined tables.
+	Joins int
+	// Sorts marks ORDER BY / GROUP BY heavy queries.
+	Sorts bool
+	// Weight is the query's relative cost share of the full run.
+	Weight float64
+}
+
+// TPCHQueries lists the 22 TPC-H query templates with their approximate
+// characters (scan shares and join depths follow the spec's query
+// definitions; weights follow commonly reported per-query cost shares).
+func TPCHQueries() []QueryClass {
+	return []QueryClass{
+		{Name: "Q1 pricing summary", ScanShare: 0.95, Joins: 1, Sorts: true, Weight: 1.6},
+		{Name: "Q2 minimum cost supplier", ScanShare: 0.10, Joins: 5, Sorts: true, Weight: 0.4},
+		{Name: "Q3 shipping priority", ScanShare: 0.55, Joins: 3, Sorts: true, Weight: 1.1},
+		{Name: "Q4 order priority", ScanShare: 0.40, Joins: 2, Sorts: true, Weight: 0.7},
+		{Name: "Q5 local supplier volume", ScanShare: 0.50, Joins: 6, Sorts: true, Weight: 1.1},
+		{Name: "Q6 forecast revenue", ScanShare: 0.90, Joins: 1, Sorts: false, Weight: 0.6},
+		{Name: "Q7 volume shipping", ScanShare: 0.45, Joins: 6, Sorts: true, Weight: 1.2},
+		{Name: "Q8 market share", ScanShare: 0.40, Joins: 8, Sorts: true, Weight: 1.0},
+		{Name: "Q9 product type profit", ScanShare: 0.80, Joins: 6, Sorts: true, Weight: 2.2},
+		{Name: "Q10 returned items", ScanShare: 0.45, Joins: 4, Sorts: true, Weight: 1.0},
+		{Name: "Q11 important stock", ScanShare: 0.15, Joins: 3, Sorts: true, Weight: 0.4},
+		{Name: "Q12 shipping modes", ScanShare: 0.50, Joins: 2, Sorts: true, Weight: 0.7},
+		{Name: "Q13 customer distribution", ScanShare: 0.35, Joins: 2, Sorts: true, Weight: 1.2},
+		{Name: "Q14 promotion effect", ScanShare: 0.55, Joins: 2, Sorts: false, Weight: 0.6},
+		{Name: "Q15 top supplier", ScanShare: 0.55, Joins: 2, Sorts: true, Weight: 0.6},
+		{Name: "Q16 parts/supplier relation", ScanShare: 0.20, Joins: 3, Sorts: true, Weight: 0.5},
+		{Name: "Q17 small-quantity revenue", ScanShare: 0.60, Joins: 2, Sorts: false, Weight: 1.3},
+		{Name: "Q18 large volume customer", ScanShare: 0.70, Joins: 3, Sorts: true, Weight: 1.8},
+		{Name: "Q19 discounted revenue", ScanShare: 0.60, Joins: 2, Sorts: false, Weight: 0.8},
+		{Name: "Q20 potential promotion", ScanShare: 0.40, Joins: 5, Sorts: true, Weight: 0.9},
+		{Name: "Q21 waiting suppliers", ScanShare: 0.60, Joins: 6, Sorts: true, Weight: 1.9},
+		{Name: "Q22 global sales opportunity", ScanShare: 0.15, Joins: 2, Sorts: true, Weight: 0.4},
+	}
+}
+
+// TPCHFromQueries derives the TPC-H workload profile by aggregating the
+// 22 query classes: scan fraction is the weighted mean scan share, join
+// and sort fractions come from the weighted share of join-heavy and
+// sorting queries. The dataset/working-set shape and concurrency match
+// the paper's setup (16 tables, ≈16 GB, low concurrency).
+func TPCHFromQueries() Workload {
+	qs := TPCHQueries()
+	var totalW, scan, joins, sorts float64
+	for _, q := range qs {
+		totalW += q.Weight
+		scan += q.Weight * q.ScanShare
+		if q.Joins >= 3 {
+			joins += q.Weight
+		}
+		if q.Sorts {
+			sorts += q.Weight
+		}
+	}
+	w := TPCH()
+	w.ScanFraction = scan / totalW
+	w.JoinFraction = joins / totalW
+	w.SortFraction = sorts / totalW
+	return w
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTPCHQueryCatalog(t *testing.T) {
+	qs := TPCHQueries()
+	if len(qs) != 22 {
+		t.Fatalf("TPC-H has %d queries, want 22", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if q.ScanShare <= 0 || q.ScanShare > 1 {
+			t.Errorf("%s: scan share %v", q.Name, q.ScanShare)
+		}
+		if q.Joins < 1 {
+			t.Errorf("%s: joins %d", q.Name, q.Joins)
+		}
+		if q.Weight <= 0 {
+			t.Errorf("%s: weight %v", q.Name, q.Weight)
+		}
+		if seen[q.Name] {
+			t.Errorf("duplicate query %s", q.Name)
+		}
+		seen[q.Name] = true
+	}
+}
+
+func TestTPCHFromQueriesConsistent(t *testing.T) {
+	derived := TPCHFromQueries()
+	if err := derived.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The aggregate must stay close to the hand-written profile the rest
+	// of the suite uses — they describe the same benchmark.
+	base := TPCH()
+	if math.Abs(derived.ScanFraction-base.ScanFraction) > 0.4 {
+		t.Fatalf("derived scan fraction %v far from profile %v", derived.ScanFraction, base.ScanFraction)
+	}
+	if derived.JoinFraction < 0.3 {
+		t.Fatalf("TPC-H must be join heavy: %v", derived.JoinFraction)
+	}
+	if derived.SortFraction < 0.5 {
+		t.Fatalf("TPC-H must be sort heavy: %v", derived.SortFraction)
+	}
+	// Shape preserved: still OLAP on the same dataset.
+	if derived.Class != OLAP || derived.DataSizeGB != base.DataSizeGB {
+		t.Fatal("aggregation changed the benchmark identity")
+	}
+}
+
+func TestQ1IsScanHeavyQ2IsNot(t *testing.T) {
+	qs := TPCHQueries()
+	if qs[0].ScanShare < 0.9 {
+		t.Fatalf("Q1 scans nearly the full lineitem table: %v", qs[0].ScanShare)
+	}
+	if qs[1].ScanShare > 0.2 {
+		t.Fatalf("Q2 is a selective lookup: %v", qs[1].ScanShare)
+	}
+}

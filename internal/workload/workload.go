@@ -1,0 +1,155 @@
+// Package workload models the six benchmark workloads the paper evaluates
+// (§5: Sysbench read-only / write-only / read-write, TPC-C, TPC-H, YCSB)
+// plus the user-workload replay mechanism of the workload generator
+// (§2.2.1). The tuners never see SQL; what matters to the performance
+// model is each workload's operational profile: read/write mix, scan and
+// sort intensity, working-set size, access skew and client concurrency —
+// the dimensions along which the paper's benchmarks actually differ.
+package workload
+
+import "fmt"
+
+// Class broadly separates transactional and analytical workloads.
+type Class int
+
+// Workload classes.
+const (
+	OLTP Class = iota
+	OLAP
+)
+
+// Workload is the operational profile of a benchmark or of a replayed user
+// workload.
+type Workload struct {
+	Name  string
+	Class Class
+
+	// ReadFraction is the share of operations that are reads; the rest are
+	// writes (insert/update/delete).
+	ReadFraction float64
+	// ScanFraction is the share of reads that are range scans or full
+	// scans rather than point lookups.
+	ScanFraction float64
+	// SortFraction is the share of queries requiring sorts / temp tables.
+	SortFraction float64
+	// JoinFraction is the share of queries with multi-table joins.
+	JoinFraction float64
+
+	// DataSizeGB is the resident dataset size; WorkingSetGB the hot part.
+	DataSizeGB   float64
+	WorkingSetGB float64
+	// Skew in [0,1] is access skew (1 = extremely hot-spotted, highly
+	// cacheable; 0 = uniform).
+	Skew float64
+
+	// Threads is the number of concurrent client connections the load
+	// generator drives.
+	Threads int
+	// OpsPerTxn is the mean number of operations per transaction.
+	OpsPerTxn float64
+	// DeleteShare is the fraction of writes that are deletes (purge
+	// pressure).
+	DeleteShare float64
+}
+
+// Validate reports whether the profile is internally consistent.
+func (w Workload) Validate() error {
+	switch {
+	case w.ReadFraction < 0 || w.ReadFraction > 1:
+		return fmt.Errorf("workload %s: ReadFraction %v out of [0,1]", w.Name, w.ReadFraction)
+	case w.ScanFraction < 0 || w.ScanFraction > 1:
+		return fmt.Errorf("workload %s: ScanFraction %v out of [0,1]", w.Name, w.ScanFraction)
+	case w.WorkingSetGB <= 0 || w.DataSizeGB <= 0:
+		return fmt.Errorf("workload %s: non-positive data sizes", w.Name)
+	case w.WorkingSetGB > w.DataSizeGB+1e-9:
+		return fmt.Errorf("workload %s: working set %v exceeds data size %v", w.Name, w.WorkingSetGB, w.DataSizeGB)
+	case w.Threads <= 0:
+		return fmt.Errorf("workload %s: Threads must be positive", w.Name)
+	case w.OpsPerTxn <= 0:
+		return fmt.Errorf("workload %s: OpsPerTxn must be positive", w.Name)
+	}
+	return nil
+}
+
+// WriteFraction is 1 − ReadFraction.
+func (w Workload) WriteFraction() float64 { return 1 - w.ReadFraction }
+
+// SysbenchRO is Sysbench's read-only OLTP workload with the paper's setup:
+// 16 tables × 200K records ≈ 8.5 GB, 1500 client threads.
+func SysbenchRO() Workload {
+	return Workload{
+		Name: "sysbench-ro", Class: OLTP,
+		ReadFraction: 1.0, ScanFraction: 0.25, SortFraction: 0.15, JoinFraction: 0.0,
+		DataSizeGB: 8.5, WorkingSetGB: 3.5, Skew: 0.55,
+		Threads: 1500, OpsPerTxn: 14,
+	}
+}
+
+// SysbenchWO is Sysbench's write-only workload (same dataset and threads).
+func SysbenchWO() Workload {
+	return Workload{
+		Name: "sysbench-wo", Class: OLTP,
+		ReadFraction: 0.0, ScanFraction: 0, SortFraction: 0, JoinFraction: 0,
+		DataSizeGB: 8.5, WorkingSetGB: 3.5, Skew: 0.55,
+		Threads: 1500, OpsPerTxn: 4, DeleteShare: 0.25,
+	}
+}
+
+// SysbenchRW is Sysbench's mixed read-write workload (≈70/30 mix).
+func SysbenchRW() Workload {
+	return Workload{
+		Name: "sysbench-rw", Class: OLTP,
+		ReadFraction: 0.7, ScanFraction: 0.2, SortFraction: 0.1, JoinFraction: 0,
+		DataSizeGB: 8.5, WorkingSetGB: 3.5, Skew: 0.55,
+		Threads: 1500, OpsPerTxn: 18, DeleteShare: 0.15,
+	}
+}
+
+// TPCC is the TPC-C OLTP workload: 200 warehouses ≈ 12.8 GB, 32
+// connections (§5 Workload).
+func TPCC() Workload {
+	return Workload{
+		Name: "tpcc", Class: OLTP,
+		ReadFraction: 0.54, ScanFraction: 0.1, SortFraction: 0.05, JoinFraction: 0.15,
+		DataSizeGB: 12.8, WorkingSetGB: 4.5, Skew: 0.65,
+		Threads: 32, OpsPerTxn: 26, DeleteShare: 0.04,
+	}
+}
+
+// TPCH is the TPC-H OLAP workload: 16 tables ≈ 16 GB, scan/join heavy,
+// low concurrency.
+func TPCH() Workload {
+	return Workload{
+		Name: "tpch", Class: OLAP,
+		ReadFraction: 0.99, ScanFraction: 0.85, SortFraction: 0.6, JoinFraction: 0.8,
+		DataSizeGB: 16, WorkingSetGB: 12, Skew: 0.1,
+		Threads: 8, OpsPerTxn: 1,
+	}
+}
+
+// YCSB is the YCSB key-value workload: 35 GB of data, 50 threads, 20M
+// operations (§5 Workload); a 50/50 update-heavy mix (workload A).
+func YCSB() Workload {
+	return Workload{
+		Name: "ycsb", Class: OLTP,
+		ReadFraction: 0.5, ScanFraction: 0.05, SortFraction: 0, JoinFraction: 0,
+		DataSizeGB: 35, WorkingSetGB: 10, Skew: 0.7,
+		Threads: 50, OpsPerTxn: 1,
+	}
+}
+
+// All returns the six paper workloads in the order the evaluation lists
+// them.
+func All() []Workload {
+	return []Workload{SysbenchRO(), SysbenchWO(), SysbenchRW(), TPCC(), TPCH(), YCSB()}
+}
+
+// ByName resolves a workload by its Name field.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAllWorkloadsValid(t *testing.T) {
+	ws := All()
+	if len(ws) != 6 {
+		t.Fatalf("All() returned %d workloads, want 6 (paper §5)", len(ws))
+	}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("workload %s invalid: %v", w.Name, err)
+		}
+	}
+}
+
+func TestWorkloadProfiles(t *testing.T) {
+	if ro := SysbenchRO(); ro.ReadFraction != 1 || ro.WriteFraction() != 0 {
+		t.Fatal("sysbench-ro must be pure reads")
+	}
+	if wo := SysbenchWO(); wo.ReadFraction != 0 {
+		t.Fatal("sysbench-wo must be pure writes")
+	}
+	rw := SysbenchRW()
+	if rw.ReadFraction <= 0 || rw.ReadFraction >= 1 {
+		t.Fatal("sysbench-rw must be mixed")
+	}
+	if tpch := TPCH(); tpch.Class != OLAP || tpch.ScanFraction < 0.5 {
+		t.Fatal("tpc-h must be scan-heavy OLAP")
+	}
+	if tpcc := TPCC(); tpcc.Class != OLTP || tpcc.Threads != 32 {
+		t.Fatalf("tpc-c profile wrong: %+v", tpcc)
+	}
+	// Paper §5: Sysbench uses 1500 threads, YCSB 50.
+	if SysbenchRW().Threads != 1500 || YCSB().Threads != 50 {
+		t.Fatal("thread counts do not match paper setup")
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("tpcc")
+	if err != nil || w.Name != "tpcc" {
+		t.Fatalf("ByName(tpcc) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName should fail for unknown workload")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := []Workload{
+		{Name: "a", ReadFraction: 1.5, DataSizeGB: 1, WorkingSetGB: 1, Threads: 1, OpsPerTxn: 1},
+		{Name: "b", ReadFraction: 0.5, ScanFraction: -0.1, DataSizeGB: 1, WorkingSetGB: 1, Threads: 1, OpsPerTxn: 1},
+		{Name: "c", ReadFraction: 0.5, DataSizeGB: 0, WorkingSetGB: 0, Threads: 1, OpsPerTxn: 1},
+		{Name: "d", ReadFraction: 0.5, DataSizeGB: 1, WorkingSetGB: 2, Threads: 1, OpsPerTxn: 1},
+		{Name: "e", ReadFraction: 0.5, DataSizeGB: 1, WorkingSetGB: 1, Threads: 0, OpsPerTxn: 1},
+		{Name: "f", ReadFraction: 0.5, DataSizeGB: 1, WorkingSetGB: 1, Threads: 1, OpsPerTxn: 0},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workload %s should be invalid", w.Name)
+		}
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := SysbenchRW()
+	tr := Record(orig, 150, 200, rng)
+	if len(tr.Ops) != 150*200 {
+		t.Fatalf("trace has %d ops, want 30000", len(tr.Ops))
+	}
+	got, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.ReadFraction-orig.ReadFraction) > 0.02 {
+		t.Fatalf("replayed ReadFraction %v, want ≈%v", got.ReadFraction, orig.ReadFraction)
+	}
+	if math.Abs(got.ScanFraction-orig.ScanFraction) > 0.03 {
+		t.Fatalf("replayed ScanFraction %v, want ≈%v", got.ScanFraction, orig.ScanFraction)
+	}
+	if got.Threads != orig.Threads || got.DataSizeGB != orig.DataSizeGB {
+		t.Fatal("replay lost connection/data shape")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("replayed workload invalid: %v", err)
+	}
+}
+
+func TestReplayClassifiesOLAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := Record(TPCH(), 150, 50, rng)
+	got, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != OLAP {
+		t.Fatalf("replayed TPC-H classified as %v, want OLAP", got.Class)
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	if _, err := Replay(Trace{}); err == nil {
+		t.Fatal("empty trace should error")
+	}
+}
+
+func TestRecordTimestampsWithinWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Record(YCSB(), 10, 100, rng)
+	for _, op := range tr.Ops {
+		if op.AtMS < 0 || op.AtMS >= tr.DurationMS {
+			t.Fatalf("op timestamp %d outside window %d", op.AtMS, tr.DurationMS)
+		}
+	}
+}
+
+func TestReplayPureWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := Record(SysbenchWO(), 60, 100, rng)
+	got, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReadFraction != 0 {
+		t.Fatalf("replayed WO ReadFraction = %v, want 0", got.ReadFraction)
+	}
+	if got.DeleteShare == 0 {
+		t.Fatal("replayed WO lost delete share")
+	}
+}

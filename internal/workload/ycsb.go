@@ -1,0 +1,56 @@
+package workload
+
+// YCSB core workload variants beyond the paper's update-heavy default
+// (workload A). The paper's §5 evaluation uses YCSB with a 50/50 mix;
+// these variants support the extension experiments and examples.
+
+// YCSBB is YCSB workload B: read-mostly, 95/5.
+func YCSBB() Workload {
+	w := YCSB()
+	w.Name = "ycsb-b"
+	w.ReadFraction = 0.95
+	return w
+}
+
+// YCSBC is YCSB workload C: read-only key-value lookups.
+func YCSBC() Workload {
+	w := YCSB()
+	w.Name = "ycsb-c"
+	w.ReadFraction = 1.0
+	return w
+}
+
+// YCSBD is YCSB workload D: read-latest — reads skewed toward recent
+// inserts (higher cacheability), 95/5 with inserts only.
+func YCSBD() Workload {
+	w := YCSB()
+	w.Name = "ycsb-d"
+	w.ReadFraction = 0.95
+	w.Skew = 0.85
+	w.DeleteShare = 0
+	return w
+}
+
+// YCSBE is YCSB workload E: short range scans, 95/5.
+func YCSBE() Workload {
+	w := YCSB()
+	w.Name = "ycsb-e"
+	w.ReadFraction = 0.95
+	w.ScanFraction = 0.95
+	return w
+}
+
+// YCSBF is YCSB workload F: read-modify-write, 50/50 with every write
+// preceded by a read of the same key.
+func YCSBF() Workload {
+	w := YCSB()
+	w.Name = "ycsb-f"
+	w.ReadFraction = 0.5
+	w.OpsPerTxn = 2
+	return w
+}
+
+// YCSBVariants returns the five extension variants (B-F).
+func YCSBVariants() []Workload {
+	return []Workload{YCSBB(), YCSBC(), YCSBD(), YCSBE(), YCSBF()}
+}

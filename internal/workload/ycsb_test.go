@@ -1,0 +1,42 @@
+package workload
+
+import "testing"
+
+func TestYCSBVariantsValid(t *testing.T) {
+	vs := YCSBVariants()
+	if len(vs) != 5 {
+		t.Fatalf("variants = %d, want 5 (B-F)", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, w := range vs {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", w.Name, err)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate variant name %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestYCSBVariantProfiles(t *testing.T) {
+	if b := YCSBB(); b.ReadFraction != 0.95 {
+		t.Fatalf("B read fraction = %v", b.ReadFraction)
+	}
+	if c := YCSBC(); c.ReadFraction != 1.0 {
+		t.Fatalf("C read fraction = %v", c.ReadFraction)
+	}
+	if d := YCSBD(); d.Skew <= YCSB().Skew {
+		t.Fatal("D must be more skewed than A (read-latest)")
+	}
+	if e := YCSBE(); e.ScanFraction <= YCSB().ScanFraction {
+		t.Fatal("E must be scan-heavy")
+	}
+	if f := YCSBF(); f.OpsPerTxn != 2 {
+		t.Fatalf("F ops/txn = %v, want 2 (read-modify-write)", f.OpsPerTxn)
+	}
+	// Variants must not leak into the paper's canonical six.
+	if len(All()) != 6 {
+		t.Fatal("All() must stay the paper's six workloads")
+	}
+}
