@@ -1,0 +1,15 @@
+GO ?= go
+
+.PHONY: build test check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full verification gate: vet, the full test suite, and a
+# race-detector pass (the parallel trainer shares one agent across
+# goroutines).
+check:
+	./scripts/check.sh

@@ -47,7 +47,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cdbtune train -workload <name> [-instance CDB-A] [-episodes 40] [-workers 1] [-model model.bin]
+  cdbtune train -workload <name> [-instance CDB-A] [-episodes 40] [-workers 1] [-model model.bin] [-quiet]
   cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf]
   cdbtune knobs [-engine cdb-mysql] [-all]
   cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A]
@@ -71,6 +71,7 @@ func cmdTrain(args []string) error {
 	workers := fs.Int("workers", 1, "parallel training environments")
 	model := fs.String("model", "model.bin", "output model path")
 	seed := fs.Int64("seed", 1, "random seed")
+	quiet := fs.Bool("quiet", false, "suppress per-episode telemetry")
 	fs.Parse(args)
 
 	w, err := workload.ByName(*wname)
@@ -94,12 +95,21 @@ func cmdTrain(args []string) error {
 		return env.New(db, cat, w)
 	}
 	fmt.Printf("training CDBTune: %s on %s, %d episodes, %d workers\n", w.Name, inst.Name, *episodes, *workers)
-	rep, err := tuner.OfflineTrainParallel(mk, *episodes, *workers)
+	opts := core.TrainOptions{Episodes: *episodes, Workers: *workers}
+	if !*quiet {
+		opts.OnEpisode = func(s core.EpisodeStats) { fmt.Printf("  %s\n", s) }
+	}
+	rep, err := tuner.OfflineTrainOpts(mk, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("episodes=%d iterations=%d crashes=%d best throughput=%.1f txn/sec\n",
-		rep.Episodes, rep.Iterations, rep.Crashes, rep.BestPerf.Throughput)
+	fmt.Printf("episodes=%d iterations=%d crashes=%d best throughput=%.1f txn/sec (%.1f virtual hours)\n",
+		rep.Episodes, rep.Iterations, rep.Crashes, rep.BestPerf.Throughput, rep.VirtualSeconds/3600)
+	if rep.Converged {
+		fmt.Printf("converged at iteration %d\n", rep.ConvergedAt)
+	} else {
+		fmt.Println("not converged within the episode budget")
+	}
 	f, err := os.Create(*model)
 	if err != nil {
 		return err

@@ -5,7 +5,7 @@
 //
 // Experiments: fig1ab fig1c fig1d table1 table2 fig5 fig6 fig7 fig8 table3
 // fig9 fig10 fig11 fig12 fig14 fig15 table6 fig16to18 timing qdqn
-// ablation-replay ablation-action all
+// ablation-replay ablation-action telemetry all
 package main
 
 import (
@@ -48,7 +48,8 @@ func main() {
 		ids = []string{"table1", "timing", "fig1c", "fig1d", "fig1ab", "table2",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "table3", "fig10", "fig11",
 			"fig12", "fig14", "fig15", "table6", "fig16to18", "qdqn",
-			"ablation-replay", "ablation-action", "findings", "ycsb-variants"}
+			"ablation-replay", "ablation-action", "findings", "ycsb-variants",
+			"telemetry"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -70,7 +71,7 @@ func printTable(t expr.Table) {
 	case "markdown":
 		fmt.Println(t.Markdown())
 	default:
-		printTable(t)
+		fmt.Println(t.Render())
 	}
 }
 
@@ -83,7 +84,7 @@ func printFig(f expr.Figure) {
 		fmt.Println(f.Render())
 		fmt.Println("```")
 	default:
-		printFig(f)
+		fmt.Println(f.Render())
 	}
 }
 
@@ -208,6 +209,12 @@ func run(id string, b expr.Budget) error {
 			return err
 		}
 		printTable(t)
+	case "telemetry":
+		t, err := expr.TrainingTelemetry(b, 4)
+		if err != nil {
+			return err
+		}
+		printTable(t)
 	default:
 		return fmt.Errorf("unknown experiment %q (run with no args for the list)", id)
 	}
@@ -225,6 +232,7 @@ experiments:
   fig14 fig15 table6 fig16to18              appendix C
   qdqn ablation-replay ablation-action      design ablations
   findings ycsb-variants                    §5.2.3 findings + extensions
+  telemetry                                 parallel-training telemetry stream
   all                                       everything above
 `)
 }

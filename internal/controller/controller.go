@@ -147,12 +147,10 @@ func (c *Controller) HandleTuningRequest(db *simdb.DB, userWorkload workload.Wor
 
 // HandleTrainingRequest serves a DBA training request: offline training
 // with the workload generator's standard workloads, optionally across
-// parallel training instances (§5.1's 30-server setup).
+// parallel training instances (§5.1's 30-server setup). The unified
+// trainer handles any worker count, serial included.
 func (c *Controller) HandleTrainingRequest(mkEnv core.EnvFactory, episodes, workers int) (core.TrainReport, error) {
-	if workers > 1 {
-		return c.cfg.Tuner.OfflineTrainParallel(mkEnv, episodes, workers)
-	}
-	return c.cfg.Tuner.OfflineTrain(mkEnv, episodes)
+	return c.cfg.Tuner.OfflineTrainParallel(mkEnv, episodes, workers)
 }
 
 // SaveModel and LoadModel persist the tuning model across controller

@@ -199,8 +199,9 @@ type TrainReport struct {
 	ConvergedAt int // iteration index of convergence, 0 if never
 	// BestPerf is the best stress-test result seen during training.
 	BestPerf metrics.External
-	// VirtualSeconds is the simulated wall-clock cost (without the
-	// parallel-worker discount).
+	// VirtualSeconds is the simulated wall-clock cost summed over every
+	// training environment, snapshot probes included — the single-server
+	// cost, without the parallel-worker discount.
 	VirtualSeconds float64
 }
 
@@ -215,56 +216,7 @@ type EnvFactory func(episode int) *env.Env
 // (§5.2.3) and the instance is restarted with defaults so the episode's
 // remaining steps still produce samples.
 func (t *Tuner) OfflineTrain(mkEnv EnvFactory, episodes int) (TrainReport, error) {
-	var rep TrainReport
-	flat := 0 // consecutive episodes without material improvement
-	var bestSoFar float64
-
-	for ep := 0; ep < episodes; ep++ {
-		e := mkEnv(ep)
-		if e.Cat.Len() != t.cfg.Cat.Len() {
-			return rep, fmt.Errorf("core: episode env has %d knobs, tuner expects %d", e.Cat.Len(), t.cfg.Cat.Len())
-		}
-		crashes, bestEp, convergedAt, err := t.runEpisode(e, true)
-		if err != nil {
-			return rep, err
-		}
-		rep.Crashes += crashes
-		if bestEp.Throughput > rep.BestPerf.Throughput {
-			rep.BestPerf = bestEp
-		}
-		_ = convergedAt
-		rep.Episodes++
-		rep.VirtualSeconds += e.Clock.Seconds()
-		t.agent.Noise.Decay()
-		t.agent.Noise.Reset()
-
-		// Convergence (§C.1.1, adapted to noisy episode data): converged
-		// once the best performance seen has not improved by more than
-		// ConvergeEps for ConvergeWindow consecutive episodes.
-		if bestSoFar > 0 && bestEp.Throughput <= bestSoFar*(1+t.cfg.ConvergeEps) {
-			flat++
-		} else {
-			flat = 0
-		}
-		if bestEp.Throughput > bestSoFar {
-			bestSoFar = bestEp.Throughput
-		}
-		if !rep.Converged && flat >= t.cfg.ConvergeWindow {
-			rep.Converged = true
-			rep.ConvergedAt = t.Iterations()
-		}
-
-		if t.cfg.SnapshotEvery > 0 && (ep+1)%t.cfg.SnapshotEvery == 0 {
-			if err := t.maybeSnapshot(mkEnv(ep)); err != nil {
-				return rep, err
-			}
-		}
-	}
-	if err := t.restoreBest(); err != nil {
-		return rep, err
-	}
-	rep.Iterations = t.Iterations()
-	return rep, nil
+	return t.OfflineTrainOpts(mkEnv, TrainOptions{Episodes: episodes, Workers: 1})
 }
 
 // maybeSnapshot probes the current greedy policy on a fresh environment
@@ -285,7 +237,14 @@ func (t *Tuner) maybeSnapshot(e *env.Env) error {
 		res, err := e.Step(action)
 		if err != nil {
 			if errors.Is(err, simdb.ErrCrashed) {
-				e.DB.ResetDefaults()
+				// Restart with defaults and re-measure so the next probe
+				// action conditions on the recovered instance, not the
+				// stale pre-crash state.
+				rec, rerr := e.RecoverDefaults()
+				if rerr != nil {
+					return fmt.Errorf("core: snapshot probe crash recovery: %w", rerr)
+				}
+				state = metrics.Normalize(rec.State)
 				continue
 			}
 			return err
@@ -318,16 +277,39 @@ func (t *Tuner) restoreBest() error {
 	return t.agent.Load(bytes.NewReader(t.bestSnapshot))
 }
 
+// epStats accumulates one episode's outcome and telemetry while it runs.
+type epStats struct {
+	crashes     int
+	steps       int
+	convergedAt int
+	best        metrics.External
+
+	rewardSum float64
+	rewardN   int
+	updates   updateTotals
+}
+
+// meanReward averages the episode's stored rewards (crash penalties
+// included); zero when no step completed.
+func (s epStats) meanReward() float64 {
+	if s.rewardN == 0 {
+		return 0
+	}
+	return s.rewardSum / float64(s.rewardN)
+}
+
 // runEpisode executes one try-and-error episode on e. When train is true
-// the agent explores and learns; otherwise it acts greedily.
-func (t *Tuner) runEpisode(e *env.Env, train bool) (crashes int, best metrics.External, convergedAt int, err error) {
+// the agent explores (drawing from noise, or the agent's own process when
+// nil) and learns; otherwise it acts greedily.
+func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, error) {
+	var st epStats
 	base, err := e.Measure()
 	if err != nil {
-		return 0, best, 0, fmt.Errorf("core: measuring initial performance: %w", err)
+		return st, fmt.Errorf("core: measuring initial performance: %w", err)
 	}
 	rf := reward.New(t.cfg.RewardKind, t.cfg.CT, t.cfg.CL)
 	rf.Init(base.Ext.Throughput, base.Ext.Latency99)
-	best = base.Ext
+	st.best = base.Ext
 	state := metrics.Normalize(base.State)
 
 	flat := 0
@@ -336,7 +318,7 @@ func (t *Tuner) runEpisode(e *env.Env, train bool) (crashes int, best metrics.Ex
 		var action []float64
 		t.agentMu.Lock()
 		if train {
-			action = t.agent.ActNoisy(state)
+			action = t.agent.ActNoisyFrom(state, noise)
 		} else {
 			action = t.agent.Act(state)
 		}
@@ -346,53 +328,63 @@ func (t *Tuner) runEpisode(e *env.Env, train bool) (crashes int, best metrics.Ex
 		t.mu.Lock()
 		t.iterations++
 		t.mu.Unlock()
+		st.steps++
 		if err != nil {
 			if !errors.Is(err, simdb.ErrCrashed) {
-				return crashes, best, convergedAt, err
+				return st, err
 			}
-			crashes++
+			st.crashes++
+			st.rewardSum += t.cfg.CrashPenalty
+			st.rewardN++
 			t.observeRaw(rl.Transition{
 				State: state, Action: action,
 				Reward: t.cfg.CrashPenalty, NextState: state, Done: true,
 			})
 			if train {
-				t.trainUpdates(e)
+				st.updates.add(t.trainUpdates(e))
 			}
 			// The controller redeploys defaults and the episode continues
 			// from the recovered instance — §5.2.3 reports frequent
 			// crashes early in training that the negative reward
-			// gradually eliminates; each one costs a restart, not the
-			// rest of the episode's samples.
-			e.DB.ResetDefaults()
+			// gradually eliminates; each one costs a restart and a
+			// re-measurement, not the rest of the episode's samples.
+			rec, rerr := e.RecoverDefaults()
+			if rerr != nil {
+				return st, fmt.Errorf("core: re-measuring after crash: %w", rerr)
+			}
+			state = metrics.Normalize(rec.State)
+			prevT = rec.Ext.Throughput
 			continue
 		}
 		r := rf.Compute(res.Ext.Throughput, res.Ext.Latency99)
 		next := metrics.Normalize(res.State)
+		st.rewardSum += t.storedReward(r)
+		st.rewardN++
 		t.observe(rl.Transition{
 			State: state, Action: action, Reward: r,
 			NextState: next, Done: step == t.cfg.StepsPerEpisode-1,
 		})
 		if train {
-			t.trainUpdates(e)
+			st.updates.add(t.trainUpdates(e))
 		}
 		state = next
-		if res.Ext.Throughput > best.Throughput {
-			best = res.Ext
+		if res.Ext.Throughput > st.best.Throughput {
+			st.best = res.Ext
 		}
 		if train {
 			t.noteBestAction(action, res.Ext.Throughput)
 		}
 		if prevT > 0 && math.Abs(res.Ext.Throughput-prevT)/prevT <= t.cfg.ConvergeEps {
 			flat++
-			if flat >= t.cfg.ConvergeWindow && convergedAt == 0 {
-				convergedAt = step + 1
+			if flat >= t.cfg.ConvergeWindow && st.convergedAt == 0 {
+				st.convergedAt = step + 1
 			}
 		} else {
 			flat = 0
 		}
 		prevT = res.Ext.Throughput
 	}
-	return crashes, best, convergedAt, nil
+	return st, nil
 }
 
 // noteBestAction feeds the self-imitation target: the best-throughput
@@ -413,30 +405,77 @@ func (t *Tuner) observeRaw(tr rl.Transition) {
 	t.agentMu.Unlock()
 }
 
-// observe stores a transition in the memory pool under the agent lock,
-// scaling and clipping the reward per Config.RewardScale/RewardClip.
-func (t *Tuner) observe(tr rl.Transition) {
-	r := tr.Reward * t.cfg.RewardScale
+// storedReward maps a raw reward into stored scale: scaled by RewardScale
+// and clamped into [−RewardFloor, RewardClip].
+func (t *Tuner) storedReward(raw float64) float64 {
+	r := raw * t.cfg.RewardScale
 	if r > t.cfg.RewardClip {
 		r = t.cfg.RewardClip
 	}
 	if r < -t.cfg.RewardFloor {
 		r = -t.cfg.RewardFloor
 	}
-	tr.Reward = r
+	return r
+}
+
+// observe stores a transition in the memory pool under the agent lock,
+// scaling and clipping the reward per Config.RewardScale/RewardClip.
+func (t *Tuner) observe(tr rl.Transition) {
+	tr.Reward = t.storedReward(tr.Reward)
 	t.agentMu.Lock()
 	t.agent.Observe(tr)
 	t.agentMu.Unlock()
 }
 
-func (t *Tuner) trainUpdates(e *env.Env) {
+// updateTotals sums the losses of a batch of gradient updates.
+type updateTotals struct {
+	criticSum float64
+	criticN   int
+	actorSum  float64
+	actorN    int
+}
+
+func (u *updateTotals) add(v updateTotals) {
+	u.criticSum += v.criticSum
+	u.criticN += v.criticN
+	u.actorSum += v.actorSum
+	u.actorN += v.actorN
+}
+
+// meanCritic and meanActor average the accumulated losses, zero when no
+// update of that kind ran.
+func (u updateTotals) meanCritic() float64 {
+	if u.criticN == 0 {
+		return 0
+	}
+	return u.criticSum / float64(u.criticN)
+}
+
+func (u updateTotals) meanActor() float64 {
+	if u.actorN == 0 {
+		return 0
+	}
+	return u.actorSum / float64(u.actorN)
+}
+
+func (t *Tuner) trainUpdates(e *env.Env) updateTotals {
+	var u updateTotals
 	t.agentMu.Lock()
 	defer t.agentMu.Unlock()
 	for i := 0; i < t.cfg.UpdatesPerStep; i++ {
-		if _, ok := t.agent.TrainStep(); ok {
-			e.Clock.Charge(ModelUpdateSec)
+		info, ok := t.agent.TrainStepInfo()
+		if !ok {
+			continue
+		}
+		e.Clock.Charge(ModelUpdateSec)
+		u.criticSum += info.CriticLoss
+		u.criticN++
+		if info.ActorUpdated {
+			u.actorSum += info.ActorLoss
+			u.actorN++
 		}
 	}
+	return u
 }
 
 // TuneResult is the outcome of one online tuning request.
@@ -501,7 +540,13 @@ func (t *Tuner) OnlineTune(e *env.Env, steps int, fineTune bool) (TuneResult, er
 				State: state, Action: action,
 				Reward: t.cfg.CrashPenalty, NextState: state, Done: true,
 			})
-			e.DB.ResetDefaults()
+			// Restart with defaults and re-measure so the next
+			// recommendation conditions on the recovered instance.
+			rec, rerr := e.RecoverDefaults()
+			if rerr != nil {
+				return out, fmt.Errorf("core: re-measuring after crash: %w", rerr)
+			}
+			state = metrics.Normalize(rec.State)
 			continue
 		}
 		r := rf.Compute(res.Ext.Throughput, res.Ext.Latency99)

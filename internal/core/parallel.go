@@ -7,14 +7,46 @@ import (
 
 // OfflineTrainParallel runs offline training with `workers` concurrent
 // environments sharing one agent, the simulator's stand-in for the 30
-// training servers §5.1 uses to cut offline training time. Agent access
+// training servers §5.1 uses to cut offline training time.
+func (t *Tuner) OfflineTrainParallel(mkEnv EnvFactory, episodes, workers int) (TrainReport, error) {
+	return t.OfflineTrainOpts(mkEnv, TrainOptions{Episodes: episodes, Workers: workers})
+}
+
+// OfflineTrainOpts is the offline trainer behind OfflineTrain and
+// OfflineTrainParallel: a work-sharing loop where each worker repeatedly
+// claims the next episode index, runs it on a fresh environment from
+// mkEnv, and folds the outcome into one shared report. Agent access
 // (action selection, observation, gradient updates) is serialized inside
 // the tuner; the stress tests — the expensive part in real life — run
-// concurrently. Episode indices are handed out in order, so mkEnv(ep) sees
-// every episode exactly once.
-func (t *Tuner) OfflineTrainParallel(mkEnv EnvFactory, episodes, workers int) (TrainReport, error) {
-	if workers <= 1 {
-		return t.OfflineTrain(mkEnv, episodes)
+// concurrently.
+//
+// The serial training semantics are preserved at any worker count:
+//
+//   - mkEnv(ep) is called exactly once per episode index, in order (plus
+//     one extra call per snapshot probe when TrainOptions.ProbeEnv is nil;
+//     see TrainOptions).
+//   - Exploration noise decays once per *completed episode* on one shared
+//     schedule, so sigma after N episodes matches serial training no
+//     matter how many workers ran them. Each worker explores with its own
+//     fork of the noise process, keeping OU temporal correlation within,
+//     not across, concurrent episodes.
+//   - Convergence (§C.1.1) is detected over episodes in completion order,
+//     which for one worker is exactly the serial episode order.
+//   - TrainReport.VirtualSeconds sums every environment's clock, snapshot
+//     probes included — the single-server cost, without the
+//     parallel-worker discount.
+//
+// An episode that fails does not count toward TrainReport.Episodes; the
+// first failure stops the handout of new episodes, in-flight episodes on
+// other workers drain, and the error is returned.
+func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainReport, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	probeEnv := opts.ProbeEnv
+	if probeEnv == nil {
+		probeEnv = mkEnv
 	}
 	var (
 		rep   TrainReport
@@ -22,11 +54,18 @@ func (t *Tuner) OfflineTrainParallel(mkEnv EnvFactory, episodes, workers int) (T
 		wg    sync.WaitGroup
 		next  int
 		fatal error
+
+		// flat and bestSoFar drive the §C.1.1 convergence rule over
+		// completed episodes: converged once the best performance seen has
+		// not improved by more than ConvergeEps for ConvergeWindow
+		// consecutive episodes.
+		flat      int
+		bestSoFar float64
 	)
 	takeEpisode := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if next >= episodes || fatal != nil {
+		if next >= opts.Episodes || fatal != nil {
 			return 0, false
 		}
 		ep := next
@@ -35,41 +74,85 @@ func (t *Tuner) OfflineTrainParallel(mkEnv EnvFactory, episodes, workers int) (T
 	}
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(wk int) {
 			defer wg.Done()
+			t.agentMu.Lock()
+			noise := t.agent.Noise.Fork()
+			t.agentMu.Unlock()
 			for {
 				ep, ok := takeEpisode()
 				if !ok {
 					return
 				}
 				e := mkEnv(ep)
-				crashes, best, _, err := t.runEpisode(e, true)
+				var st epStats
+				var err error
+				if e.Cat.Len() != t.cfg.Cat.Len() {
+					err = fmt.Errorf("episode env has %d knobs, tuner expects %d", e.Cat.Len(), t.cfg.Cat.Len())
+				} else {
+					st, err = t.runEpisode(e, true, noise)
+				}
+				seconds := e.Clock.Seconds()
 				if err == nil && t.cfg.SnapshotEvery > 0 && (ep+1)%t.cfg.SnapshotEvery == 0 {
-					err = t.maybeSnapshot(mkEnv(ep))
+					pe := probeEnv(ep)
+					err = t.maybeSnapshot(pe)
+					seconds += pe.Clock.Seconds()
 				}
 				mu.Lock()
-				if err != nil && fatal == nil {
-					fatal = fmt.Errorf("core: parallel episode %d: %w", ep, err)
+				if err != nil {
+					if fatal == nil {
+						fatal = fmt.Errorf("core: episode %d: %w", ep, err)
+					}
+					mu.Unlock()
+					return
 				}
 				rep.Episodes++
-				rep.Crashes += crashes
-				if best.Throughput > rep.BestPerf.Throughput {
-					rep.BestPerf = best
+				rep.Crashes += st.crashes
+				if st.best.Throughput > rep.BestPerf.Throughput {
+					rep.BestPerf = st.best
 				}
-				if e.Clock.Seconds() > rep.VirtualSeconds {
-					rep.VirtualSeconds = e.Clock.Seconds()
+				rep.VirtualSeconds += seconds
+				if bestSoFar > 0 && st.best.Throughput <= bestSoFar*(1+t.cfg.ConvergeEps) {
+					flat++
+				} else {
+					flat = 0
+				}
+				if st.best.Throughput > bestSoFar {
+					bestSoFar = st.best.Throughput
+				}
+				if !rep.Converged && flat >= t.cfg.ConvergeWindow {
+					rep.Converged = true
+					rep.ConvergedAt = t.Iterations()
+				}
+				// One decay per completed episode on the canonical process,
+				// then sync this worker's fork to the shared schedule.
+				t.agentMu.Lock()
+				sigma := t.agent.Noise.Decay()
+				t.agentMu.Unlock()
+				noise.SetScale(sigma)
+				noise.Reset()
+				if opts.OnEpisode != nil {
+					opts.OnEpisode(EpisodeStats{
+						Episode:        ep,
+						Worker:         wk,
+						Steps:          st.steps,
+						Crashes:        st.crashes,
+						BestThroughput: st.best.Throughput,
+						MeanReward:     st.meanReward(),
+						CriticLoss:     st.updates.meanCritic(),
+						ActorLoss:      st.updates.meanActor(),
+						NoiseSigma:     sigma,
+						VirtualSeconds: seconds,
+					})
 				}
 				mu.Unlock()
 			}
-		}()
+		}(wk)
 	}
 	wg.Wait()
 	if fatal != nil {
 		return rep, fatal
 	}
-	t.agentMu.Lock()
-	t.agent.Noise.Decay()
-	t.agentMu.Unlock()
 	if err := t.restoreBest(); err != nil {
 		return rep, err
 	}

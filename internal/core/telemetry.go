@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// EpisodeStats is one per-episode training-telemetry record, emitted after
+// every completed offline-training episode (serial or parallel). It is the
+// observable heartbeat of the §5.1 try-and-error loop: schedulers watch
+// NoiseSigma to confirm annealing, dashboards watch BestThroughput and the
+// losses, and crash counts localize unstable knob regions.
+type EpisodeStats struct {
+	// Episode is the episode index handed to the EnvFactory; Worker is the
+	// training worker (0-based) that ran it.
+	Episode int
+	Worker  int
+
+	// Steps and Crashes count the episode's environment steps and crashed
+	// steps.
+	Steps   int
+	Crashes int
+
+	// BestThroughput is the best stress-test throughput the episode saw.
+	BestThroughput float64
+
+	// MeanReward averages the stored (scaled and clipped) rewards of the
+	// episode's transitions, crash penalties included.
+	MeanReward float64
+
+	// CriticLoss and ActorLoss average the losses of the episode's
+	// gradient updates; zero when no update ran (memory pool still
+	// filling, or PolicyDelay skipped every actor update).
+	CriticLoss float64
+	ActorLoss  float64
+
+	// NoiseSigma is the exploration scale after this episode's decay —
+	// with W workers the schedule still decays once per completed episode,
+	// matching serial training.
+	NoiseSigma float64
+
+	// VirtualSeconds is the episode's simulated wall-clock cost, including
+	// its snapshot probe when one ran after the episode.
+	VirtualSeconds float64
+}
+
+// String renders the record as a compact single log line.
+func (s EpisodeStats) String() string {
+	return fmt.Sprintf("ep %3d wk %d  best %8.1f tx/s  reward %+6.2f  closs %8.4f  aloss %+8.3f  sigma %.4f  crashes %d  %6.0f vsec",
+		s.Episode, s.Worker, s.BestThroughput, s.MeanReward, s.CriticLoss, s.ActorLoss, s.NoiseSigma, s.Crashes, s.VirtualSeconds)
+}
+
+// EpisodeHook receives telemetry after each completed training episode.
+// The trainer invokes it under its accounting lock, so calls are
+// serialized in episode-completion order; keep the hook fast and do not
+// call back into the Tuner from it.
+type EpisodeHook func(EpisodeStats)
+
+// TrainOptions configures OfflineTrainOpts beyond the episode budget.
+type TrainOptions struct {
+	// Episodes is the number of training episodes; Workers the number of
+	// concurrent training environments (≤ 1 means serial).
+	Episodes int
+	Workers  int
+
+	// ProbeEnv, when non-nil, builds the fresh environments used by
+	// best-policy snapshot probes (Config.SnapshotEvery), keeping the
+	// mkEnv contract at exactly one call per episode. When nil, probes
+	// reuse mkEnv with the probed episode's index, so mkEnv sees that
+	// index a second time.
+	ProbeEnv EnvFactory
+
+	// OnEpisode, when non-nil, receives a telemetry record after each
+	// completed episode.
+	OnEpisode EpisodeHook
+}

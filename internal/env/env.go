@@ -113,6 +113,15 @@ func (e *Env) Measure() (simdb.Result, error) {
 	return res, err
 }
 
+// RecoverDefaults restarts a crashed instance with the default
+// configuration and re-measures it, charging the clock for the
+// measurement. Tuners call it after a crash so the next action conditions
+// on the recovered instance's state rather than the stale pre-crash one.
+func (e *Env) RecoverDefaults() (simdb.Result, error) {
+	e.DB.ResetDefaults()
+	return e.Measure()
+}
+
 // NormalizedState converts a raw collector state into the [0,1] vector the
 // agents consume.
 func NormalizedState(raw []float64) []float64 { return metrics.Normalize(raw) }

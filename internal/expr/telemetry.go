@@ -1,0 +1,71 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+
+	"cdbtune/internal/core"
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// TrainingTelemetry runs a short parallel offline training (§5.1's
+// multi-server try-and-error, scaled to `workers` simulated training
+// servers) and reports the per-episode telemetry stream: exploration
+// annealing, reward and loss trajectories, crash counts and virtual time.
+// The stream is the observability substrate the scale-out work builds on;
+// here it doubles as a demonstration that the parallel schedule matches
+// serial annealing (sigma decays once per completed episode).
+func TrainingTelemetry(b Budget, workers int) (Table, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	inst := simdb.CDBA
+	cat := knobs.MySQL(knobs.EngineCDB)
+	t, err := core.New(warmConfig(b, cat, inst))
+	if err != nil {
+		return Table{}, err
+	}
+	episodes := b.Episodes / 2
+	if episodes < 8 {
+		episodes = 8
+	}
+	w := workload.SysbenchRW()
+	var records []core.EpisodeStats
+	rep, err := t.OfflineTrainOpts(func(ep int) *env.Env {
+		return newEnv(knobs.EngineCDB, inst, cat, w, b.Seed+int64(ep))
+	}, core.TrainOptions{
+		Episodes: episodes,
+		Workers:  workers,
+		// The hook is invoked under the trainer's accounting lock, so the
+		// append needs no extra synchronization.
+		OnEpisode: func(s core.EpisodeStats) { records = append(records, s) },
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	// Completion order is nondeterministic across workers; present the
+	// stream by episode index.
+	sort.Slice(records, func(i, j int) bool { return records[i].Episode < records[j].Episode })
+	tab := Table{
+		Title: fmt.Sprintf("Training telemetry (%d episodes, %d workers; converged=%v at iter %d, best %.1f txn/sec)",
+			rep.Episodes, workers, rep.Converged, rep.ConvergedAt, rep.BestPerf.Throughput),
+		Header: []string{"episode", "worker", "best tput", "mean reward", "critic loss", "actor loss", "sigma", "crashes", "virtual sec"},
+	}
+	for _, s := range records {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", s.Episode),
+			fmt.Sprintf("%d", s.Worker),
+			fmtF(s.BestThroughput),
+			fmt.Sprintf("%+.3f", s.MeanReward),
+			fmt.Sprintf("%.4f", s.CriticLoss),
+			fmt.Sprintf("%+.3f", s.ActorLoss),
+			fmt.Sprintf("%.4f", s.NoiseSigma),
+			fmt.Sprintf("%d", s.Crashes),
+			fmt.Sprintf("%.0f", s.VirtualSeconds),
+		})
+	}
+	return tab, nil
+}

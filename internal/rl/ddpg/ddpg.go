@@ -222,8 +222,19 @@ func (a *Agent) Act(state []float64) []float64 {
 // which for knobs like the buffer pool is the pathological corner of the
 // configuration space.
 func (a *Agent) ActNoisy(state []float64) []float64 {
+	return a.ActNoisyFrom(state, a.Noise)
+}
+
+// ActNoisyFrom is ActNoisy drawing perturbations from the given noise
+// process instead of the agent's own — parallel training workers each hold
+// a fork of a.Noise so the OU temporal state is not shared across
+// concurrent episodes. A nil src falls back to a.Noise.
+func (a *Agent) ActNoisyFrom(state []float64, src rl.Noise) []float64 {
+	if src == nil {
+		src = a.Noise
+	}
 	act := a.Act(state)
-	noise := a.Noise.Sample(a.rng, len(act))
+	noise := src.Sample(a.rng, len(act))
 	k := a.cfg.ExploreDims
 	if k <= 0 || k >= len(act) {
 		for i := range act {
@@ -278,12 +289,30 @@ func (a *Agent) SetBCTarget(action []float64) {
 // BCTarget returns the current self-imitation target, or nil.
 func (a *Agent) BCTarget() []float64 { return a.bcTarget }
 
+// StepInfo reports the losses of one gradient update, for training
+// telemetry.
+type StepInfo struct {
+	// CriticLoss is the importance-weighted squared TD error of the batch.
+	CriticLoss float64
+	// ActorLoss is the actor objective −mean Q(s, µ(s)) over the batch;
+	// only meaningful when ActorUpdated is true (PolicyDelay skips actor
+	// updates on most critic steps).
+	ActorLoss    float64
+	ActorUpdated bool
+}
+
 // TrainStep performs one critic and one actor update from a replayed
 // batch, then soft-updates the target networks (Algorithm 1). It returns
 // the critic loss, or ok=false if the memory pool is still too small.
 func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
+	info, ok := a.TrainStepInfo()
+	return info.CriticLoss, ok
+}
+
+// TrainStepInfo is TrainStep returning the full per-update losses.
+func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 	if a.Memory.Len() < a.cfg.MinMemory || a.Memory.Len() < a.cfg.BatchSize {
-		return 0, false
+		return StepInfo{}, false
 	}
 	n := a.cfg.BatchSize
 	batch, indices, weights := a.Memory.Sample(a.rng, n)
@@ -349,7 +378,7 @@ func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
 		delay = 1
 	}
 	if a.trainSteps%delay != 0 {
-		return loss, true
+		return StepInfo{CriticLoss: loss}, true
 	}
 
 	// Step 7: actor ascends ∇_a Q(s, µ(s)) via the chain rule. The first
@@ -361,7 +390,12 @@ func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
 	a.actor.ZeroGrad()
 	a.critic.net().ZeroGrad()
 	mu := a.actor.Forward(states, false)
-	a.critic.forward(states, mu, false)
+	qPi := a.critic.forward(states, mu, false)
+	var actorLoss float64
+	for i := 0; i < n; i++ {
+		actorLoss -= qPi.Data[i]
+	}
+	actorLoss /= float64(n)
 	ones := mat.New(n, 1)
 	ones.Fill(-1.0 / float64(n)) // minimize −Q
 	_, dAction := a.critic.backward(ones)
@@ -384,7 +418,7 @@ func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
 
 	// Soft target update: θ' ← τθ + (1−τ)θ'.
 	a.actorTarget.SoftUpdateFrom(a.actor, a.cfg.Tau)
-	return loss, true
+	return StepInfo{CriticLoss: loss, ActorLoss: actorLoss, ActorUpdated: true}, true
 }
 
 // QValue returns the critic's score for a single (state, action) pair,

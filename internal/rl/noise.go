@@ -11,6 +11,16 @@ type Noise interface {
 	// Decay reduces the noise scale after an episode; it returns the new
 	// scale so callers can log it.
 	Decay() float64
+	// Scale reports the current noise scale (sigma).
+	Scale() float64
+	// SetScale overrides the noise scale, keeping forked processes on one
+	// shared annealing schedule.
+	SetScale(sigma float64)
+	// Fork returns an independent process with the same parameters and a
+	// fresh temporal state. Parallel training workers each fork the
+	// canonical process so temporally correlated noise (OU) is not shared
+	// across concurrent episodes.
+	Fork() Noise
 }
 
 // OUNoise is an Ornstein-Uhlenbeck process, the exploration noise used by
@@ -59,6 +69,19 @@ func (o *OUNoise) Decay() float64 {
 	return o.Sigma
 }
 
+// Scale implements Noise.
+func (o *OUNoise) Scale() float64 { return o.Sigma }
+
+// SetScale implements Noise.
+func (o *OUNoise) SetScale(sigma float64) { o.Sigma = sigma }
+
+// Fork implements Noise.
+func (o *OUNoise) Fork() Noise {
+	c := *o
+	c.state = nil
+	return &c
+}
+
 // GaussianNoise draws i.i.d. Normal(0, sigma) perturbations.
 type GaussianNoise struct {
 	Sigma     float64
@@ -90,4 +113,16 @@ func (g *GaussianNoise) Decay() float64 {
 		g.Sigma = g.MinSigma
 	}
 	return g.Sigma
+}
+
+// Scale implements Noise.
+func (g *GaussianNoise) Scale() float64 { return g.Sigma }
+
+// SetScale implements Noise.
+func (g *GaussianNoise) SetScale(sigma float64) { g.Sigma = sigma }
+
+// Fork implements Noise.
+func (g *GaussianNoise) Fork() Noise {
+	c := *g
+	return &c
 }

@@ -1,0 +1,72 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOUNoiseForkIndependentState(t *testing.T) {
+	o := NewOUNoise(0.3)
+	rng := rand.New(rand.NewSource(11))
+	o.Sample(rng, 3)
+	f, ok := o.Fork().(*OUNoise)
+	if !ok {
+		t.Fatal("OUNoise fork must be an OUNoise")
+	}
+	if f.state != nil {
+		t.Fatal("fork must start with fresh temporal state")
+	}
+	if f.Sigma != o.Sigma || f.Theta != o.Theta || f.DecayRate != o.DecayRate || f.MinSigma != o.MinSigma {
+		t.Fatal("fork must copy the process parameters")
+	}
+	// Advancing the fork must not disturb the parent's temporal state.
+	before := append([]float64(nil), o.state...)
+	f.Sample(rng, 3)
+	for i := range before {
+		if o.state[i] != before[i] {
+			t.Fatal("fork shares temporal state with its parent")
+		}
+	}
+	// Scale/SetScale keep a fork on the canonical annealing schedule.
+	sigma := o.Decay()
+	if o.Scale() != sigma {
+		t.Fatalf("Scale = %v after Decay returned %v", o.Scale(), sigma)
+	}
+	f.SetScale(sigma)
+	if f.Scale() != sigma || o.Scale() != sigma {
+		t.Fatalf("SetScale: fork %v, parent %v, want both %v", f.Scale(), o.Scale(), sigma)
+	}
+}
+
+func TestGaussianNoiseForkAndScale(t *testing.T) {
+	g := NewGaussianNoise(0.4)
+	f := g.Fork()
+	g.SetScale(0.1)
+	if f.Scale() != 0.4 {
+		t.Fatal("fork shares scale storage with its parent")
+	}
+	f.SetScale(0.2)
+	if g.Scale() != 0.1 || f.Scale() != 0.2 {
+		t.Fatalf("scales entangled: parent %v, fork %v", g.Scale(), f.Scale())
+	}
+}
+
+func TestMemoryTransitionsOrdered(t *testing.T) {
+	for name, m := range map[string]Memory{
+		"uniform":     NewUniformMemory(4),
+		"prioritized": NewPrioritizedMemory(4),
+	} {
+		for i := 0; i < 6; i++ {
+			m.Add(tr(float64(i)))
+		}
+		trs := m.Transitions()
+		if len(trs) != 4 {
+			t.Fatalf("%s: %d transitions, want 4", name, len(trs))
+		}
+		for i, x := range trs {
+			if x.Reward != float64(i+2) {
+				t.Fatalf("%s: transition %d has reward %v, want oldest-first order", name, i, x.Reward)
+			}
+		}
+	}
+}

@@ -39,6 +39,9 @@ type Memory interface {
 	UpdatePriorities(indices []int, tdErrors []float64)
 	// Len reports the number of stored transitions.
 	Len() int
+	// Transitions returns a copy of the stored transitions oldest-first,
+	// for diagnostics and tests.
+	Transitions() []Transition
 }
 
 // UniformMemory is a fixed-capacity ring buffer with uniform sampling.
@@ -91,6 +94,9 @@ func (m *UniformMemory) UpdatePriorities([]int, []float64) {}
 
 // Len implements Memory.
 func (m *UniformMemory) Len() int { return len(m.buf) }
+
+// Transitions implements Memory.
+func (m *UniformMemory) Transitions() []Transition { return m.ordered() }
 
 // PrioritizedMemory implements proportional prioritized experience replay
 // (Schaul et al. 2015) with a sum tree. New transitions enter with maximal
@@ -205,6 +211,9 @@ func (m *PrioritizedMemory) UpdatePriorities(indices []int, tdErrors []float64) 
 
 // Len implements Memory.
 func (m *PrioritizedMemory) Len() int { return m.size }
+
+// Transitions implements Memory.
+func (m *PrioritizedMemory) Transitions() []Transition { return m.ordered() }
 
 // TotalPriority exposes the root of the sum tree for testing.
 func (m *PrioritizedMemory) TotalPriority() float64 { return m.tree[1] }

@@ -1,0 +1,19 @@
+#!/bin/sh
+# check.sh runs the repo's full verification gate: static analysis, the
+# full test suite, and a race-detector pass. The parallel trainer shares
+# one agent across worker goroutines, so -race is part of the standard
+# gate, not an optional extra. The race pass runs with -short: the long
+# expr integration test exceeds the per-package timeout under race
+# instrumentation, and every concurrency-sensitive test (internal/core,
+# internal/rl, internal/rl/ddpg) runs in short mode too.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (short) =="
+go test -race -short -timeout 20m ./...
