@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check
+.PHONY: build test check bench
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full verification gate: vet, the full test suite, and a
+# check is the full verification gate: vet, the full test suite, a
 # race-detector pass (the parallel trainer shares one agent across
-# goroutines).
+# goroutines), and a single-iteration smoke run of the contention
+# benchmarks.
 check:
 	./scripts/check.sh
+
+# bench runs the replay-contention and batched-inference microbenchmarks.
+# -cpu 4 simulates four training workers even on fewer cores; see
+# EXPERIMENTS.md ("Replay contention & batched inference") for how to read
+# the numbers and the recorded baseline.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMemoryAddSample|BenchmarkActBatched' -benchtime=0.5s -cpu 4 .

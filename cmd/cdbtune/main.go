@@ -47,7 +47,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cdbtune train -workload <name> [-instance CDB-A] [-episodes 40] [-workers 1] [-model model.bin] [-quiet]
+  cdbtune train -workload <name> [-instance CDB-A] [-episodes 40] [-workers 1] [-shards 0] [-model model.bin] [-quiet]
   cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf]
   cdbtune knobs [-engine cdb-mysql] [-all]
   cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A]
@@ -69,6 +69,7 @@ func cmdTrain(args []string) error {
 	iname := fs.String("instance", "CDB-A", "instance name (Table 1)")
 	episodes := fs.Int("episodes", 40, "training episodes")
 	workers := fs.Int("workers", 1, "parallel training environments")
+	shards := fs.Int("shards", 0, "replay memory shards (0 = auto: one per worker when workers > 1)")
 	model := fs.String("model", "model.bin", "output model path")
 	seed := fs.Int64("seed", 1, "random seed")
 	quiet := fs.Bool("quiet", false, "suppress per-episode telemetry")
@@ -86,6 +87,13 @@ func cmdTrain(args []string) error {
 	cfg := core.DefaultConfig(cat)
 	cfg.Seed = *seed
 	cfg.DDPG.ActionBias = cat.Defaults(inst.HW.RAMGB, inst.HW.DiskGB)
+	// -shards 0 shards the replay pool automatically for parallel runs so
+	// transition storage never queues behind gradient updates; a serial run
+	// keeps the single-lock pool and its exact serial determinism.
+	cfg.MemoryShards = *shards
+	if *shards == 0 && *workers > 1 {
+		cfg.MemoryShards = *workers
+	}
 	tuner, err := core.New(cfg)
 	if err != nil {
 		return err
@@ -95,9 +103,13 @@ func cmdTrain(args []string) error {
 		return env.New(db, cat, w)
 	}
 	fmt.Printf("training CDBTune: %s on %s, %d episodes, %d workers\n", w.Name, inst.Name, *episodes, *workers)
+	var last core.EpisodeStats
 	opts := core.TrainOptions{Episodes: *episodes, Workers: *workers}
-	if !*quiet {
-		opts.OnEpisode = func(s core.EpisodeStats) { fmt.Printf("  %s\n", s) }
+	opts.OnEpisode = func(s core.EpisodeStats) {
+		last = s
+		if !*quiet {
+			fmt.Printf("  %s\n", s)
+		}
 	}
 	rep, err := tuner.OfflineTrainOpts(mk, opts)
 	if err != nil {
@@ -105,6 +117,9 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("episodes=%d iterations=%d crashes=%d best throughput=%.1f txn/sec (%.1f virtual hours)\n",
 		rep.Episodes, rep.Iterations, rep.Crashes, rep.BestPerf.Throughput, rep.VirtualSeconds/3600)
+	if rep.Episodes > 0 {
+		fmt.Printf("replay shards=%d  mean inference batch=%.2f\n", last.MemoryShards, last.InferBatchMean)
+	}
 	if rep.Converged {
 		fmt.Printf("converged at iteration %d\n", rep.ConvergedAt)
 	} else {

@@ -1,9 +1,3 @@
-// Package core assembles CDBTune, the paper's end-to-end automatic cloud
-// database tuning system (§2): the DDPG agent over the 63-metric state and
-// the knob-configuration action space, the reward function of §4.2, the
-// experience-replay memory pool, offline training against standard
-// workloads (cold start), and the 5-step online tuning protocol with
-// fine-tuning on the user's replayed workload.
 package core
 
 import (
@@ -74,6 +68,15 @@ type Config struct {
 	RewardClip  float64
 	RewardFloor float64
 
+	// MemoryShards, when ≥ 2, shards the replay memory pool across that
+	// many independently locked ring buffers (rounded up to a power of
+	// two; see rl.ShardedMemory), letting parallel training workers store
+	// experience without serializing behind the agent lock. 0 or 1 keeps
+	// the single-lock pool — and with it the exact serial-training
+	// determinism the equivalence tests pin down. Ignored when a
+	// fully-specified DDPG config already sets its own MemoryShards.
+	MemoryShards int
+
 	// CrashPenalty is the stored (post-scale) reward for a crashed step.
 	// The paper uses −100 raw; stored at full scale it dominates the
 	// squared critic loss and — because crashes co-occur with high values
@@ -113,9 +116,27 @@ type Tuner struct {
 	cfg   Config
 	agent *ddpg.Agent
 
-	// agentMu serializes agent access so parallel training workers can
-	// share one model.
+	// agentMu serializes access to the agent's networks, optimizers and
+	// rng: action selection, gradient updates, snapshot Save/Load and the
+	// self-imitation target. The replay memory is covered by it only when
+	// unsharded; with Config.MemoryShards ≥ 2 the pool synchronizes
+	// itself and observe bypasses this lock (see the package doc for the
+	// full concurrency contract).
 	agentMu sync.Mutex
+
+	// concMem records whether the agent's memory pool is internally
+	// synchronized (rl.ConcurrentMemory), letting observe skip agentMu;
+	// memShards is the pool's shard count (1 = single lock), surfaced in
+	// EpisodeStats.
+	concMem   bool
+	memShards int
+
+	// infer, when non-nil, is the batched inference front-end the
+	// parallel trainer installs for the duration of a multi-worker run:
+	// runEpisode routes action selection through it so concurrent workers
+	// share one forward pass per batch. Written only while no worker is
+	// running (set before the workers start, cleared after they join).
+	infer *inferBatcher
 
 	mu         sync.Mutex
 	iterations int
@@ -166,10 +187,19 @@ func New(cfg Config) (*Tuner, error) {
 	if cfg.CrashPenalty == 0 {
 		cfg.CrashPenalty = def.CrashPenalty
 	}
+	if cfg.MemoryShards > 1 && cfg.DDPG.MemoryShards == 0 {
+		cfg.DDPG.MemoryShards = cfg.MemoryShards
+	}
 	if cfg.DDPG.ActionDim != cfg.Cat.Len() {
 		return nil, fmt.Errorf("core: DDPG action dim %d != %d knobs", cfg.DDPG.ActionDim, cfg.Cat.Len())
 	}
-	return &Tuner{cfg: cfg, agent: ddpg.New(cfg.DDPG)}, nil
+	t := &Tuner{cfg: cfg, agent: ddpg.New(cfg.DDPG)}
+	_, t.concMem = t.agent.Memory.(rl.ConcurrentMemory)
+	t.memShards = 1
+	if sm, ok := t.agent.Memory.(*rl.ShardedMemory); ok {
+		t.memShards = sm.ShardCount()
+	}
+	return t, nil
 }
 
 // Config returns the tuner configuration.
@@ -231,9 +261,7 @@ func (t *Tuner) maybeSnapshot(e *env.Env) error {
 	state := metrics.Normalize(base.State)
 	probeSteps := 3
 	for i := 0; i < probeSteps; i++ {
-		t.agentMu.Lock()
-		action := t.agent.Act(state)
-		t.agentMu.Unlock()
+		action := t.selectAction(state, false, nil)
 		res, err := e.Step(action)
 		if err != nil {
 			if errors.Is(err, simdb.ErrCrashed) {
@@ -315,14 +343,7 @@ func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, err
 	flat := 0
 	var prevT float64 = base.Ext.Throughput
 	for step := 0; step < t.cfg.StepsPerEpisode; step++ {
-		var action []float64
-		t.agentMu.Lock()
-		if train {
-			action = t.agent.ActNoisyFrom(state, noise)
-		} else {
-			action = t.agent.Act(state)
-		}
-		t.agentMu.Unlock()
+		action := t.selectAction(state, train, noise)
 		e.Clock.Charge(RecommendSec)
 		res, err := e.Step(action)
 		t.mu.Lock()
@@ -387,6 +408,24 @@ func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, err
 	return st, nil
 }
 
+// selectAction picks the next configuration for a training or probe step:
+// greedy µ(s), or µ(s) perturbed by the worker's noise fork when
+// exploring. During a multi-worker training run the request goes through
+// the inference batcher, sharing one forward pass with whatever other
+// workers are asking at the same time; otherwise it takes agentMu
+// directly.
+func (t *Tuner) selectAction(state []float64, train bool, noise rl.Noise) []float64 {
+	if b := t.infer; b != nil {
+		return b.act(state, train, noise)
+	}
+	t.agentMu.Lock()
+	defer t.agentMu.Unlock()
+	if train {
+		return t.agent.ActNoisyFrom(state, noise)
+	}
+	return t.agent.Act(state)
+}
+
 // noteBestAction feeds the self-imitation target: the best-throughput
 // action observed during training (see ddpg.Config.BCWeight).
 func (t *Tuner) noteBestAction(action []float64, tput float64) {
@@ -399,7 +438,14 @@ func (t *Tuner) noteBestAction(action []float64, tput float64) {
 }
 
 // observeRaw stores a transition whose reward is already in stored scale.
+// A sharded memory pool synchronizes itself, so storing skips agentMu
+// entirely and never waits behind another worker's gradient update; the
+// single-lock pools still require it.
 func (t *Tuner) observeRaw(tr rl.Transition) {
+	if t.concMem {
+		t.agent.Observe(tr)
+		return
+	}
 	t.agentMu.Lock()
 	t.agent.Observe(tr)
 	t.agentMu.Unlock()
@@ -418,13 +464,12 @@ func (t *Tuner) storedReward(raw float64) float64 {
 	return r
 }
 
-// observe stores a transition in the memory pool under the agent lock,
-// scaling and clipping the reward per Config.RewardScale/RewardClip.
+// observe stores a transition in the memory pool, scaling and clipping
+// the reward per Config.RewardScale/RewardClip. Locking follows
+// observeRaw: agentMu only when the pool is unsharded.
 func (t *Tuner) observe(tr rl.Transition) {
 	tr.Reward = t.storedReward(tr.Reward)
-	t.agentMu.Lock()
-	t.agent.Observe(tr)
-	t.agentMu.Unlock()
+	t.observeRaw(tr)
 }
 
 // updateTotals sums the losses of a batch of gradient updates.

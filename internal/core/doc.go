@@ -1,0 +1,47 @@
+// Package core assembles CDBTune, the paper's end-to-end automatic cloud
+// database tuning system (§2): the DDPG agent over the 63-metric state and
+// the knob-configuration action space, the reward function of §4.2, the
+// experience-replay memory pool, offline training against standard
+// workloads (cold start), and the 5-step online tuning protocol with
+// fine-tuning on the user's replayed workload.
+//
+// # Concurrency contract
+//
+// A Tuner is safe for one training run (OfflineTrain, OfflineTrainOpts,
+// OfflineTrainParallel) or one OnlineTune call at a time; those
+// entry points themselves must not be invoked concurrently with each
+// other on the same Tuner. Inside a parallel training run, worker
+// goroutines share the agent under this discipline:
+//
+//   - agentMu serializes everything that touches the agent's networks,
+//     optimizers or rng: action selection (Act/ActBatch/Perturb),
+//     gradient updates (TrainStep), snapshot Save/Load, and the
+//     self-imitation target.
+//   - Observe (storing a transition) is serialized by agentMu only when
+//     the replay pool is the default single-lock flavor. With
+//     Config.MemoryShards ≥ 2 the pool is an rl.ShardedMemory —
+//     internally lock-striped and safe for concurrent use — and workers
+//     store transitions without taking agentMu at all, so experience
+//     ingestion never waits behind another worker's gradient update.
+//   - Iterations and the best-snapshot bookkeeping take their own small
+//     locks; TrainOptions.OnEpisode hooks run under the trainer's
+//     accounting lock, serialized in episode-completion order.
+//
+// Data flow of one parallel training step, with the batched inference
+// front-end the trainer installs when Workers ≥ 2:
+//
+//	workers ──states──► inferBatcher ──one ActBatch──► agent (agentMu)
+//	   ▲                                                  │
+//	   └────────────────actions (fan-out)─────────────────┘
+//	workers ──transitions──► sharded replay memory (no agentMu)
+//	workers ──TrainStep (sample + update)──► agent (agentMu)
+//
+// The batcher folds every in-flight action request (up to the worker
+// count, waiting at most a 200µs latency cap for stragglers) into one
+// forward pass, so a lone worker never stalls and N workers pay one lock
+// round-trip instead of N. The batcher preserves each worker's own
+// request/response ordering — a worker blocks until its action returns —
+// but makes no promise about cross-worker interleaving of observations
+// in the memory pool; replay sampling is random precisely so that order
+// does not matter (§2.2.4).
+package core

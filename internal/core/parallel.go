@@ -15,10 +15,14 @@ func (t *Tuner) OfflineTrainParallel(mkEnv EnvFactory, episodes, workers int) (T
 // OfflineTrainOpts is the offline trainer behind OfflineTrain and
 // OfflineTrainParallel: a work-sharing loop where each worker repeatedly
 // claims the next episode index, runs it on a fresh environment from
-// mkEnv, and folds the outcome into one shared report. Agent access
-// (action selection, observation, gradient updates) is serialized inside
-// the tuner; the stress tests — the expensive part in real life — run
-// concurrently.
+// mkEnv, and folds the outcome into one shared report. Gradient updates
+// are serialized on the agent lock, but the other two hot-path agent
+// operations scale past it: with Workers ≥ 2 an inference batcher folds
+// concurrent action requests into one shared forward pass (see
+// TrainOptions.InferBatch), and with Config.MemoryShards ≥ 2 workers
+// store transitions into the lock-striped replay pool without touching
+// the agent lock at all. The stress tests — the expensive part in real
+// life — always run concurrently.
 //
 // The serial training semantics are preserved at any worker count:
 //
@@ -47,6 +51,19 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 	probeEnv := opts.ProbeEnv
 	if probeEnv == nil {
 		probeEnv = mkEnv
+	}
+	if workers > 1 && opts.InferBatch != 1 {
+		maxBatch := opts.InferBatch
+		if maxBatch <= 0 {
+			maxBatch = workers
+		}
+		t.infer = newInferBatcher(t, maxBatch)
+		// Workers have all joined by the time the deferred stop runs, so
+		// no request can be in flight.
+		defer func() {
+			t.infer.stop()
+			t.infer = nil
+		}()
 	}
 	var (
 		rep   TrainReport
@@ -132,6 +149,10 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 				noise.SetScale(sigma)
 				noise.Reset()
 				if opts.OnEpisode != nil {
+					inferMean := 1.0
+					if t.infer != nil {
+						inferMean = t.infer.meanBatch()
+					}
 					opts.OnEpisode(EpisodeStats{
 						Episode:        ep,
 						Worker:         wk,
@@ -143,6 +164,8 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 						ActorLoss:      st.updates.meanActor(),
 						NoiseSigma:     sigma,
 						VirtualSeconds: seconds,
+						InferBatchMean: inferMean,
+						MemoryShards:   t.memShards,
 					})
 				}
 				mu.Unlock()

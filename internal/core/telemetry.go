@@ -39,12 +39,24 @@ type EpisodeStats struct {
 	// VirtualSeconds is the episode's simulated wall-clock cost, including
 	// its snapshot probe when one ran after the episode.
 	VirtualSeconds float64
+
+	// InferBatchMean is the cumulative mean number of action-selection
+	// requests folded into one batched forward pass since training
+	// started — the amortization the cross-worker inference batcher is
+	// buying. It is 1 when batching is off (serial training, or
+	// TrainOptions.InferBatch = 1).
+	InferBatchMean float64
+
+	// MemoryShards is the number of independently locked shards behind
+	// the replay memory pool (1 = the single-lock pool; see
+	// Config.MemoryShards).
+	MemoryShards int
 }
 
 // String renders the record as a compact single log line.
 func (s EpisodeStats) String() string {
-	return fmt.Sprintf("ep %3d wk %d  best %8.1f tx/s  reward %+6.2f  closs %8.4f  aloss %+8.3f  sigma %.4f  crashes %d  %6.0f vsec",
-		s.Episode, s.Worker, s.BestThroughput, s.MeanReward, s.CriticLoss, s.ActorLoss, s.NoiseSigma, s.Crashes, s.VirtualSeconds)
+	return fmt.Sprintf("ep %3d wk %d  best %8.1f tx/s  reward %+6.2f  closs %8.4f  aloss %+8.3f  sigma %.4f  crashes %d  batch %4.1f  %6.0f vsec",
+		s.Episode, s.Worker, s.BestThroughput, s.MeanReward, s.CriticLoss, s.ActorLoss, s.NoiseSigma, s.Crashes, s.InferBatchMean, s.VirtualSeconds)
 }
 
 // EpisodeHook receives telemetry after each completed training episode.
@@ -70,4 +82,13 @@ type TrainOptions struct {
 	// OnEpisode, when non-nil, receives a telemetry record after each
 	// completed episode.
 	OnEpisode EpisodeHook
+
+	// InferBatch bounds how many in-flight action requests the
+	// cross-worker inference batcher folds into one forward pass. 0 picks
+	// the worker count; 1 disables batching (every worker takes the agent
+	// lock for its own single-state pass); values above the worker count
+	// are harmless. Batching only activates when Workers ≥ 2 — a serial
+	// run always selects actions directly, preserving exact
+	// serial-training determinism.
+	InferBatch int
 }

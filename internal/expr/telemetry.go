@@ -24,7 +24,11 @@ func TrainingTelemetry(b Budget, workers int) (Table, error) {
 	}
 	inst := simdb.CDBA
 	cat := knobs.MySQL(knobs.EngineCDB)
-	t, err := core.New(warmConfig(b, cat, inst))
+	cfg := warmConfig(b, cat, inst)
+	// Shard the replay pool one-per-worker so the telemetry stream also
+	// exercises (and reports) the lock-striped ingestion path.
+	cfg.MemoryShards = workers
+	t, err := core.New(cfg)
 	if err != nil {
 		return Table{}, err
 	}
@@ -52,7 +56,7 @@ func TrainingTelemetry(b Budget, workers int) (Table, error) {
 	tab := Table{
 		Title: fmt.Sprintf("Training telemetry (%d episodes, %d workers; converged=%v at iter %d, best %.1f txn/sec)",
 			rep.Episodes, workers, rep.Converged, rep.ConvergedAt, rep.BestPerf.Throughput),
-		Header: []string{"episode", "worker", "best tput", "mean reward", "critic loss", "actor loss", "sigma", "crashes", "virtual sec"},
+		Header: []string{"episode", "worker", "best tput", "mean reward", "critic loss", "actor loss", "sigma", "crashes", "infer batch", "virtual sec"},
 	}
 	for _, s := range records {
 		tab.Rows = append(tab.Rows, []string{
@@ -64,6 +68,7 @@ func TrainingTelemetry(b Budget, workers int) (Table, error) {
 			fmt.Sprintf("%+.3f", s.ActorLoss),
 			fmt.Sprintf("%.4f", s.NoiseSigma),
 			fmt.Sprintf("%d", s.Crashes),
+			fmt.Sprintf("%.2f", s.InferBatchMean),
 			fmt.Sprintf("%.0f", s.VirtualSeconds),
 		})
 	}

@@ -30,6 +30,14 @@ func (d *Dense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	return y
 }
 
+// Infer implements Inferrer: Forward without caching the input for
+// Backward.
+func (d *Dense) Infer(x *mat.Matrix) *mat.Matrix {
+	y := mat.Mul(mat.New(x.Rows, d.Out), x, d.W.Value)
+	y.AddRowVector(d.B.Value.Data)
+	return y
+}
+
 // Backward implements Layer: accumulates dW = xᵀ·grad, db = Σ grad and
 // returns dx = grad·Wᵀ.
 func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
@@ -75,6 +83,19 @@ func (r *ReLU) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	return y
 }
 
+// Infer implements Inferrer: Forward without recording the mask.
+func (r *ReLU) Infer(x *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		} else {
+			y.Data[i] = r.Alpha * v
+		}
+	}
+	return y
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *mat.Matrix) *mat.Matrix {
 	return mat.Hadamard(mat.New(grad.Rows, grad.Cols), grad, r.mask)
@@ -96,6 +117,15 @@ func (t *Tanh) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 		y.Data[i] = math.Tanh(v)
 	}
 	t.lastOut = y
+	return y
+}
+
+// Infer implements Inferrer: Forward without recording the activation.
+func (t *Tanh) Infer(x *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = math.Tanh(v)
+	}
 	return y
 }
 
@@ -126,6 +156,15 @@ func (s *Sigmoid) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 		y.Data[i] = 1 / (1 + math.Exp(-v))
 	}
 	s.lastOut = y
+	return y
+}
+
+// Infer implements Inferrer: Forward without recording the activation.
+func (s *Sigmoid) Infer(x *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
 	return y
 }
 
@@ -175,6 +214,11 @@ func (d *Dropout) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	}
 	return y
 }
+
+// Infer implements Inferrer: inverted dropout is the identity at
+// evaluation time, and unlike eval-mode Forward it leaves the training
+// mask in place.
+func (d *Dropout) Infer(x *mat.Matrix) *mat.Matrix { return x }
 
 // Backward implements Layer.
 func (d *Dropout) Backward(grad *mat.Matrix) *mat.Matrix {
@@ -262,6 +306,20 @@ func (b *BatchNorm) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	}
 	// Evaluation (or single-sample) mode: use running statistics.
 	b.xhat = nil
+	for i := 0; i < x.Rows; i++ {
+		xr, yr := x.Row(i), y.Row(i)
+		for j := range xr {
+			h := (xr[j] - b.RunningMean[j]) / math.Sqrt(b.RunningVar[j]+b.Eps)
+			yr[j] = b.Gamma.Value.Data[j]*h + b.Beta.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// Infer implements Inferrer: normalization by running statistics without
+// clearing the cached training-mode batch state.
+func (b *BatchNorm) Infer(x *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
 		xr, yr := x.Row(i), y.Row(i)
 		for j := range xr {

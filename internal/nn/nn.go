@@ -58,6 +58,34 @@ func (n *Network) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	return x
 }
 
+// Inferrer is an optional Layer extension: Infer computes the layer's
+// evaluation-mode activation without caching state for Backward. Forward
+// — even in evaluation mode — writes per-layer caches (last input,
+// activation masks), so interleaving it with a training pass corrupts the
+// pending backward state; Infer leaves the layer untouched. Every layer
+// in this package implements it.
+type Inferrer interface {
+	Infer(x *mat.Matrix) *mat.Matrix
+}
+
+// Infer runs the batch x through every layer in evaluation mode without
+// recording backward state, falling back to eval-mode Forward for layers
+// that do not implement Inferrer. It is the inference fast path behind
+// the DDPG agent's Act/ActBatch: numerically identical to
+// Forward(x, false), but read-only on the network apart from parameter
+// values — callers still must not run it concurrently with an update that
+// mutates those parameters.
+func (n *Network) Infer(x *mat.Matrix) *mat.Matrix {
+	for _, l := range n.Layers {
+		if inf, ok := l.(Inferrer); ok {
+			x = inf.Infer(x)
+		} else {
+			x = l.Forward(x, false)
+		}
+	}
+	return x
+}
+
 // Backward propagates the output gradient back through every layer,
 // accumulating parameter gradients, and returns the input gradient.
 func (n *Network) Backward(grad *mat.Matrix) *mat.Matrix {

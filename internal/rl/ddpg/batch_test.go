@@ -1,0 +1,64 @@
+package ddpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdbtune/internal/rl"
+)
+
+func batchTestConfig() Config {
+	cfg := DefaultConfig(6, 4)
+	cfg.ActorHidden = []int{16, 8}
+	cfg.CriticHidden = []int{16, 8}
+	return cfg
+}
+
+// ActBatch must agree with Act exactly, row for row: the batcher swapping
+// N single-state passes for one batched pass must not change any action.
+func TestActBatchMatchesAct(t *testing.T) {
+	a := New(batchTestConfig())
+	rng := rand.New(rand.NewSource(5))
+	const n = 7
+	states := make([][]float64, n)
+	for i := range states {
+		states[i] = make([]float64, 6)
+		for j := range states[i] {
+			states[i][j] = rng.NormFloat64()
+		}
+	}
+	batched := a.ActBatch(states)
+	if len(batched) != n {
+		t.Fatalf("ActBatch returned %d rows, want %d", len(batched), n)
+	}
+	for i, s := range states {
+		single := a.Act(s)
+		for j := range single {
+			if single[j] != batched[i][j] {
+				t.Fatalf("state %d dim %d: Act %v != ActBatch %v", i, j, single[j], batched[i][j])
+			}
+		}
+	}
+}
+
+// Config.MemoryShards must build a concurrency-safe sharded pool; the
+// default must keep the single-lock flavor.
+func TestMemoryShardsWiring(t *testing.T) {
+	cfg := batchTestConfig()
+	cfg.MemoryShards = 4
+	a := New(cfg)
+	sm, ok := a.Memory.(*rl.ShardedMemory)
+	if !ok {
+		t.Fatalf("MemoryShards=4 built %T, want *rl.ShardedMemory", a.Memory)
+	}
+	if sm.ShardCount() != 4 || !sm.Prioritized() {
+		t.Fatalf("shards=%d prioritized=%v, want 4/true", sm.ShardCount(), sm.Prioritized())
+	}
+	if _, ok := a.Memory.(rl.ConcurrentMemory); !ok {
+		t.Fatal("sharded pool must advertise rl.ConcurrentMemory")
+	}
+	cfg.MemoryShards = 0
+	if _, ok := New(cfg).Memory.(rl.ConcurrentMemory); ok {
+		t.Fatal("default pool must not claim concurrency safety")
+	}
+}

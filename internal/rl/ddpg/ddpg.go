@@ -1,9 +1,3 @@
-// Package ddpg implements Deep Deterministic Policy Gradient (Lillicrap et
-// al. 2015) exactly as CDBTune uses it (paper §4, Algorithm 1, Table 5):
-// an actor µ(s|θ^µ) mapping the 63 internal database metrics to a full
-// normalized knob configuration, and a critic Q(s, a|θ^Q) scoring the
-// configuration, trained from the experience-replay memory pool with soft
-// target networks.
 package ddpg
 
 import (
@@ -45,6 +39,14 @@ type Config struct {
 	BatchSize      int
 	MemoryCapacity int
 	Prioritized    bool // prioritized experience replay (§5.1)
+
+	// MemoryShards, when ≥ 2, splits the replay pool across that many
+	// independently locked shards (rounded up to a power of two; see
+	// rl.ShardedMemory) so concurrent Observe calls stop serializing
+	// behind the caller's agent lock — the package doc spells out which
+	// methods that exempts from locking. 0 or 1 keeps the single-lock
+	// pool, whose sampling sequence is exactly reproducible from Seed.
+	MemoryShards int
 
 	NoiseSigma float64 // initial exploration noise scale
 	// ExploreDims, when positive, perturbs only that many randomly chosen
@@ -171,9 +173,12 @@ func New(cfg Config) *Agent {
 	a.criticOpt = nn.NewAdam(a.critic.net(), cfg.CriticLR)
 	a.criticOpt.WeightDecay = cfg.WeightDecay
 
-	if cfg.Prioritized {
+	switch {
+	case cfg.MemoryShards > 1:
+		a.Memory = rl.NewShardedMemory(cfg.MemoryCapacity, cfg.MemoryShards, cfg.Prioritized)
+	case cfg.Prioritized:
 		a.Memory = rl.NewPrioritizedMemory(cfg.MemoryCapacity)
-	} else {
+	default:
 		a.Memory = rl.NewUniformMemory(cfg.MemoryCapacity)
 	}
 	a.Noise = rl.NewOUNoise(cfg.NoiseSigma)
@@ -209,11 +214,36 @@ func (a *Agent) Config() Config { return a.cfg }
 // TrainSteps reports how many gradient updates have been applied.
 func (a *Agent) TrainSteps() int { return a.trainSteps }
 
-// Act returns the deterministic policy action µ(s) for a single state.
+// Act returns the deterministic policy action µ(s) for a single state. It
+// uses the cache-free nn.Network.Infer path, so the input needs no
+// defensive copy and an interleaved gradient update's backward state is
+// never disturbed.
 func (a *Agent) Act(state []float64) []float64 {
-	x := mat.FromSlice(1, a.cfg.StateDim, append([]float64(nil), state...))
-	out := a.actor.Forward(x, false)
+	x := mat.FromSlice(1, a.cfg.StateDim, state)
+	out := a.actor.Infer(x)
 	return append([]float64(nil), out.Data...)
+}
+
+// ActBatch returns µ(s) for every state in one batched eval-mode forward
+// pass — the path core's cross-worker inference batcher uses to amortize
+// the network traversal over concurrent action requests. Row i of the
+// result corresponds to states[i]. Like Act it must run under the
+// caller's agent lock (it reads the actor's parameters), but one call
+// serves the whole batch with a single traversal.
+func (a *Agent) ActBatch(states [][]float64) [][]float64 {
+	if len(states) == 0 {
+		return nil
+	}
+	x := mat.New(len(states), a.cfg.StateDim)
+	for i, s := range states {
+		copy(x.Row(i), s)
+	}
+	out := a.actor.Infer(x)
+	acts := make([][]float64, len(states))
+	for i := range acts {
+		acts[i] = append([]float64(nil), out.Row(i)...)
+	}
+	return acts
 }
 
 // ActNoisy returns µ(s) perturbed by exploration noise. Out-of-range
@@ -230,10 +260,19 @@ func (a *Agent) ActNoisy(state []float64) []float64 {
 // a fork of a.Noise so the OU temporal state is not shared across
 // concurrent episodes. A nil src falls back to a.Noise.
 func (a *Agent) ActNoisyFrom(state []float64, src rl.Noise) []float64 {
+	return a.Perturb(a.Act(state), src)
+}
+
+// Perturb applies exploration noise from src (the agent's own process
+// when nil) to a greedy action in place and returns it. It consumes the
+// agent's rng, so it falls under the same caller-held lock as TrainStep;
+// core's inference batcher uses it to noise each exploring request of a
+// batch right after the shared ActBatch forward pass, inside one lock
+// acquisition.
+func (a *Agent) Perturb(act []float64, src rl.Noise) []float64 {
 	if src == nil {
 		src = a.Noise
 	}
-	act := a.Act(state)
 	noise := src.Sample(a.rng, len(act))
 	k := a.cfg.ExploreDims
 	if k <= 0 || k >= len(act) {

@@ -1,12 +1,3 @@
-// Package rl provides the reinforcement-learning building blocks shared by
-// CDBTune's agents: the experience replay memory pool (uniform and
-// prioritized), exploration noise processes, and the transition type.
-//
-// The paper calls the replay memory the "memory pool" (§2.2.4): each sample
-// is a transition (s_t, r_t, a_t, s_{t+1}) and batches are drawn at random
-// to break the sequential correlation between consecutive tuning steps.
-// §5.1 reports that prioritized experience replay [38] halves the number of
-// iterations to convergence, so both variants are provided.
 package rl
 
 import (
@@ -25,8 +16,10 @@ type Transition struct {
 	Done      bool
 }
 
-// Memory is the interface shared by the uniform and prioritized replay
-// pools.
+// Memory is the interface shared by the replay pools. UniformMemory and
+// PrioritizedMemory require external serialization; ShardedMemory (which
+// additionally implements ConcurrentMemory) is internally synchronized.
+// See the package documentation for the full concurrency contract.
 type Memory interface {
 	// Add stores a transition, evicting the oldest when full.
 	Add(t Transition)
@@ -88,6 +81,9 @@ func (m *UniformMemory) Sample(rng *rand.Rand, n int) ([]Transition, []int, []fl
 	}
 	return batch, indices, weights
 }
+
+// mass is the pool's total sampling mass: one unit per stored transition.
+func (m *UniformMemory) mass() float64 { return float64(len(m.buf)) }
 
 // UpdatePriorities implements Memory (no-op for uniform sampling).
 func (m *UniformMemory) UpdatePriorities([]int, []float64) {}
@@ -197,6 +193,9 @@ func (m *PrioritizedMemory) Sample(rng *rand.Rand, n int) ([]Transition, []int, 
 	}
 	return batch, indices, weights
 }
+
+// mass is the pool's total sampling mass: the sum-tree root.
+func (m *PrioritizedMemory) mass() float64 { return m.tree[1] }
 
 // UpdatePriorities implements Memory.
 func (m *PrioritizedMemory) UpdatePriorities(indices []int, tdErrors []float64) {

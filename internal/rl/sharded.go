@@ -1,0 +1,340 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// ConcurrentMemory marks Memory implementations that are safe for
+// concurrent use by multiple goroutines with no external locking. core's
+// Tuner checks for it to decide whether Observe may bypass the agent lock.
+type ConcurrentMemory interface {
+	Memory
+	// ConcurrencySafe is a marker method: implementations synchronize Add,
+	// Sample, UpdatePriorities, Len and Transitions internally (Save and
+	// Load remain excluded; see the package documentation).
+	ConcurrencySafe()
+}
+
+// memoryShard is one lock-striped slice of a ShardedMemory: a ring buffer
+// (uniform or prioritized) behind its own mutex, plus lock-free mirrors
+// of its sampling mass and length so Sample's proportional-allocation
+// snapshot and Len never take the mutex at all. The trailing padding
+// keeps adjacent shards off one cache line, so uncontended lock/unlock
+// and atomic loads on neighboring shards do not false-share.
+type memoryShard struct {
+	mu  sync.Mutex
+	uni *UniformMemory
+	pri *PrioritizedMemory
+
+	// massBits (the float64 bits of the shard's sampling mass) and n (its
+	// length) are written under mu after every mutation and read without
+	// it; readers therefore see a moment-in-time snapshot that can only
+	// lag behind, never overshoot, the shard's true contents (pools only
+	// grow). See the package documentation's staleness guarantee.
+	massBits atomic.Uint64
+	n        atomic.Int64
+
+	_ [16]byte
+}
+
+// mass returns the shard's sampling mass. Callers hold the shard mutex.
+func (s *memoryShard) mass() float64 {
+	if s.pri != nil {
+		return s.pri.mass()
+	}
+	return s.uni.mass()
+}
+
+// inner returns the shard's pool through the Memory interface. Callers
+// hold the shard mutex.
+func (s *memoryShard) inner() Memory {
+	if s.pri != nil {
+		return s.pri
+	}
+	return s.uni
+}
+
+// publishStats refreshes the lock-free mass/length mirrors. Callers hold
+// the shard mutex.
+func (s *memoryShard) publishStats() {
+	s.massBits.Store(math.Float64bits(s.mass()))
+	s.n.Store(int64(s.inner().Len()))
+}
+
+// ShardedMemory is a replay pool split across a power-of-two number of
+// independently locked shards, so concurrent training workers can Add
+// transitions without serializing behind one mutex — the scaling bottleneck
+// the single-lock pools hit once many tuning episodes stream experience at
+// once. Add round-robins inserts off an atomic counter; Sample draws each
+// batch slot from a shard chosen proportionally to the shard's sampling
+// mass (transition count for uniform shards, sum-tree total priority for
+// prioritized shards) and merges the per-shard draws into one batch. See
+// the package documentation for the concurrency contract and the exact
+// sampling-distribution guarantee.
+type ShardedMemory struct {
+	shards      []memoryShard
+	mask        uint64
+	perShardCap int
+	prioritized bool
+	beta        float64 // importance-sampling exponent, mirrored from the shards
+	ctr         atomic.Uint64
+}
+
+// Compile-time checks: ShardedMemory is a concurrency-safe Memory; the
+// single-lock pools satisfy plain Memory.
+var (
+	_ ConcurrentMemory = (*ShardedMemory)(nil)
+	_ Memory           = (*UniformMemory)(nil)
+	_ Memory           = (*PrioritizedMemory)(nil)
+)
+
+// NewShardedMemory returns a pool of (at least) the given total capacity
+// split across `shards` ring buffers. The shard count is rounded up to the
+// next power of two; capacity is divided evenly across shards, rounding
+// up. prioritized selects per-shard proportional prioritized replay with
+// the usual exponents (see NewPrioritizedMemory).
+func NewShardedMemory(capacity, shards int, prioritized bool) *ShardedMemory {
+	if capacity <= 0 {
+		panic("rl: memory capacity must be positive")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := (capacity + n - 1) / n
+	m := &ShardedMemory{
+		shards:      make([]memoryShard, n),
+		mask:        uint64(n - 1),
+		perShardCap: per,
+		prioritized: prioritized,
+	}
+	for i := range m.shards {
+		if prioritized {
+			m.shards[i].pri = NewPrioritizedMemory(per)
+		} else {
+			m.shards[i].uni = NewUniformMemory(per)
+		}
+	}
+	if prioritized {
+		m.beta = m.shards[0].pri.beta
+	}
+	return m
+}
+
+// ConcurrencySafe implements ConcurrentMemory.
+func (m *ShardedMemory) ConcurrencySafe() {}
+
+// ShardCount reports the number of shards (always a power of two).
+func (m *ShardedMemory) ShardCount() int { return len(m.shards) }
+
+// Prioritized reports whether the shards use prioritized replay.
+func (m *ShardedMemory) Prioritized() bool { return m.prioritized }
+
+// Add implements Memory. Inserts round-robin across shards off one atomic
+// counter, so writers contend only on a single fetch-add plus the target
+// shard's mutex — never on each other's shards.
+func (m *ShardedMemory) Add(t Transition) {
+	s := &m.shards[(m.ctr.Add(1)-1)&m.mask]
+	s.mu.Lock()
+	s.inner().Add(t)
+	s.publishStats()
+	s.mu.Unlock()
+}
+
+// Sample implements Memory: it snapshots every shard's sampling mass from
+// the lock-free mirrors, assigns each of the n batch slots to a shard
+// proportionally to that mass, then visits each shard exactly once —
+// lock, draw all of its assigned slots, unlock — so a batch costs at most
+// ShardCount lock round-trips no matter how large n is, and concurrent
+// writers only ever wait out one shard's slice of the draw. Each slot
+// spends a single rng draw: the residual of the shard pick, rescaled to
+// [0,1), drives the intra-shard draw, mirroring how the single-tree
+// implementation reuses one stratified variate per slot. Returned indices
+// encode (shard, slot) as slot·ShardCount + shard for UpdatePriorities;
+// weights are importance-sampling corrections computed against the
+// pool-wide size and total mass (all 1 for uniform shards), normalized by
+// the batch maximum.
+func (m *ShardedMemory) Sample(rng *rand.Rand, n int) ([]Transition, []int, []float64) {
+	k := len(m.shards)
+	var massArr [64]float64
+	masses := massArr[:0]
+	if k > len(massArr) {
+		masses = make([]float64, 0, k)
+	}
+	var total float64
+	var totalLen int64
+	// The snapshot reads the lock-free mirrors — no shard mutex is
+	// touched until the draws themselves.
+	for i := range m.shards {
+		s := &m.shards[i]
+		mass := math.Float64frombits(s.massBits.Load())
+		masses = append(masses, mass)
+		totalLen += s.n.Load()
+		total += mass
+	}
+	if total <= 0 || totalLen == 0 {
+		return nil, nil, nil
+	}
+	batch := make([]Transition, n)
+	indices := make([]int, n)
+	weights := make([]float64, n)
+	// Assign every batch slot to a shard proportionally to the mass
+	// snapshot, skipping empty shards; float round-off at v ≈ total falls
+	// through to the last non-empty shard. The shard is parked in
+	// indices[i] (overwritten with the final encoding during the per-shard
+	// pass — a drawn slot's value is either its own shard or ≥ k, never a
+	// not-yet-visited shard) and the pick's residual, rescaled to [0,1),
+	// is parked in weights[i].
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * total
+		si := -1
+		for j := 0; j < k; j++ {
+			if masses[j] <= 0 {
+				continue
+			}
+			si = j
+			if v < masses[j] {
+				break
+			}
+			v -= masses[j]
+		}
+		indices[i] = si
+		u := v / masses[si]
+		if u >= 1 { // float round-off on the fall-through path
+			u = math.Nextafter(1, 0)
+		}
+		weights[i] = u
+	}
+	var maxW float64
+	for si := 0; si < k; si++ {
+		if masses[si] <= 0 {
+			continue
+		}
+		s := &m.shards[si]
+		s.mu.Lock()
+		for i := 0; i < n; i++ {
+			if indices[i] != si {
+				continue
+			}
+			u := weights[i]
+			var local int
+			pr := 1.0
+			if m.prioritized {
+				p := s.pri
+				local = p.find(u * p.tree[1])
+				if local >= p.size { // zero-priority tail while filling; clamp
+					local = p.size - 1
+				}
+				pr = p.tree[local+p.capacity]
+				batch[i] = p.data[local]
+			} else {
+				buf := s.uni.buf
+				local = int(u * float64(len(buf)))
+				if local >= len(buf) {
+					local = len(buf) - 1
+				}
+				batch[i] = buf[local]
+			}
+			w := 1.0
+			if m.prioritized {
+				w = math.Pow(float64(totalLen)*pr/total, -m.beta)
+			}
+			indices[i] = local*k + si
+			weights[i] = w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		s.mu.Unlock()
+	}
+	if maxW > 0 {
+		for i := range weights {
+			weights[i] /= maxW
+		}
+	}
+	return batch, indices, weights
+}
+
+// UpdatePriorities implements Memory, routing each (shard, slot)-encoded
+// index back to its shard's sum tree. The updates are bucketed by shard
+// in one pass so each shard's mutex is taken at most once per call.
+// Uniform shards ignore it.
+func (m *ShardedMemory) UpdatePriorities(indices []int, tdErrors []float64) {
+	if !m.prioritized {
+		return
+	}
+	k := len(m.shards)
+	n := len(indices)
+	var cntArr [64]int
+	cnt := cntArr[:0]
+	if k > len(cntArr) {
+		cnt = make([]int, 0, k)
+	}
+	cnt = cnt[:k]
+	for _, idx := range indices {
+		cnt[idx%k]++
+	}
+	// start[si] is where shard si's bucket begins in the grouped arrays;
+	// the fill loop below advances it to the bucket end, so the apply loop
+	// recovers the start as start[si] - cnt[si].
+	var startArr [64]int
+	start := startArr[:0]
+	if k > len(startArr) {
+		start = make([]int, 0, k)
+	}
+	start = start[:k]
+	sum := 0
+	for si := 0; si < k; si++ {
+		start[si] = sum
+		sum += cnt[si]
+	}
+	local := make([]int, n)
+	td := make([]float64, n)
+	for i, idx := range indices {
+		si := idx % k
+		local[start[si]] = idx / k
+		td[start[si]] = tdErrors[i]
+		start[si]++
+	}
+	for si := 0; si < k; si++ {
+		if cnt[si] == 0 {
+			continue
+		}
+		lo, hi := start[si]-cnt[si], start[si]
+		s := &m.shards[si]
+		s.mu.Lock()
+		s.pri.UpdatePriorities(local[lo:hi], td[lo:hi])
+		s.publishStats()
+		s.mu.Unlock()
+	}
+}
+
+// Len implements Memory, summing the shards' lock-free length mirrors.
+// With concurrent writers the result is a moment-in-time lower bound.
+func (m *ShardedMemory) Len() int {
+	var total int64
+	for i := range m.shards {
+		total += m.shards[i].n.Load()
+	}
+	return int(total)
+}
+
+// Transitions implements Memory. The order is per-shard oldest-first,
+// concatenated shard by shard; because Add round-robins across shards,
+// the global insertion order is interleaved, not preserved.
+func (m *ShardedMemory) Transitions() []Transition {
+	var out []Transition
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		out = append(out, s.inner().Transitions()...)
+		s.mu.Unlock()
+	}
+	return out
+}

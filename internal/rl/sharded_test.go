@@ -1,0 +1,213 @@
+package rl
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestShardedRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		m := NewShardedMemory(64, tc.in, false)
+		if got := m.ShardCount(); got != tc.want {
+			t.Fatalf("shards %d rounded to %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShardedAddLenTransitions(t *testing.T) {
+	m := NewShardedMemory(64, 4, true)
+	const n = 10
+	for i := 0; i < n; i++ {
+		m.Add(tr(float64(i)))
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	seen := make(map[float64]bool)
+	for _, x := range m.Transitions() {
+		seen[x.Reward] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("Transitions covered %d distinct rewards, want %d", len(seen), n)
+	}
+}
+
+// Round-robin insertion must keep the pool's total capacity and evict the
+// oldest entries per shard, like the single-lock ring buffers do globally.
+func TestShardedEviction(t *testing.T) {
+	m := NewShardedMemory(8, 2, false)
+	for i := 0; i < 20; i++ {
+		m.Add(tr(float64(i)))
+	}
+	if m.Len() != 8 {
+		t.Fatalf("Len = %d, want capacity 8", m.Len())
+	}
+	for _, x := range m.Transitions() {
+		if x.Reward < 12 {
+			t.Fatalf("transition %v survived eviction; oldest 12 must be gone", x.Reward)
+		}
+	}
+}
+
+// Sample must return exactly n transitions with valid (shard, slot)
+// indices, and uniform weights must all be 1.
+func TestShardedUniformSample(t *testing.T) {
+	m := NewShardedMemory(64, 4, false)
+	for i := 0; i < 32; i++ {
+		m.Add(tr(float64(i)))
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch, indices, weights := m.Sample(rng, 64)
+	if len(batch) != 64 || len(indices) != 64 || len(weights) != 64 {
+		t.Fatalf("sample sizes %d/%d/%d, want 64", len(batch), len(indices), len(weights))
+	}
+	for i, w := range weights {
+		if w != 1 {
+			t.Fatalf("uniform weight[%d] = %v, want 1", i, w)
+		}
+		if indices[i] < 0 {
+			t.Fatalf("negative index %d", indices[i])
+		}
+	}
+}
+
+// Boosting one sampled index's priority must concentrate subsequent draws
+// on that transition — i.e. UpdatePriorities must route (shard, slot)
+// indices back to the right shard's sum tree.
+func TestShardedPrioritySampling(t *testing.T) {
+	m := NewShardedMemory(64, 4, true)
+	const n = 32
+	for i := 0; i < n; i++ {
+		m.Add(tr(float64(i)))
+	}
+	rng := rand.New(rand.NewSource(9))
+	batch, indices, _ := m.Sample(rng, 1)
+	want := batch[0].Reward
+	m.UpdatePriorities(indices[:1], []float64{1000})
+
+	hits := 0
+	const draws = 512
+	b2, _, w2 := m.Sample(rng, draws)
+	for i, x := range b2 {
+		if x.Reward == want {
+			hits++
+			// The boosted transition is the most probable one, so its
+			// importance weight must be the batch minimum (< 1 after
+			// normalization by the max).
+			if w2[i] >= 1 {
+				t.Fatalf("boosted transition weight %v, want < 1", w2[i])
+			}
+		}
+	}
+	// p ≈ 1001^0.6/(1001^0.6+31) ≈ 0.67; demand well above uniform (1/32).
+	if hits < draws/3 {
+		t.Fatalf("boosted transition drawn %d/%d times, want ≥ %d", hits, draws, draws/3)
+	}
+}
+
+// Sampling proportionally across shard masses must reproduce the
+// unsharded uniform distribution: every transition roughly equally often.
+func TestShardedUniformDistribution(t *testing.T) {
+	m := NewShardedMemory(16, 4, false)
+	const n = 16
+	for i := 0; i < n; i++ {
+		m.Add(tr(float64(i)))
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[float64]int)
+	const draws = 8000
+	batch, _, _ := m.Sample(rng, draws)
+	for _, x := range batch {
+		counts[x.Reward]++
+	}
+	want := draws / n
+	for r, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("transition %v drawn %d times, want ≈ %d", r, c, want)
+		}
+	}
+}
+
+// A sharded pool must round-trip through Save/Load, including across a
+// different shard count and into the single-lock flavors.
+func TestShardedSaveLoad(t *testing.T) {
+	m := NewShardedMemory(64, 4, true)
+	for i := 0; i < 12; i++ {
+		m.Add(tr(float64(i)))
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	rewards := func(mem Memory) map[float64]bool {
+		out := make(map[float64]bool)
+		for _, x := range mem.Transitions() {
+			out[x.Reward] = true
+		}
+		return out
+	}
+	want := rewards(m)
+
+	m2 := NewShardedMemory(64, 8, false)
+	if err := m2.Load(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 12 {
+		t.Fatalf("reloaded Len = %d, want 12", m2.Len())
+	}
+	got := rewards(m2)
+	for r := range want {
+		if !got[r] {
+			t.Fatalf("transition %v lost across Save/Load", r)
+		}
+	}
+
+	u := NewUniformMemory(64)
+	if err := u.Load(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 12 {
+		t.Fatalf("cross-flavor Len = %d, want 12", u.Len())
+	}
+}
+
+// Every ShardedMemory method except Save/Load must tolerate concurrent
+// use; this test exists to fail under the race detector (make check).
+func TestShardedConcurrentUse(t *testing.T) {
+	m := NewShardedMemory(4096, 8, true)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				m.Add(tr(rng.Float64()))
+				if i%8 == 0 {
+					if _, idx, _ := m.Sample(rng, 16); idx != nil {
+						errs := make([]float64, len(idx))
+						for j := range errs {
+							errs[j] = rng.Float64()
+						}
+						m.UpdatePriorities(idx, errs)
+					}
+				}
+				if i%32 == 0 {
+					m.Len()
+					m.Transitions()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := m.Len(), goroutines*200; got != want {
+		t.Fatalf("Len = %d after concurrent adds, want %d", got, want)
+	}
+}

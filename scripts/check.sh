@@ -17,3 +17,6 @@ go test ./...
 
 echo "== go test -race (short) =="
 go test -race -short -timeout 20m ./...
+
+echo "== bench smoke (1 iteration) =="
+go test -run '^$' -bench 'BenchmarkMemoryAddSample|BenchmarkActBatched' -benchtime=1x -cpu 4 .
