@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,14 @@ test:
 # benchmarks.
 check:
 	./scripts/check.sh
+
+# chaos-smoke runs the seeded fault-injection scenario end to end: a
+# crash-storm tuning request that must end on the best-known-good
+# configuration, and a chaotic training run killed after 3 episodes and
+# resumed from its checkpoint with matching episode accounting. See
+# EXPERIMENTS.md ("Chaos recipe").
+chaos-smoke:
+	$(GO) test -count=1 -run 'TestChaosSmoke|TestTuningRequestSurvivesCrashStorm' ./internal/controller/ -v
 
 # bench runs the replay-contention and batched-inference microbenchmarks.
 # -cpu 4 simulates four training workers even on fewer cores; see

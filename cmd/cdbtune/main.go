@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"cdbtune/internal/chaos"
 	"cdbtune/internal/core"
 	"cdbtune/internal/env"
 	"cdbtune/internal/knobs"
@@ -48,7 +49,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cdbtune train -workload <name> [-instance CDB-A] [-episodes 40] [-workers 1] [-shards 0] [-model model.bin] [-quiet]
-  cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf]
+                [-checkpoint train.ckpt] [-checkpoint-every 5] [-resume] [-chaos]
+  cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf] [-chaos]
   cdbtune knobs [-engine cdb-mysql] [-all]
   cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A]
   cdbtune info`)
@@ -63,6 +65,21 @@ func instanceByName(name string) (simdb.Instance, error) {
 	return simdb.Instance{}, fmt.Errorf("unknown instance %q (see `cdbtune info`)", name)
 }
 
+// chaosMix is the standard seeded fault mix the -chaos flag enables: a
+// few percent of everything the injector can throw, enough that every
+// resilience path fires during a normal-length run.
+func chaosMix(seed int64) *chaos.Injector {
+	return chaos.New(chaos.Config{
+		Seed:          seed,
+		TransientProb: 0.05,
+		ApplyFailProb: 0.03,
+		StallProb:     0.05,
+		StallSec:      30,
+		DropoutProb:   0.05,
+		CrashProb:     0.02,
+	})
+}
+
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	wname := fs.String("workload", "sysbench-rw", "workload name")
@@ -73,6 +90,10 @@ func cmdTrain(args []string) error {
 	model := fs.String("model", "model.bin", "output model path")
 	seed := fs.Int64("seed", 1, "random seed")
 	quiet := fs.Bool("quiet", false, "suppress per-episode telemetry")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file for crash-safe training (empty = off)")
+	ckptEvery := fs.Int("checkpoint-every", 5, "episodes between checkpoints")
+	resume := fs.Bool("resume", false, "resume a killed run from -checkpoint")
+	withChaos := fs.Bool("chaos", false, "inject a seeded standard fault mix into every training environment")
 	fs.Parse(args)
 
 	w, err := workload.ByName(*wname)
@@ -98,13 +119,25 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	var in *chaos.Injector
+	if *withChaos {
+		in = chaosMix(*seed)
+	}
 	mk := func(ep int) *env.Env {
-		db := simdb.New(knobs.EngineCDB, inst, *seed+int64(ep))
+		var db env.Database = simdb.New(knobs.EngineCDB, inst, *seed+int64(ep))
+		if in != nil {
+			db = in.Wrap(db)
+		}
 		return env.New(db, cat, w)
 	}
 	fmt.Printf("training CDBTune: %s on %s, %d episodes, %d workers\n", w.Name, inst.Name, *episodes, *workers)
 	var last core.EpisodeStats
-	opts := core.TrainOptions{Episodes: *episodes, Workers: *workers}
+	opts := core.TrainOptions{Episodes: *episodes, Workers: *workers, Resume: *resume}
+	if *ckptPath != "" {
+		opts.Checkpoint = &core.Checkpointer{Path: *ckptPath, Every: *ckptEvery}
+	} else if *resume {
+		return fmt.Errorf("train: -resume requires -checkpoint")
+	}
 	opts.OnEpisode = func(s core.EpisodeStats) {
 		last = s
 		if !*quiet {
@@ -115,22 +148,28 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	if rep.Resumed {
+		fmt.Printf("resumed from %s: %d episodes already done\n", *ckptPath, rep.ResumedEpisodes)
+	}
 	fmt.Printf("episodes=%d iterations=%d crashes=%d best throughput=%.1f txn/sec (%.1f virtual hours)\n",
 		rep.Episodes, rep.Iterations, rep.Crashes, rep.BestPerf.Throughput, rep.VirtualSeconds/3600)
 	if rep.Episodes > 0 {
 		fmt.Printf("replay shards=%d  mean inference batch=%.2f\n", last.MemoryShards, last.InferBatchMean)
+	}
+	if rep.Faults.Any() || rep.WorkerDeaths > 0 || rep.LostEpisodes > 0 {
+		fmt.Printf("faults: %d transients, %d retries (%.0f vsec backoff), %d stalls (%.0f vsec), %d dropouts, %d worker deaths, %d lost episodes\n",
+			rep.Faults.Transients, rep.Faults.Retries, rep.Faults.RetrySec,
+			rep.Faults.Stalls, rep.Faults.StallSec, rep.Faults.Dropouts,
+			rep.WorkerDeaths, rep.LostEpisodes)
 	}
 	if rep.Converged {
 		fmt.Printf("converged at iteration %d\n", rep.ConvergedAt)
 	} else {
 		fmt.Println("not converged within the episode budget")
 	}
-	f, err := os.Create(*model)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := tuner.Save(f); err != nil {
+	// Atomic write: a crash mid-save must never leave a truncated model
+	// where a good one stood.
+	if err := core.WriteAtomic(*model, tuner.Save); err != nil {
 		return err
 	}
 	fmt.Printf("model written to %s\n", *model)
@@ -145,6 +184,7 @@ func cmdTune(args []string) error {
 	model := fs.String("model", "model.bin", "model path from `cdbtune train`")
 	export := fs.String("export", "", "write the recommended configuration to this file (my.cnf syntax)")
 	seed := fs.Int64("seed", 42, "random seed")
+	withChaos := fs.Bool("chaos", false, "inject a seeded standard fault mix into the tuned instance")
 	fs.Parse(args)
 
 	w, err := workload.ByName(*wname)
@@ -170,10 +210,17 @@ func cmdTune(args []string) error {
 		return err
 	}
 
-	db := simdb.New(knobs.EngineCDB, inst, *seed)
-	e := env.New(db, cat, w)
+	var target env.Database = simdb.New(knobs.EngineCDB, inst, *seed)
+	if *withChaos {
+		target = chaosMix(*seed).Wrap(target)
+	}
+	e := env.New(target, cat, w)
 	fmt.Printf("online tuning: %s on %s, %d steps\n", w.Name, inst.Name, *steps)
-	res, err := tuner.OnlineTune(e, *steps, true)
+	// The guardrail reverts to the best-known-good configuration after
+	// repeated failures and steers recommendations away from knob regions
+	// that crashed the instance — a no-op on a healthy run.
+	guard := core.NewGuardrail(0, 0)
+	res, err := tuner.OnlineTuneGuarded(e, *steps, true, guard)
 	if err != nil {
 		return err
 	}
@@ -183,6 +230,10 @@ func cmdTune(args []string) error {
 		(res.BestPerf.Throughput/res.Initial.Throughput-1)*100)
 	fmt.Printf("request cost: %.1f virtual minutes, %d crashes during exploration\n",
 		res.Seconds/60, res.Crashes)
+	if res.Reverts > 0 || res.Vetoes > 0 || res.SkippedSteps > 0 || res.Faults.Any() {
+		fmt.Printf("resilience: %d reverts to best-known-good, %d vetoed proposals, %d skipped steps, %d transients / %d retries\n",
+			res.Reverts, res.Vetoes, res.SkippedSteps, res.Faults.Transients, res.Faults.Retries)
+	}
 	fmt.Println("recommended knob settings (changed from defaults):")
 	hw := inst.HW
 	def := cat.Defaults(hw.RAMGB, hw.DiskGB)

@@ -210,11 +210,13 @@ func run(id string, b expr.Budget) error {
 		}
 		printTable(t)
 	case "telemetry":
-		t, err := expr.TrainingTelemetry(b, 4)
+		ts, err := expr.TrainingTelemetry(b, 4)
 		if err != nil {
 			return err
 		}
-		printTable(t)
+		for _, t := range ts {
+			printTable(t)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q (run with no args for the list)", id)
 	}

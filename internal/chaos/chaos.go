@@ -1,0 +1,297 @@
+// Package chaos injects faults into the measurement path of a tuning
+// environment. A seeded Injector wraps any env.Database and, on a
+// deterministic schedule, makes stress tests fail transiently, stall
+// (charging extra virtual time), drop metrics (NaN/zeroed state vectors),
+// fail knob deployments, crash in storms, or report the training server
+// itself as lost. Every consumer of the measurement path — env retries,
+// core's guardrails and worker respawn, the controller's revert logic —
+// is tested against this package rather than against hand-written stubs,
+// so the failure semantics stay consistent across layers.
+//
+// One Injector may wrap many databases (e.g. one per training episode):
+// the schedule counters — run index, crash-storm window, worker kill —
+// are global across every wrapped instance, which is what lets a test
+// script "the 7th stress test of this training run crashes" regardless
+// of which episode issues it. Probability draws consume one shared seeded
+// rng, so a serial run replays identically for a given seed; concurrent
+// workers interleave draws nondeterministically (like real outages do).
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// Config is the fault schedule. Zero-valued fields inject nothing, so the
+// zero Config is a no-op wrapper.
+type Config struct {
+	// Seed fixes the probability draws.
+	Seed int64
+
+	// TransientProb is the per-stress-test probability of a transient
+	// failure (dropped connection, collector timeout) — the kind
+	// env.Measure retries with backoff.
+	TransientProb float64
+
+	// ApplyFailProb is the per-deployment probability that ApplyKnobs
+	// fails (a restart that times out). The injected error chains to
+	// simdb.ErrTransient, so hardened callers may retry the step.
+	ApplyFailProb float64
+
+	// StallProb and StallSec inject latency spikes: the stress test
+	// succeeds but charges StallSec extra virtual seconds (scaled by a
+	// jitter factor in [0.5, 1.5)) through env's Staller hook.
+	StallProb float64
+	StallSec  float64
+
+	// DropoutProb corrupts the returned state vector: every entry becomes
+	// NaN or zero (alternating by draw), simulating a metrics collector
+	// that went dark mid-run.
+	DropoutProb float64
+
+	// CrashProb injects background crashes (simdb.ErrCrashed) on top of
+	// whatever the simulator itself decides.
+	CrashProb float64
+
+	// RecoveryFailures makes the first N measurements that follow a
+	// ResetDefaults fail transiently — a recovering instance that is not
+	// yet accepting connections.
+	RecoveryFailures int
+
+	// CrashStormAtRun and CrashStormRuns define a storm window: every
+	// stress test whose global 1-based run index falls in
+	// [CrashStormAtRun, CrashStormAtRun+CrashStormRuns) crashes.
+	// CrashStormAtRun = 0 disables the storm.
+	CrashStormAtRun int
+	CrashStormRuns  int
+
+	// KillWorkerAtRun makes one stress test (the first whose global run
+	// index reaches the value) fail with simdb.ErrWorkerLost — the
+	// training server died, not the database. 0 disables.
+	KillWorkerAtRun int
+}
+
+// Counters reports how many of each fault the injector has fired.
+type Counters struct {
+	Runs          int // stress tests seen (including injected failures)
+	Transients    int
+	ApplyFails    int
+	Stalls        int
+	Dropouts      int
+	Crashes       int // injected crashes, storm and background
+	RecoveryFails int
+	Kills         int
+}
+
+// Injector holds the shared fault schedule. Safe for concurrent use by
+// multiple wrapped databases.
+type Injector struct {
+	cfg Config
+
+	mu             sync.Mutex
+	rng            *rand.Rand
+	runs           int
+	killed         bool
+	recoveryBudget int
+	ctr            Counters
+}
+
+// New builds an injector for the given schedule.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:            cfg,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		recoveryBudget: cfg.RecoveryFailures,
+	}
+}
+
+// Counters returns a snapshot of the fault counts so far.
+func (in *Injector) Counters() Counters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ctr
+}
+
+// Wrap interposes the injector between a database and its environment.
+func (in *Injector) Wrap(db env.Database) *DB { return &DB{inner: db, in: in} }
+
+// DB is a fault-injecting env.Database. It delegates to the wrapped
+// instance except where the schedule says otherwise.
+type DB struct {
+	inner env.Database
+	in    *Injector
+
+	mu        sync.Mutex
+	stall     float64 // pending stall seconds, drained via TakeStallSeconds
+	recovering bool   // set by ResetDefaults while recovery failures remain
+}
+
+var _ env.Database = (*DB)(nil)
+var _ env.Staller = (*DB)(nil)
+
+// ApplyKnobs injects deployment failures per Config.ApplyFailProb, else
+// delegates. An injected failure leaves the wrapped instance untouched,
+// like a restart that timed out before the new configuration took.
+func (d *DB) ApplyKnobs(cat *knobs.Catalog, x []float64) (bool, error) {
+	if d.in.drawApplyFail() {
+		return false, fmt.Errorf("%w: chaos: restart timed out deploying configuration", simdb.ErrTransient)
+	}
+	return d.inner.ApplyKnobs(cat, x)
+}
+
+// ResetDefaults delegates and, when recovery failures remain in the
+// budget, arms this instance so its next measurements fail transiently.
+func (d *DB) ResetDefaults() {
+	d.inner.ResetDefaults()
+	d.mu.Lock()
+	d.recovering = true
+	d.mu.Unlock()
+}
+
+// RunWorkload applies the fault schedule: worker kill, crash storm,
+// post-reset recovery failures, background crashes, transient failures —
+// first match wins — then stalls and metric dropouts on a successful run.
+func (d *DB) RunWorkload(w workload.Workload, durationSec float64) (simdb.Result, error) {
+	v := d.in.draw(d)
+	switch v.kind {
+	case faultKill:
+		return simdb.Result{}, fmt.Errorf("%w: chaos: training server unreachable", simdb.ErrWorkerLost)
+	case faultCrash:
+		return simdb.Result{}, fmt.Errorf("%w: chaos: injected crash", simdb.ErrCrashed)
+	case faultTransient:
+		return simdb.Result{}, fmt.Errorf("%w: chaos: stress-test connection dropped", simdb.ErrTransient)
+	}
+	res, err := d.inner.RunWorkload(w, durationSec)
+	if err != nil {
+		return res, err
+	}
+	if v.stallSec > 0 {
+		d.mu.Lock()
+		d.stall += v.stallSec
+		d.mu.Unlock()
+	}
+	if v.dropout {
+		corrupt := 0.0
+		if v.dropoutNaN {
+			corrupt = math.NaN()
+		}
+		for i := range res.State {
+			res.State[i] = corrupt
+		}
+	}
+	return res, nil
+}
+
+// TakeStallSeconds implements env.Staller: it returns and clears the
+// extra virtual time the last stall cost.
+func (d *DB) TakeStallSeconds() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stall
+	d.stall = 0
+	return s
+}
+
+// CurrentKnobs delegates.
+func (d *DB) CurrentKnobs(cat *knobs.Catalog) []float64 { return d.inner.CurrentKnobs(cat) }
+
+// Instance delegates.
+func (d *DB) Instance() simdb.Instance { return d.inner.Instance() }
+
+// KnobValue delegates.
+func (d *DB) KnobValue(name string) (float64, bool) { return d.inner.KnobValue(name) }
+
+// Runs delegates.
+func (d *DB) Runs() int { return d.inner.Runs() }
+
+// Unwrap returns the wrapped database (tests reach the simulator through
+// it).
+func (d *DB) Unwrap() env.Database { return d.inner }
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultKill
+	faultCrash
+	faultTransient
+)
+
+type verdict struct {
+	kind       faultKind
+	stallSec   float64
+	dropout    bool
+	dropoutNaN bool
+}
+
+// draw advances the global schedule by one stress test and decides what to
+// inject.
+func (in *Injector) draw(d *DB) verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.runs++
+	in.ctr.Runs++
+	run := in.runs
+
+	if in.cfg.KillWorkerAtRun > 0 && run >= in.cfg.KillWorkerAtRun && !in.killed {
+		in.killed = true
+		in.ctr.Kills++
+		return verdict{kind: faultKill}
+	}
+	if in.cfg.CrashStormAtRun > 0 &&
+		run >= in.cfg.CrashStormAtRun && run < in.cfg.CrashStormAtRun+in.cfg.CrashStormRuns {
+		in.ctr.Crashes++
+		return verdict{kind: faultCrash}
+	}
+	d.mu.Lock()
+	recovering := d.recovering
+	d.mu.Unlock()
+	if recovering {
+		if in.recoveryBudget > 0 {
+			in.recoveryBudget--
+			in.ctr.RecoveryFails++
+			in.ctr.Transients++
+			return verdict{kind: faultTransient}
+		}
+		d.mu.Lock()
+		d.recovering = false
+		d.mu.Unlock()
+	}
+	if in.cfg.CrashProb > 0 && in.rng.Float64() < in.cfg.CrashProb {
+		in.ctr.Crashes++
+		return verdict{kind: faultCrash}
+	}
+	if in.cfg.TransientProb > 0 && in.rng.Float64() < in.cfg.TransientProb {
+		in.ctr.Transients++
+		return verdict{kind: faultTransient}
+	}
+	var v verdict
+	if in.cfg.StallProb > 0 && in.rng.Float64() < in.cfg.StallProb {
+		v.stallSec = in.cfg.StallSec * (0.5 + in.rng.Float64())
+		in.ctr.Stalls++
+	}
+	if in.cfg.DropoutProb > 0 && in.rng.Float64() < in.cfg.DropoutProb {
+		v.dropout = true
+		v.dropoutNaN = in.rng.Intn(2) == 0
+		in.ctr.Dropouts++
+	}
+	return v
+}
+
+// drawApplyFail decides whether the next deployment fails.
+func (in *Injector) drawApplyFail() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.ApplyFailProb > 0 && in.rng.Float64() < in.cfg.ApplyFailProb {
+		in.ctr.ApplyFails++
+		return true
+	}
+	return false
+}

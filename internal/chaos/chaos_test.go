@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func newDB() *simdb.DB { return simdb.New(knobs.EngineCDB, simdb.CDBA, 1) }
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	raw := newDB()
+	wrapped := New(Config{}).Wrap(raw)
+	w := workload.SysbenchRW()
+	res, err := wrapped.RunWorkload(w, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ext.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Ext.Throughput)
+	}
+	if wrapped.Instance() != raw.Instance() {
+		t.Fatal("Instance not delegated")
+	}
+	if got := wrapped.TakeStallSeconds(); got != 0 {
+		t.Fatalf("no stall configured, got %v", got)
+	}
+	if wrapped.Runs() != raw.Runs() {
+		t.Fatal("Runs not delegated")
+	}
+}
+
+func TestTransientAndCrashInjection(t *testing.T) {
+	wrapped := New(Config{Seed: 7, TransientProb: 1}).Wrap(newDB())
+	_, err := wrapped.RunWorkload(workload.SysbenchRW(), 150)
+	if !errors.Is(err, simdb.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	wrapped = New(Config{Seed: 7, CrashProb: 1}).Wrap(newDB())
+	_, err = wrapped.RunWorkload(workload.SysbenchRW(), 150)
+	if !errors.Is(err, simdb.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestCrashStormWindow(t *testing.T) {
+	in := New(Config{CrashStormAtRun: 2, CrashStormRuns: 3})
+	wrapped := in.Wrap(newDB())
+	w := workload.SysbenchRW()
+	var crashes []int
+	for run := 1; run <= 6; run++ {
+		_, err := wrapped.RunWorkload(w, 150)
+		if errors.Is(err, simdb.ErrCrashed) {
+			crashes = append(crashes, run)
+		} else if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	if len(crashes) != 3 || crashes[0] != 2 || crashes[2] != 4 {
+		t.Fatalf("storm hit runs %v, want [2 3 4]", crashes)
+	}
+	if got := in.Counters().Crashes; got != 3 {
+		t.Fatalf("Crashes = %d, want 3", got)
+	}
+}
+
+func TestWorkerKillFiresOnce(t *testing.T) {
+	in := New(Config{KillWorkerAtRun: 3})
+	wrapped := in.Wrap(newDB())
+	w := workload.SysbenchRW()
+	var kills int
+	for run := 1; run <= 6; run++ {
+		_, err := wrapped.RunWorkload(w, 150)
+		if errors.Is(err, simdb.ErrWorkerLost) {
+			kills++
+			if run != 3 {
+				t.Fatalf("kill fired at run %d, want 3", run)
+			}
+		} else if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	if kills != 1 {
+		t.Fatalf("kills = %d, want exactly 1", kills)
+	}
+	// The kill schedule is global: a second wrapped DB on the same
+	// injector must not be killed again.
+	other := in.Wrap(newDB())
+	if _, err := other.RunWorkload(w, 150); err != nil {
+		t.Fatalf("second DB after kill: %v", err)
+	}
+}
+
+func TestStallAndDropout(t *testing.T) {
+	in := New(Config{Seed: 3, StallProb: 1, StallSec: 60, DropoutProb: 1})
+	wrapped := in.Wrap(newDB())
+	res, err := wrapped.RunWorkload(workload.SysbenchRW(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := wrapped.TakeStallSeconds()
+	if stall < 30 || stall > 90 {
+		t.Fatalf("stall = %v, want 60±50%%", stall)
+	}
+	if wrapped.TakeStallSeconds() != 0 {
+		t.Fatal("TakeStallSeconds must drain the pending stall")
+	}
+	allSame := true
+	for _, v := range res.State {
+		if !(v == 0 || math.IsNaN(v)) {
+			allSame = false
+		}
+	}
+	if !allSame {
+		t.Fatalf("dropout must zero or NaN the state vector: %v", res.State[:4])
+	}
+	c := in.Counters()
+	if c.Stalls != 1 || c.Dropouts != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestApplyFailLeavesKnobsUntouched(t *testing.T) {
+	db := newDB()
+	wrapped := New(Config{Seed: 1, ApplyFailProb: 1}).Wrap(db)
+	cat := db.Catalog()
+	x := cat.Defaults(db.Instance().HW.RAMGB, db.Instance().HW.DiskGB)
+	x[cat.Index("innodb_buffer_pool_size")] = 0.9
+	before, _ := db.KnobValue("innodb_buffer_pool_size")
+	_, err := wrapped.ApplyKnobs(cat, x)
+	if !errors.Is(err, simdb.ErrTransient) {
+		t.Fatalf("err = %v, want transient apply failure", err)
+	}
+	after, _ := db.KnobValue("innodb_buffer_pool_size")
+	if before != after {
+		t.Fatal("failed deployment must not change the instance")
+	}
+}
+
+func TestRecoveryFailureBudget(t *testing.T) {
+	in := New(Config{RecoveryFailures: 2})
+	wrapped := in.Wrap(newDB())
+	w := workload.SysbenchRW()
+	if _, err := wrapped.RunWorkload(w, 150); err != nil {
+		t.Fatalf("pre-reset run must succeed: %v", err)
+	}
+	wrapped.ResetDefaults()
+	for i := 0; i < 2; i++ {
+		if _, err := wrapped.RunWorkload(w, 150); !errors.Is(err, simdb.ErrTransient) {
+			t.Fatalf("post-reset run %d: err = %v, want transient", i, err)
+		}
+	}
+	if _, err := wrapped.RunWorkload(w, 150); err != nil {
+		t.Fatalf("budget exhausted, run must succeed: %v", err)
+	}
+	if got := in.Counters().RecoveryFails; got != 2 {
+		t.Fatalf("RecoveryFails = %d, want 2", got)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	seq := func() []bool {
+		wrapped := New(Config{Seed: 11, TransientProb: 0.4}).Wrap(newDB())
+		var out []bool
+		for i := 0; i < 20; i++ {
+			_, err := wrapped.RunWorkload(workload.SysbenchRW(), 150)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at run %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -59,12 +59,20 @@ type Config struct {
 	// OnlineSteps is the per-request recommendation budget (paper: 5).
 	OnlineSteps int
 	Seed        int64
+	// GuardK is the consecutive-failure budget before the safety guardrail
+	// reverts the instance to its best-known-good configuration (0 = the
+	// guardrail default of 3); GuardRadius is the normalized knob distance
+	// under which a recommendation counts as re-entering a recorded
+	// near-crash region (0 = default 0.05).
+	GuardK      int
+	GuardRadius float64
 }
 
 // Controller mediates tuning and training requests.
 type Controller struct {
-	cfg Config
-	rng *rand.Rand
+	cfg   Config
+	rng   *rand.Rand
+	guard *core.Guardrail
 
 	requests int
 }
@@ -87,8 +95,17 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.OnlineSteps == 0 {
 		cfg.OnlineSteps = 5
 	}
-	return &Controller{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Controller{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		guard: core.NewGuardrail(cfg.GuardK, cfg.GuardRadius),
+	}, nil
 }
+
+// Guardrail exposes the controller's safety guardrail, shared across every
+// tuning request it serves so near-crash regions learned on one request
+// protect the next.
+func (c *Controller) Guardrail() *core.Guardrail { return c.guard }
 
 // Requests reports how many tuning requests have been served.
 func (c *Controller) Requests() int { return c.requests }
@@ -109,7 +126,12 @@ type RequestResult struct {
 
 // HandleTuningRequest serves one user tuning request against the user's
 // database instance: capture, replay, tune, license, deploy-or-rollback.
-func (c *Controller) HandleTuningRequest(db *simdb.DB, userWorkload workload.Workload) (RequestResult, error) {
+// The tuning loop runs under the controller's safety guardrail, so a
+// faulty instance (crashes, transient measurement failures) is reverted to
+// its best-known-good configuration rather than left on a bad one. db is
+// any measurement target satisfying env.Database — the simulator directly,
+// or a chaos-wrapped instance in resilience tests.
+func (c *Controller) HandleTuningRequest(db env.Database, userWorkload workload.Workload) (RequestResult, error) {
 	var out RequestResult
 	c.requests++
 	cat := c.cfg.Tuner.Config().Cat
@@ -127,7 +149,7 @@ func (c *Controller) HandleTuningRequest(db *simdb.DB, userWorkload workload.Wor
 	before := db.CurrentKnobs(cat)
 
 	e := env.New(db, cat, replayed)
-	res, err := c.cfg.Tuner.OnlineTune(e, c.cfg.OnlineSteps, true)
+	res, err := c.cfg.Tuner.OnlineTuneGuarded(e, c.cfg.OnlineSteps, true, c.guard)
 	if err != nil {
 		return out, err
 	}
@@ -138,11 +160,27 @@ func (c *Controller) HandleTuningRequest(db *simdb.DB, userWorkload workload.Wor
 	improvement := res.BestPerf.Throughput/res.Initial.Throughput - 1
 	out.Approved = c.cfg.Approver.Approve(cat, out.Values, improvement)
 	if !out.Approved {
-		if _, err := db.ApplyKnobs(cat, before); err != nil {
+		if err := applyWithRetry(db, cat, before); err != nil {
 			return out, fmt.Errorf("controller: rolling back: %w", err)
 		}
 	}
 	return out, nil
+}
+
+// applyWithRetry deploys a known-good configuration, absorbing a few
+// transient deployment failures — a rollback must not be defeated by the
+// same flakiness that triggered it.
+func applyWithRetry(db env.Database, cat *knobs.Catalog, values []float64) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err = db.ApplyKnobs(cat, values); err == nil {
+			return nil
+		}
+		if !errors.Is(err, simdb.ErrTransient) {
+			return err
+		}
+	}
+	return err
 }
 
 // HandleTrainingRequest serves a DBA training request: offline training
@@ -151,6 +189,12 @@ func (c *Controller) HandleTuningRequest(db *simdb.DB, userWorkload workload.Wor
 // trainer handles any worker count, serial included.
 func (c *Controller) HandleTrainingRequest(mkEnv core.EnvFactory, episodes, workers int) (core.TrainReport, error) {
 	return c.cfg.Tuner.OfflineTrainParallel(mkEnv, episodes, workers)
+}
+
+// HandleTrainingRequestOpts is HandleTrainingRequest with the full option
+// set — checkpoint/resume, worker-respawn budget, telemetry hooks.
+func (c *Controller) HandleTrainingRequestOpts(mkEnv core.EnvFactory, opts core.TrainOptions) (core.TrainReport, error) {
+	return c.cfg.Tuner.OfflineTrainOpts(mkEnv, opts)
 }
 
 // SaveModel and LoadModel persist the tuning model across controller

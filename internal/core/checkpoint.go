@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes a file by streaming into a temp file in the target's
+// directory, closing it, and renaming over the destination — a crash or
+// write error never leaves a truncated file at path; the temp file is
+// removed on failure.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Checkpointer periodically persists a training run so a killed process
+// resumes instead of starting over: agent weights, the replay memory
+// (§2.2.4 — the accumulated try-and-error history), the best-policy
+// snapshot, the episode counter and the noise-annealing schedule. Writes
+// are atomic (temp file + rename), so a crash mid-checkpoint leaves the
+// previous checkpoint intact.
+type Checkpointer struct {
+	// Path is the checkpoint file.
+	Path string
+	// Every is the number of completed episodes between checkpoints;
+	// values below 1 checkpoint after every episode.
+	Every int
+}
+
+const checkpointVersion = 1
+
+// checkpointBlob is the on-disk format.
+type checkpointBlob struct {
+	Version        int
+	Report         TrainReport // accumulated accounting at checkpoint time
+	Iterations     int
+	NoiseSigma     float64
+	BestEval       float64
+	BestActionPerf float64
+	Agent          []byte
+	Memory         []byte
+	BestSnapshot   []byte
+}
+
+// persistentMemory is satisfied by every replay-pool flavor.
+type persistentMemory interface {
+	Save(io.Writer) error
+	Load(io.Reader) error
+}
+
+// save captures the tuner's training state and writes it atomically. The
+// trainer calls it from its accounting section, so rep is a consistent
+// snapshot of completed-episode accounting; the agent state is captured
+// under the agent lock. With a sharded replay pool and concurrent workers
+// the memory snapshot is best-effort (transitions stored mid-snapshot may
+// be missed) — acceptable for replay experience.
+func (c *Checkpointer) save(t *Tuner, rep TrainReport) error {
+	blob := checkpointBlob{Version: checkpointVersion, Report: rep}
+
+	t.agentMu.Lock()
+	var agentBuf bytes.Buffer
+	err := t.agent.Save(&agentBuf)
+	if err == nil {
+		if pm, ok := t.agent.Memory.(persistentMemory); ok {
+			var memBuf bytes.Buffer
+			if err = pm.Save(&memBuf); err == nil {
+				blob.Memory = memBuf.Bytes()
+			}
+		}
+	}
+	blob.Agent = agentBuf.Bytes()
+	blob.NoiseSigma = t.agent.Noise.Scale()
+	blob.BestEval = t.bestEval
+	blob.BestActionPerf = t.bestActionPerf
+	if t.bestSnapshot != nil {
+		blob.BestSnapshot = append([]byte(nil), t.bestSnapshot...)
+	}
+	t.agentMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	blob.Iterations = t.Iterations()
+
+	return WriteAtomic(c.Path, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(blob)
+	})
+}
+
+// Load restores a checkpoint into t: agent weights, replay memory, noise
+// scale, iteration counter, and the best-policy snapshot. It returns the
+// accounting accumulated up to the checkpoint and whether a checkpoint
+// was found (a missing file is not an error — the run simply starts
+// fresh).
+func (c *Checkpointer) Load(t *Tuner) (TrainReport, bool, error) {
+	f, err := os.Open(c.Path)
+	if os.IsNotExist(err) {
+		return TrainReport{}, false, nil
+	}
+	if err != nil {
+		return TrainReport{}, false, err
+	}
+	defer f.Close()
+	var blob checkpointBlob
+	if err := gob.NewDecoder(f).Decode(&blob); err != nil {
+		return TrainReport{}, false, fmt.Errorf("core: decoding checkpoint %s: %w", c.Path, err)
+	}
+	if blob.Version != checkpointVersion {
+		return TrainReport{}, false, fmt.Errorf("core: checkpoint %s has version %d, want %d", c.Path, blob.Version, checkpointVersion)
+	}
+
+	t.agentMu.Lock()
+	err = t.agent.Load(bytes.NewReader(blob.Agent))
+	if err == nil && len(blob.Memory) > 0 {
+		if pm, ok := t.agent.Memory.(persistentMemory); ok {
+			err = pm.Load(bytes.NewReader(blob.Memory))
+		}
+	}
+	if err == nil {
+		t.agent.Noise.SetScale(blob.NoiseSigma)
+		t.bestEval = blob.BestEval
+		t.bestActionPerf = blob.BestActionPerf
+		t.bestSnapshot = nil
+		if len(blob.BestSnapshot) > 0 {
+			t.bestSnapshot = append([]byte(nil), blob.BestSnapshot...)
+		}
+	}
+	t.agentMu.Unlock()
+	if err != nil {
+		return TrainReport{}, false, fmt.Errorf("core: restoring checkpoint: %w", err)
+	}
+	t.mu.Lock()
+	t.iterations = blob.Iterations
+	t.mu.Unlock()
+	return blob.Report, true, nil
+}

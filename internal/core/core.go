@@ -233,6 +233,25 @@ type TrainReport struct {
 	// training environment, snapshot probes included — the single-server
 	// cost, without the parallel-worker discount.
 	VirtualSeconds float64
+
+	// WorkerDeaths counts training workers lost mid-episode (the training
+	// server became unreachable) and respawned; their episodes were
+	// re-queued and run again.
+	WorkerDeaths int
+	// LostEpisodes counts episodes abandoned after the instance could not
+	// be recovered (persistent crash or measurement failure). They still
+	// count toward Episodes — the budget was spent — but produced few or
+	// no samples.
+	LostEpisodes int
+	// Faults aggregates the measurement faults every training environment
+	// absorbed: transient failures, retries, stalls, metric dropouts.
+	Faults env.FaultReport
+
+	// Resumed reports whether this run continued from a checkpoint;
+	// ResumedEpisodes is how many completed episodes the checkpoint
+	// carried (they are included in Episodes).
+	Resumed         bool
+	ResumedEpisodes int
 }
 
 // EnvFactory produces a fresh training environment per episode — the
@@ -255,6 +274,11 @@ func (t *Tuner) OfflineTrain(mkEnv EnvFactory, episodes int) (TrainReport, error
 func (t *Tuner) maybeSnapshot(e *env.Env) error {
 	base, err := e.Measure()
 	if err != nil {
+		if benignFault(err) {
+			// A probe lost to environment faults skips this snapshot
+			// round; the next SnapshotEvery boundary tries again.
+			return nil
+		}
 		return fmt.Errorf("core: snapshot probe: %w", err)
 	}
 	best := base.Ext.Throughput
@@ -268,12 +292,18 @@ func (t *Tuner) maybeSnapshot(e *env.Env) error {
 				// Restart with defaults and re-measure so the next probe
 				// action conditions on the recovered instance, not the
 				// stale pre-crash state.
-				rec, rerr := e.RecoverDefaults()
+				rec, rerr := recoverEnv(e)
 				if rerr != nil {
+					if benignFault(rerr) {
+						break // probe cut short; snapshot with what we saw
+					}
 					return fmt.Errorf("core: snapshot probe crash recovery: %w", rerr)
 				}
 				state = metrics.Normalize(rec.State)
 				continue
+			}
+			if benignFault(err) {
+				continue // skipped probe step
 			}
 			return err
 		}
@@ -309,7 +339,9 @@ func (t *Tuner) restoreBest() error {
 type epStats struct {
 	crashes     int
 	steps       int
+	skipped     int // steps lost to transient/apply failures (no sample)
 	convergedAt int
+	lost        bool // episode abandoned: instance unrecoverable
 	best        metrics.External
 
 	rewardSum float64
@@ -326,14 +358,60 @@ func (s epStats) meanReward() float64 {
 	return s.rewardSum / float64(s.rewardN)
 }
 
+// benignFault reports whether an episode error is an environment fault
+// the trainer should absorb (crash, exhausted transient retries, failed
+// deployment) rather than a programming or configuration error it must
+// surface. A lost training server is NOT benign for the episode — the
+// parallel trainer handles it by respawning the worker.
+func benignFault(err error) bool {
+	if errors.Is(err, simdb.ErrWorkerLost) {
+		return false
+	}
+	var ae *env.ApplyError
+	return errors.Is(err, simdb.ErrCrashed) || errors.Is(err, simdb.ErrTransient) || errors.As(err, &ae)
+}
+
+// recoverEnv retries the full default-reset recovery a few times; the
+// post-reset measurement already retries transients internally, so this
+// covers recoveries whose measurement keeps failing (chaos storms,
+// instances that crash even on defaults).
+func recoverEnv(e *env.Env) (simdb.Result, error) {
+	var rec simdb.Result
+	var err error
+	for i := 0; i < 3; i++ {
+		rec, err = e.RecoverDefaults()
+		if err == nil {
+			return rec, nil
+		}
+		if !benignFault(err) {
+			return rec, err
+		}
+	}
+	return rec, err
+}
+
 // runEpisode executes one try-and-error episode on e. When train is true
 // the agent explores (drawing from noise, or the agent's own process when
-// nil) and learns; otherwise it acts greedily.
+// nil) and learns; otherwise it acts greedily. Environment faults are
+// absorbed: transient failures that out-ran env's retries skip the step,
+// crashes recover to defaults, and an instance that cannot be recovered
+// ends the episode early (st.lost) instead of aborting training.
 func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, error) {
 	var st epStats
 	base, err := e.Measure()
 	if err != nil {
-		return st, fmt.Errorf("core: measuring initial performance: %w", err)
+		if errors.Is(err, simdb.ErrCrashed) {
+			var rerr error
+			base, rerr = recoverEnv(e)
+			err = rerr
+		}
+		if err != nil {
+			if benignFault(err) {
+				st.lost = true
+				return st, nil
+			}
+			return st, fmt.Errorf("core: measuring initial performance: %w", err)
+		}
 	}
 	rf := reward.New(t.cfg.RewardKind, t.cfg.CT, t.cfg.CL)
 	rf.Init(base.Ext.Throughput, base.Ext.Latency99)
@@ -352,6 +430,13 @@ func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, err
 		st.steps++
 		if err != nil {
 			if !errors.Is(err, simdb.ErrCrashed) {
+				if benignFault(err) {
+					// Transient measurement or deployment failure that
+					// out-ran env's retries: the step produced no sample,
+					// the instance is unchanged, the episode continues.
+					st.skipped++
+					continue
+				}
 				return st, err
 			}
 			st.crashes++
@@ -368,9 +453,15 @@ func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, err
 			// from the recovered instance — §5.2.3 reports frequent
 			// crashes early in training that the negative reward
 			// gradually eliminates; each one costs a restart and a
-			// re-measurement, not the rest of the episode's samples.
-			rec, rerr := e.RecoverDefaults()
+			// re-measurement, not the rest of the episode's samples. An
+			// instance that stays down through the recovery retries ends
+			// the episode early rather than killing the whole run.
+			rec, rerr := recoverEnv(e)
 			if rerr != nil {
+				if benignFault(rerr) {
+					st.lost = true
+					return st, nil
+				}
 				return st, fmt.Errorf("core: re-measuring after crash: %w", rerr)
 			}
 			state = metrics.Normalize(rec.State)
@@ -533,6 +624,18 @@ type TuneResult struct {
 	// Seconds is the request's virtual wall-clock cost; Table 2 expects
 	// ≈ 25 minutes for the 5-step protocol.
 	Seconds float64
+
+	// Reverts counts guardrail reverts to the best-known-good
+	// configuration after K consecutive failed steps; Vetoes counts
+	// recommendations adjusted away from recorded near-crash regions.
+	// Both are zero without a guardrail.
+	Reverts int
+	Vetoes  int
+	// SkippedSteps counts steps lost to transient measurement or
+	// deployment failures (no sample produced).
+	SkippedSteps int
+	// Faults is the environment's fault/retry accounting for the request.
+	Faults env.FaultReport
 }
 
 // OnlineTune serves one tuning request (§2.1.2): replay the user's
@@ -542,6 +645,16 @@ type TuneResult struct {
 // performance. The memory pool keeps the new transitions — incremental
 // training (§2.1.1).
 func (t *Tuner) OnlineTune(e *env.Env, steps int, fineTune bool) (TuneResult, error) {
+	return t.OnlineTuneGuarded(e, steps, fineTune, nil)
+}
+
+// OnlineTuneGuarded is OnlineTune with a safety guardrail: g screens
+// every recommendation against remembered near-crash regions, tracks the
+// request's best-known-good configuration, and reverts the instance to it
+// after K consecutive failed or crashed steps. Whatever happens during
+// exploration, the instance ends the request on the best configuration
+// actually measured — never on a crashing one. A nil g runs unguarded.
+func (t *Tuner) OnlineTuneGuarded(e *env.Env, steps int, fineTune bool, g *Guardrail) (TuneResult, error) {
 	var out TuneResult
 	if steps <= 0 {
 		steps = 5
@@ -549,7 +662,16 @@ func (t *Tuner) OnlineTune(e *env.Env, steps int, fineTune bool) (TuneResult, er
 	start := e.Clock.Seconds()
 	base, err := e.Measure()
 	if err != nil {
-		return out, fmt.Errorf("core: measuring initial performance: %w", err)
+		if errors.Is(err, simdb.ErrCrashed) {
+			// The instance is down before tuning even starts; recover it
+			// so the request can proceed from defaults.
+			var rerr error
+			base, rerr = recoverEnv(e)
+			err = rerr
+		}
+		if err != nil {
+			return out, fmt.Errorf("core: measuring initial performance: %w", err)
+		}
 	}
 	rf := reward.New(t.cfg.RewardKind, t.cfg.CT, t.cfg.CL)
 	rf.Init(base.Ext.Throughput, base.Ext.Latency99)
@@ -557,6 +679,9 @@ func (t *Tuner) OnlineTune(e *env.Env, steps int, fineTune bool) (TuneResult, er
 	out.BestPerf = base.Ext
 	out.Best = e.DB.CurrentKnobs(e.Cat)
 	state := metrics.Normalize(base.State)
+	if g != nil {
+		g.BeginRequest(out.Best, base.Ext.Throughput)
+	}
 
 	for step := 0; step < steps; step++ {
 		var action []float64
@@ -574,28 +699,66 @@ func (t *Tuner) OnlineTune(e *env.Env, steps int, fineTune bool) (TuneResult, er
 			action = t.agent.Act(state)
 		}
 		t.agentMu.Unlock()
+		if g != nil {
+			if adj, changed := g.Screen(action); changed {
+				action = adj
+				out.Vetoes++
+			}
+		}
 		e.Clock.Charge(RecommendSec)
 		res, err := e.Step(action)
 		if err != nil {
-			if !errors.Is(err, simdb.ErrCrashed) {
+			switch {
+			case errors.Is(err, simdb.ErrCrashed):
+				out.Crashes++
+				if g != nil {
+					g.NoteCrash(action)
+				}
+				t.observeRaw(rl.Transition{
+					State: state, Action: action,
+					Reward: t.cfg.CrashPenalty, NextState: state, Done: true,
+				})
+				// Restart with defaults and re-measure so the next
+				// recommendation conditions on the recovered instance. If
+				// the instance stays down through the retries, continue
+				// anyway: the guardrail revert below (and the final
+				// best-known-good deploy) is the recovery of last resort.
+				rec, rerr := recoverEnv(e)
+				if rerr == nil {
+					state = metrics.Normalize(rec.State)
+				} else if !benignFault(rerr) {
+					return out, fmt.Errorf("core: re-measuring after crash: %w", rerr)
+				}
+			case benignFault(err):
+				// Transient measurement or deployment failure: the step
+				// produced nothing; the instance keeps its configuration.
+				out.SkippedSteps++
+				if g != nil {
+					g.NoteFailure()
+				}
+			default:
+				out.Faults = e.Faults()
 				return out, err
 			}
-			out.Crashes++
-			t.observeRaw(rl.Transition{
-				State: state, Action: action,
-				Reward: t.cfg.CrashPenalty, NextState: state, Done: true,
-			})
-			// Restart with defaults and re-measure so the next
-			// recommendation conditions on the recovered instance.
-			rec, rerr := e.RecoverDefaults()
-			if rerr != nil {
-				return out, fmt.Errorf("core: re-measuring after crash: %w", rerr)
+			if g != nil {
+				if target, ok := g.RevertTarget(); ok {
+					// K consecutive failed steps: put the instance back on
+					// the best configuration this request has measured.
+					out.Reverts++
+					if _, aerr := e.DB.ApplyKnobs(e.Cat, target); aerr == nil {
+						if rec, merr := e.Measure(); merr == nil {
+							state = metrics.Normalize(rec.State)
+						}
+					}
+				}
 			}
-			state = metrics.Normalize(rec.State)
 			continue
 		}
 		r := rf.Compute(res.Ext.Throughput, res.Ext.Latency99)
 		next := metrics.Normalize(res.State)
+		if g != nil {
+			g.NoteGood(action, res.Ext.Throughput)
+		}
 		t.observe(rl.Transition{
 			State: state, Action: action, Reward: r,
 			NextState: next, Done: step == steps-1,
@@ -611,9 +774,19 @@ func (t *Tuner) OnlineTune(e *env.Env, steps int, fineTune bool) (TuneResult, er
 		}
 	}
 	// Deploy the best configuration found (§2.1.2: "those knobs
-	// corresponding to the best performance will be recommended").
-	if _, err := e.DB.ApplyKnobs(e.Cat, out.Best); err != nil {
-		return out, err
+	// corresponding to the best performance will be recommended"). The
+	// deployment itself is retried: ending the request on a half-applied
+	// or crashing configuration is the one outcome the guardrail exists
+	// to prevent.
+	var aerr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, aerr = e.DB.ApplyKnobs(e.Cat, out.Best); aerr == nil {
+			break
+		}
+	}
+	out.Faults = e.Faults()
+	if aerr != nil {
+		return out, fmt.Errorf("core: deploying final configuration: %w", aerr)
 	}
 	out.Seconds = e.Clock.Seconds() - start
 	return out, nil

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+
+	"cdbtune/internal/simdb"
 )
 
 // OfflineTrainParallel runs offline training with `workers` concurrent
@@ -28,21 +31,31 @@ func (t *Tuner) OfflineTrainParallel(mkEnv EnvFactory, episodes, workers int) (T
 //
 //   - mkEnv(ep) is called exactly once per episode index, in order (plus
 //     one extra call per snapshot probe when TrainOptions.ProbeEnv is nil;
-//     see TrainOptions).
+//     see TrainOptions). Exceptions: an episode interrupted by a lost
+//     worker, or in flight when a resumed run was killed, re-runs, so
+//     mkEnv sees that index again.
 //   - Exploration noise decays once per *completed episode* on one shared
 //     schedule, so sigma after N episodes matches serial training no
 //     matter how many workers ran them. Each worker explores with its own
 //     fork of the noise process, keeping OU temporal correlation within,
-//     not across, concurrent episodes.
+//     not across, concurrent episodes. A respawned worker forks from the
+//     canonical process, so it rejoins the same schedule.
 //   - Convergence (§C.1.1) is detected over episodes in completion order,
 //     which for one worker is exactly the serial episode order.
 //   - TrainReport.VirtualSeconds sums every environment's clock, snapshot
 //     probes included — the single-server cost, without the
 //     parallel-worker discount.
 //
-// An episode that fails does not count toward TrainReport.Episodes; the
-// first failure stops the handout of new episodes, in-flight episodes on
-// other workers drain, and the error is returned.
+// Resilience: an episode whose error is an absorbed environment fault
+// never reaches this loop (see runEpisode); a worker whose environment
+// reports simdb.ErrWorkerLost is respawned (up to
+// TrainOptions.MaxWorkerRespawns) and its episode re-queued; any other
+// episode error stops the handout of new episodes, in-flight episodes on
+// other workers drain, and the error is returned. With
+// TrainOptions.Checkpoint set, completed-episode accounting and the full
+// learning state persist atomically every Checkpointer.Every episodes,
+// and TrainOptions.Resume continues a killed run so its final report
+// matches an uninterrupted one's episode accounting.
 func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainReport, error) {
 	workers := opts.Workers
 	if workers < 1 {
@@ -52,6 +65,26 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 	if probeEnv == nil {
 		probeEnv = mkEnv
 	}
+	maxRespawns := opts.MaxWorkerRespawns
+	if maxRespawns <= 0 {
+		maxRespawns = 8
+	}
+
+	var rep TrainReport
+	var next int
+	if opts.Checkpoint != nil && opts.Resume {
+		saved, found, err := opts.Checkpoint.Load(t)
+		if err != nil {
+			return rep, err
+		}
+		if found {
+			rep = saved
+			rep.Resumed = true
+			rep.ResumedEpisodes = saved.Episodes
+			next = saved.Episodes
+		}
+	}
+
 	if workers > 1 && opts.InferBatch != 1 {
 		maxBatch := opts.InferBatch
 		if maxBatch <= 0 {
@@ -66,111 +99,168 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 		}()
 	}
 	var (
-		rep   TrainReport
 		mu    sync.Mutex
 		wg    sync.WaitGroup
-		next  int
+		retry []int // episodes interrupted by a lost worker, run next
 		fatal error
 
 		// flat and bestSoFar drive the §C.1.1 convergence rule over
 		// completed episodes: converged once the best performance seen has
 		// not improved by more than ConvergeEps for ConvergeWindow
-		// consecutive episodes.
+		// consecutive episodes. A resumed run re-arms the window from the
+		// checkpointed best.
 		flat      int
-		bestSoFar float64
+		bestSoFar = rep.BestPerf.Throughput
 	)
 	takeEpisode := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if next >= opts.Episodes || fatal != nil {
+		if fatal != nil {
+			return 0, false
+		}
+		if len(retry) > 0 {
+			ep := retry[0]
+			retry = retry[1:]
+			return ep, true
+		}
+		if next >= opts.Episodes {
 			return 0, false
 		}
 		ep := next
 		next++
 		return ep, true
 	}
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			t.agentMu.Lock()
-			noise := t.agent.Noise.Fork()
-			t.agentMu.Unlock()
-			for {
-				ep, ok := takeEpisode()
-				if !ok {
-					return
-				}
-				e := mkEnv(ep)
-				var st epStats
-				var err error
-				if e.Cat.Len() != t.cfg.Cat.Len() {
-					err = fmt.Errorf("episode env has %d knobs, tuner expects %d", e.Cat.Len(), t.cfg.Cat.Len())
-				} else {
-					st, err = t.runEpisode(e, true, noise)
-				}
-				seconds := e.Clock.Seconds()
-				if err == nil && t.cfg.SnapshotEvery > 0 && (ep+1)%t.cfg.SnapshotEvery == 0 {
-					pe := probeEnv(ep)
-					err = t.maybeSnapshot(pe)
-					seconds += pe.Clock.Seconds()
-				}
-				mu.Lock()
-				if err != nil {
-					if fatal == nil {
-						fatal = fmt.Errorf("core: episode %d: %w", ep, err)
+	checkpoint := func() {
+		// Caller holds mu; save takes the agent lock internally (the
+		// mu → agentMu order every accounting path uses).
+		if opts.Checkpoint == nil {
+			return
+		}
+		every := opts.Checkpoint.Every
+		if every < 1 {
+			every = 1
+		}
+		if rep.Episodes%every != 0 && rep.Episodes != opts.Episodes {
+			return
+		}
+		if err := opts.Checkpoint.save(t, rep); err != nil && fatal == nil {
+			fatal = err
+		}
+	}
+	var runWorker func(wk int)
+	runWorker = func(wk int) {
+		defer wg.Done()
+		t.agentMu.Lock()
+		noise := t.agent.Noise.Fork()
+		t.agentMu.Unlock()
+		for {
+			ep, ok := takeEpisode()
+			if !ok {
+				return
+			}
+			e := mkEnv(ep)
+			var st epStats
+			var err error
+			if e.Cat.Len() != t.cfg.Cat.Len() {
+				err = fmt.Errorf("episode env has %d knobs, tuner expects %d", e.Cat.Len(), t.cfg.Cat.Len())
+			} else {
+				st, err = t.runEpisode(e, true, noise)
+			}
+			seconds := e.Clock.Seconds()
+			faults := e.Faults()
+			if err == nil && t.cfg.SnapshotEvery > 0 && (ep+1)%t.cfg.SnapshotEvery == 0 {
+				pe := probeEnv(ep)
+				err = t.maybeSnapshot(pe)
+				seconds += pe.Clock.Seconds()
+				faults.Add(pe.Faults())
+			}
+			mu.Lock()
+			if err != nil {
+				if errors.Is(err, simdb.ErrWorkerLost) && fatal == nil {
+					// The training server died mid-episode. The partial
+					// episode's cost and faults are real; the episode
+					// itself re-queues and a replacement worker takes
+					// over on the shared annealing schedule.
+					rep.WorkerDeaths++
+					rep.VirtualSeconds += seconds
+					rep.Faults.Add(faults)
+					retry = append(retry, ep)
+					if rep.WorkerDeaths > maxRespawns {
+						fatal = fmt.Errorf("core: lost %d training workers (budget %d): %w", rep.WorkerDeaths, maxRespawns, err)
+						mu.Unlock()
+						return
 					}
+					wg.Add(1)
+					go runWorker(wk)
 					mu.Unlock()
 					return
 				}
-				rep.Episodes++
-				rep.Crashes += st.crashes
-				if st.best.Throughput > rep.BestPerf.Throughput {
-					rep.BestPerf = st.best
-				}
-				rep.VirtualSeconds += seconds
-				if bestSoFar > 0 && st.best.Throughput <= bestSoFar*(1+t.cfg.ConvergeEps) {
-					flat++
-				} else {
-					flat = 0
-				}
-				if st.best.Throughput > bestSoFar {
-					bestSoFar = st.best.Throughput
-				}
-				if !rep.Converged && flat >= t.cfg.ConvergeWindow {
-					rep.Converged = true
-					rep.ConvergedAt = t.Iterations()
-				}
-				// One decay per completed episode on the canonical process,
-				// then sync this worker's fork to the shared schedule.
-				t.agentMu.Lock()
-				sigma := t.agent.Noise.Decay()
-				t.agentMu.Unlock()
-				noise.SetScale(sigma)
-				noise.Reset()
-				if opts.OnEpisode != nil {
-					inferMean := 1.0
-					if t.infer != nil {
-						inferMean = t.infer.meanBatch()
-					}
-					opts.OnEpisode(EpisodeStats{
-						Episode:        ep,
-						Worker:         wk,
-						Steps:          st.steps,
-						Crashes:        st.crashes,
-						BestThroughput: st.best.Throughput,
-						MeanReward:     st.meanReward(),
-						CriticLoss:     st.updates.meanCritic(),
-						ActorLoss:      st.updates.meanActor(),
-						NoiseSigma:     sigma,
-						VirtualSeconds: seconds,
-						InferBatchMean: inferMean,
-						MemoryShards:   t.memShards,
-					})
+				if fatal == nil {
+					fatal = fmt.Errorf("core: episode %d: %w", ep, err)
 				}
 				mu.Unlock()
+				return
 			}
-		}(wk)
+			rep.Episodes++
+			rep.Crashes += st.crashes
+			if st.lost {
+				rep.LostEpisodes++
+			}
+			rep.Faults.Add(faults)
+			if st.best.Throughput > rep.BestPerf.Throughput {
+				rep.BestPerf = st.best
+			}
+			rep.VirtualSeconds += seconds
+			if bestSoFar > 0 && st.best.Throughput <= bestSoFar*(1+t.cfg.ConvergeEps) {
+				flat++
+			} else {
+				flat = 0
+			}
+			if st.best.Throughput > bestSoFar {
+				bestSoFar = st.best.Throughput
+			}
+			if !rep.Converged && flat >= t.cfg.ConvergeWindow {
+				rep.Converged = true
+				rep.ConvergedAt = t.Iterations()
+			}
+			// One decay per completed episode on the canonical process,
+			// then sync this worker's fork to the shared schedule.
+			t.agentMu.Lock()
+			sigma := t.agent.Noise.Decay()
+			t.agentMu.Unlock()
+			noise.SetScale(sigma)
+			noise.Reset()
+			checkpoint()
+			if opts.OnEpisode != nil {
+				inferMean := 1.0
+				if t.infer != nil {
+					inferMean = t.infer.meanBatch()
+				}
+				opts.OnEpisode(EpisodeStats{
+					Episode:        ep,
+					Worker:         wk,
+					Steps:          st.steps,
+					Crashes:        st.crashes,
+					BestThroughput: st.best.Throughput,
+					MeanReward:     st.meanReward(),
+					CriticLoss:     st.updates.meanCritic(),
+					ActorLoss:      st.updates.meanActor(),
+					NoiseSigma:     sigma,
+					VirtualSeconds: seconds,
+					InferBatchMean: inferMean,
+					MemoryShards:   t.memShards,
+					Transients:     faults.Transients,
+					Retries:        faults.Retries,
+					SkippedSteps:   st.skipped,
+					Lost:           st.lost,
+				})
+			}
+			mu.Unlock()
+		}
+	}
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go runWorker(wk)
 	}
 	wg.Wait()
 	if fatal != nil {

@@ -51,12 +51,31 @@ type EpisodeStats struct {
 	// the replay memory pool (1 = the single-lock pool; see
 	// Config.MemoryShards).
 	MemoryShards int
+
+	// Transients and Retries count the episode environment's transient
+	// measurement failures and the backoff retries that absorbed them
+	// (snapshot-probe faults included); SkippedSteps counts steps that
+	// produced no sample because a fault out-ran the retries.
+	Transients   int
+	Retries      int
+	SkippedSteps int
+
+	// Lost marks an episode abandoned early because its instance could
+	// not be recovered.
+	Lost bool
 }
 
 // String renders the record as a compact single log line.
 func (s EpisodeStats) String() string {
-	return fmt.Sprintf("ep %3d wk %d  best %8.1f tx/s  reward %+6.2f  closs %8.4f  aloss %+8.3f  sigma %.4f  crashes %d  batch %4.1f  %6.0f vsec",
+	line := fmt.Sprintf("ep %3d wk %d  best %8.1f tx/s  reward %+6.2f  closs %8.4f  aloss %+8.3f  sigma %.4f  crashes %d  batch %4.1f  %6.0f vsec",
 		s.Episode, s.Worker, s.BestThroughput, s.MeanReward, s.CriticLoss, s.ActorLoss, s.NoiseSigma, s.Crashes, s.InferBatchMean, s.VirtualSeconds)
+	if s.Transients > 0 || s.Retries > 0 || s.SkippedSteps > 0 {
+		line += fmt.Sprintf("  faults %d/%d retries, %d skipped", s.Transients, s.Retries, s.SkippedSteps)
+	}
+	if s.Lost {
+		line += "  LOST"
+	}
+	return line
 }
 
 // EpisodeHook receives telemetry after each completed training episode.
@@ -91,4 +110,22 @@ type TrainOptions struct {
 	// run always selects actions directly, preserving exact
 	// serial-training determinism.
 	InferBatch int
+
+	// Checkpoint, when non-nil, periodically persists the run (atomic
+	// temp-file + rename) so a killed training process can continue;
+	// a final checkpoint is always written when the run ends cleanly.
+	Checkpoint *Checkpointer
+
+	// Resume restores Checkpoint's file (when present) before training
+	// and continues from the recorded episode count: the resumed run's
+	// report accounts for the restored episodes, so its totals match an
+	// unkilled run's. With parallel workers, episodes in flight at the
+	// kill re-run from scratch (mkEnv may see those indices twice).
+	Resume bool
+
+	// MaxWorkerRespawns bounds how many lost training workers the run
+	// will replace before giving up (0 = default 8). Each loss re-queues
+	// the interrupted episode and respawns the worker on the shared
+	// annealing schedule.
+	MaxWorkerRespawns int
 }

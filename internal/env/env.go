@@ -4,9 +4,22 @@
 // that reproduces the paper's §5.1.1 time accounting: each evaluation
 // charges the stress-test, metrics-collection and deployment times, plus
 // the two-minute restart when a restart-class knob changed.
+//
+// The environment is hardened against the failure modes of measuring a
+// live cloud database: transient stress-test failures are retried with
+// exponential backoff (charged to the clock), non-finite metric vectors
+// are sanitized before they reach an agent, and every fault is counted in
+// a FaultReport so callers can surface retry/fault telemetry. The
+// internal/chaos package injects those failures deterministically for
+// tests and resilience experiments.
 package env
 
 import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
 	"cdbtune/internal/knobs"
 	"cdbtune/internal/metrics"
 	"cdbtune/internal/simdb"
@@ -25,9 +38,88 @@ func (c *Clock) Seconds() float64 { return c.seconds }
 // Minutes reports elapsed virtual time in minutes.
 func (c *Clock) Minutes() float64 { return c.seconds / 60 }
 
+// Database is the measurement-path surface the environment drives —
+// exactly what Env uses of *simdb.DB. Extracting it lets the chaos layer
+// interpose fault injection between the environment and the simulator
+// without the tuners noticing.
+type Database interface {
+	// ApplyKnobs deploys a normalized configuration over the knobs of cat,
+	// reporting whether a restart was needed.
+	ApplyKnobs(cat *knobs.Catalog, x []float64) (restarted bool, err error)
+	// RunWorkload stress-tests the instance and collects metrics.
+	RunWorkload(w workload.Workload, durationSec float64) (simdb.Result, error)
+	// ResetDefaults restores every knob to its default value.
+	ResetDefaults()
+	// CurrentKnobs returns the normalized current values of cat's knobs.
+	CurrentKnobs(cat *knobs.Catalog) []float64
+	// Instance reports the hardware instance.
+	Instance() simdb.Instance
+	// KnobValue returns the actual value of the named knob.
+	KnobValue(name string) (float64, bool)
+	// Runs reports how many stress tests have been executed.
+	Runs() int
+}
+
+// compile-time check: the simulator satisfies the extracted surface.
+var _ Database = (*simdb.DB)(nil)
+
+// Staller is optionally implemented by fault-injecting databases whose
+// last operation stalled: TakeStallSeconds returns (and clears) the extra
+// virtual time the stall cost, which the environment charges to its clock.
+type Staller interface {
+	TakeStallSeconds() float64
+}
+
+// ApplyError marks a failure in the knob-deployment stage of a Step, as
+// opposed to a crash or measurement failure during the stress test itself.
+// Callers distinguish the stages with errors.As; the chained cause stays
+// reachable through Unwrap (chaos-injected restart failures chain to
+// simdb.ErrTransient, so retry-aware callers can treat them as skippable).
+type ApplyError struct{ Err error }
+
+// Error implements error.
+func (e *ApplyError) Error() string { return "apply: " + e.Err.Error() }
+
+// Unwrap exposes the underlying deployment failure.
+func (e *ApplyError) Unwrap() error { return e.Err }
+
+// FaultReport counts the measurement faults an environment absorbed. All
+// counters are cumulative over the environment's lifetime.
+type FaultReport struct {
+	// Transients counts transient measurement failures observed (each
+	// retry attempt that failed counts once).
+	Transients int
+	// Retries counts backoff-and-retry rounds performed; RetrySec is the
+	// virtual backoff time they charged.
+	Retries  int
+	RetrySec float64
+	// Stalls counts latency-spike/stall outcomes; StallSec is the extra
+	// virtual time they charged.
+	Stalls   int
+	StallSec float64
+	// Dropouts counts metric vectors that contained non-finite entries and
+	// were sanitized before reaching an agent.
+	Dropouts int
+}
+
+// Add accumulates another report into f.
+func (f *FaultReport) Add(o FaultReport) {
+	f.Transients += o.Transients
+	f.Retries += o.Retries
+	f.RetrySec += o.RetrySec
+	f.Stalls += o.Stalls
+	f.StallSec += o.StallSec
+	f.Dropouts += o.Dropouts
+}
+
+// Any reports whether any fault was recorded.
+func (f FaultReport) Any() bool {
+	return f.Transients+f.Retries+f.Stalls+f.Dropouts > 0
+}
+
 // Env is one tuning session's environment.
 type Env struct {
-	DB  *simdb.DB
+	DB  Database
 	Cat *knobs.Catalog // the tunable subset exposed to the tuner
 	W   workload.Workload
 
@@ -42,14 +134,31 @@ type Env struct {
 	// mode exists for the DESIGN.md action-representation ablation.
 	DeltaScale float64
 
+	// MaxRetries bounds how many times a transient measurement failure is
+	// retried before Step/Measure give up and return it; RetryBaseSec is
+	// the first backoff delay, doubled per retry with multiplicative
+	// jitter, every delay charged to the Clock.
+	MaxRetries   int
+	RetryBaseSec float64
+
 	Clock *Clock
 	steps int
+
+	faults FaultReport
+	rng    *rand.Rand // retry jitter; seeded so runs stay reproducible
 }
 
 // New builds an environment over db, exposing the knobs of cat, driving
 // workload w.
-func New(db *simdb.DB, cat *knobs.Catalog, w workload.Workload) *Env {
-	return &Env{DB: db, Cat: cat, W: w, DurationSec: simdb.StressTestSec, Clock: &Clock{}}
+func New(db Database, cat *knobs.Catalog, w workload.Workload) *Env {
+	return &Env{
+		DB: db, Cat: cat, W: w,
+		DurationSec:  simdb.StressTestSec,
+		MaxRetries:   3,
+		RetryBaseSec: 5,
+		Clock:        &Clock{},
+		rng:          rand.New(rand.NewSource(1)),
+	}
 }
 
 // Dim is the tunable knob count.
@@ -57,6 +166,9 @@ func (e *Env) Dim() int { return e.Cat.Len() }
 
 // Steps reports how many evaluations have been charged.
 func (e *Env) Steps() int { return e.steps }
+
+// Faults reports the measurement faults absorbed so far.
+func (e *Env) Faults() FaultReport { return e.faults }
 
 // Default returns the normalized default configuration for this
 // environment's hardware.
@@ -67,8 +179,11 @@ func (e *Env) Default() []float64 {
 
 // Step deploys the normalized configuration x, stress-tests the workload
 // and returns the result, charging the virtual clock for deployment,
-// restart (when needed), stress testing and metric collection. A crash
-// returns simdb.ErrCrashed; the clock is still charged (the run happened).
+// restart (when needed), stress testing and metric collection. A failure
+// in the deployment stage is wrapped in *ApplyError; a crash returns
+// simdb.ErrCrashed (the clock is still charged — the run happened);
+// transient measurement failures are retried with backoff before being
+// returned.
 func (e *Env) Step(x []float64) (simdb.Result, error) {
 	e.steps++
 	if e.DeltaScale > 0 {
@@ -88,35 +203,101 @@ func (e *Env) Step(x []float64) (simdb.Result, error) {
 	}
 	restarted, err := e.DB.ApplyKnobs(e.Cat, x)
 	if err != nil {
-		return simdb.Result{}, err
+		return simdb.Result{}, &ApplyError{Err: err}
 	}
 	e.Clock.Charge(simdb.DeploySec)
 	if restarted {
 		e.Clock.Charge(simdb.RestartSec)
 	}
-	res, err := e.DB.RunWorkload(e.W, e.DurationSec)
-	e.Clock.Charge(e.DurationSec + simdb.MetricsCollectSec)
+	res, err := e.measure()
 	if err != nil {
-		// Crashed instances are restarted with the previous sane
-		// configuration before the next step.
-		e.Clock.Charge(simdb.RestartSec)
+		if errors.Is(err, simdb.ErrCrashed) {
+			// Crashed instances are restarted with the previous sane
+			// configuration before the next step.
+			e.Clock.Charge(simdb.RestartSec)
+		}
 		return simdb.Result{}, err
 	}
 	return res, nil
 }
 
 // Measure runs the workload under the current configuration without
-// changing knobs (used to observe T0/L0 and the initial state).
+// changing knobs (used to observe T0/L0 and the initial state). Transient
+// failures are retried like in Step.
 func (e *Env) Measure() (simdb.Result, error) {
-	res, err := e.DB.RunWorkload(e.W, e.DurationSec)
-	e.Clock.Charge(e.DurationSec + simdb.MetricsCollectSec)
-	return res, err
+	return e.measure()
+}
+
+// measure runs one stress test, charging the clock, retrying transient
+// failures with exponential backoff + jitter, charging stall time, and
+// sanitizing the returned state vector.
+func (e *Env) measure() (simdb.Result, error) {
+	backoff := e.RetryBaseSec
+	for attempt := 0; ; attempt++ {
+		res, err := e.DB.RunWorkload(e.W, e.DurationSec)
+		e.Clock.Charge(e.DurationSec + simdb.MetricsCollectSec)
+		if s, ok := e.DB.(Staller); ok {
+			if extra := s.TakeStallSeconds(); extra > 0 {
+				e.Clock.Charge(extra)
+				e.faults.Stalls++
+				e.faults.StallSec += extra
+			}
+		}
+		if err == nil && !finiteExternal(res.Ext) {
+			// A non-finite throughput/latency reading is useless and, fed
+			// to a reward function, poisons the memory pool — treat it as
+			// one more flavor of transient measurement failure.
+			err = fmt.Errorf("%w: non-finite external metrics", simdb.ErrTransient)
+		}
+		if err == nil {
+			e.sanitizeState(res.State)
+			return res, nil
+		}
+		if !errors.Is(err, simdb.ErrTransient) {
+			return simdb.Result{}, err
+		}
+		e.faults.Transients++
+		if attempt >= e.MaxRetries {
+			return simdb.Result{}, err
+		}
+		// Exponential backoff with multiplicative jitter in [1, 1.5),
+		// charged to the virtual clock: waiting out a flaky collector
+		// costs real time on a real platform.
+		wait := backoff * (1 + 0.5*e.rng.Float64())
+		e.Clock.Charge(wait)
+		e.faults.Retries++
+		e.faults.RetrySec += wait
+		backoff *= 2
+	}
+}
+
+// sanitizeState replaces non-finite entries (metric dropouts) with zero so
+// downstream normalization and network forward passes stay finite.
+func (e *Env) sanitizeState(s []float64) {
+	bad := false
+	for i, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			s[i] = 0
+			bad = true
+		}
+	}
+	if bad {
+		e.faults.Dropouts++
+	}
+}
+
+func finiteExternal(ext metrics.External) bool {
+	ok := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	return ok(ext.Throughput) && ok(ext.Latency99)
 }
 
 // RecoverDefaults restarts a crashed instance with the default
 // configuration and re-measures it, charging the clock for the
 // measurement. Tuners call it after a crash so the next action conditions
 // on the recovered instance's state rather than the stale pre-crash one.
+// The post-reset measurement inherits Measure's transient-retry policy;
+// when even that fails the error is returned and the caller decides
+// whether to retry the whole recovery or abandon the episode.
 func (e *Env) RecoverDefaults() (simdb.Result, error) {
 	e.DB.ResetDefaults()
 	return e.Measure()

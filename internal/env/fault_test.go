@@ -1,0 +1,164 @@
+package env_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cdbtune/internal/chaos"
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func chaosEnv(t *testing.T, cfg chaos.Config) (*env.Env, *chaos.Injector) {
+	t.Helper()
+	in := chaos.New(cfg)
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 1)
+	return env.New(in.Wrap(db), db.Catalog(), workload.SysbenchRW()), in
+}
+
+func TestMeasureRetriesTransientsWithBackoff(t *testing.T) {
+	// Two post-reset failures, then success: the default 3-retry budget
+	// covers it. RecoveryFailures gives a deterministic failure count.
+	e, in := chaosEnv(t, chaos.Config{RecoveryFailures: 2})
+	e.DB.ResetDefaults()
+	clean := simdb.StressTestSec + simdb.MetricsCollectSec
+	res, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ext.Throughput <= 0 {
+		t.Fatal("retried measurement must return a real result")
+	}
+	f := e.Faults()
+	if f.Transients != 2 || f.Retries != 2 {
+		t.Fatalf("faults = %+v, want 2 transients / 2 retries", f)
+	}
+	// Three stress-test attempts plus two backoff waits; the first wait is
+	// RetryBaseSec·[1,1.5), the second doubles the base.
+	minClock := 3*clean + e.RetryBaseSec + 2*e.RetryBaseSec
+	maxClock := 3*clean + 1.5*(e.RetryBaseSec+2*e.RetryBaseSec)
+	if got := e.Clock.Seconds(); got < minClock-1e-6 || got > maxClock+1e-6 {
+		t.Fatalf("clock = %v, want in [%v, %v] (backoff not charged?)", got, minClock, maxClock)
+	}
+	if f.RetrySec <= 0 {
+		t.Fatal("RetrySec must record the charged backoff")
+	}
+	if in.Counters().RecoveryFails != 2 {
+		t.Fatalf("injector counters = %+v", in.Counters())
+	}
+}
+
+func TestMeasureGivesUpAfterRetryBudget(t *testing.T) {
+	e, _ := chaosEnv(t, chaos.Config{TransientProb: 1})
+	e.MaxRetries = 2
+	_, err := e.Measure()
+	if !errors.Is(err, simdb.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient after exhausted retries", err)
+	}
+	if f := e.Faults(); f.Transients != 3 || f.Retries != 2 {
+		t.Fatalf("faults = %+v, want 3 transients / 2 retries", f)
+	}
+}
+
+func TestApplyErrorDistinctFromCrash(t *testing.T) {
+	// Apply-stage failure: wrapped in *env.ApplyError, not a crash.
+	e, _ := chaosEnv(t, chaos.Config{ApplyFailProb: 1})
+	_, err := e.Step(e.Default())
+	var ae *env.ApplyError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *env.ApplyError", err)
+	}
+	if errors.Is(err, simdb.ErrCrashed) {
+		t.Fatal("apply failure must not look like a crash")
+	}
+
+	// Crash during the stress test: ErrCrashed, not an ApplyError.
+	e2, _ := chaosEnv(t, chaos.Config{CrashProb: 1})
+	_, err = e2.Step(e2.Default())
+	if !errors.Is(err, simdb.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if errors.As(err, &ae) {
+		t.Fatal("crash must not look like an apply failure")
+	}
+}
+
+func TestStepSanitizesDropouts(t *testing.T) {
+	e, in := chaosEnv(t, chaos.Config{Seed: 5, DropoutProb: 1})
+	res, err := e.Step(e.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.State {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("state[%d] = %v after sanitization", i, v)
+		}
+	}
+	if in.Counters().Dropouts == 0 {
+		t.Fatal("dropout was not injected")
+	}
+	// NaN vectors count as sanitized dropouts; zeroed vectors are already
+	// finite and pass through uncounted.
+	norm := env.NormalizedState(res.State)
+	for i, v := range norm {
+		if math.IsNaN(v) {
+			t.Fatalf("normalized state[%d] is NaN", i)
+		}
+	}
+}
+
+func TestStallChargesClock(t *testing.T) {
+	e, _ := chaosEnv(t, chaos.Config{Seed: 2, StallProb: 1, StallSec: 90})
+	clean := simdb.StressTestSec + simdb.MetricsCollectSec
+	if _, err := e.Measure(); err != nil {
+		t.Fatal(err)
+	}
+	f := e.Faults()
+	if f.Stalls != 1 || f.StallSec <= 0 {
+		t.Fatalf("faults = %+v, want one charged stall", f)
+	}
+	want := clean + f.StallSec
+	if math.Abs(e.Clock.Seconds()-want) > 1e-6 {
+		t.Fatalf("clock = %v, want %v (stall not charged)", e.Clock.Seconds(), want)
+	}
+}
+
+func TestRecoverDefaultsSurvivesFlakyRecovery(t *testing.T) {
+	// The post-reset measurement fails 3 times; the default retry budget
+	// (3 retries = 4 attempts) absorbs it.
+	e, _ := chaosEnv(t, chaos.Config{RecoveryFailures: 3})
+	res, err := e.RecoverDefaults()
+	if err != nil {
+		t.Fatalf("RecoverDefaults = %v, want success after retries", err)
+	}
+	if res.Ext.Throughput <= 0 {
+		t.Fatal("recovered measurement is empty")
+	}
+	if f := e.Faults(); f.Retries != 3 {
+		t.Fatalf("faults = %+v, want 3 retries", f)
+	}
+}
+
+func TestRecoverDefaultsReportsPersistentFailure(t *testing.T) {
+	// More failures than the retry budget: the error must surface (the
+	// caller — core — decides whether to retry recovery or abandon).
+	// 7 failures vs 3 attempts per recovery (1 try + 2 retries): the
+	// first two recoveries exhaust their budgets, the third succeeds.
+	e, _ := chaosEnv(t, chaos.Config{RecoveryFailures: 7})
+	e.MaxRetries = 2
+	_, err := e.RecoverDefaults()
+	if !errors.Is(err, simdb.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	// A second recovery attempt eats further into the failure budget and
+	// eventually succeeds — the retry-the-recovery contract core relies on.
+	if _, err := e.RecoverDefaults(); !errors.Is(err, simdb.ErrTransient) {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if res, err := e.RecoverDefaults(); err != nil || res.Ext.Throughput <= 0 {
+		t.Fatalf("third recovery: res=%+v err=%v", res.Ext, err)
+	}
+}

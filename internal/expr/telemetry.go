@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cdbtune/internal/chaos"
 	"cdbtune/internal/core"
 	"cdbtune/internal/env"
 	"cdbtune/internal/knobs"
@@ -15,10 +16,14 @@ import (
 // multi-server try-and-error, scaled to `workers` simulated training
 // servers) and reports the per-episode telemetry stream: exploration
 // annealing, reward and loss trajectories, crash counts and virtual time.
-// The stream is the observability substrate the scale-out work builds on;
-// here it doubles as a demonstration that the parallel schedule matches
-// serial annealing (sigma decays once per completed episode).
-func TrainingTelemetry(b Budget, workers int) (Table, error) {
+// The training runs under a light seeded fault mix (transient measurement
+// failures, latency stalls, metric dropouts), so the stream also shows the
+// resilience layer absorbing faults: retries, skipped steps, and the
+// unchanged annealing schedule. A second table summarizes the injected
+// faults against the counters the hardened loop reports, and closes with a
+// guardrail-protected online-tuning request against the same chaotic
+// instance class.
+func TrainingTelemetry(b Budget, workers int) ([]Table, error) {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -30,16 +35,26 @@ func TrainingTelemetry(b Budget, workers int) (Table, error) {
 	cfg.MemoryShards = workers
 	t, err := core.New(cfg)
 	if err != nil {
-		return Table{}, err
+		return nil, err
 	}
 	episodes := b.Episodes / 2
 	if episodes < 8 {
 		episodes = 8
 	}
 	w := workload.SysbenchRW()
+	// A light mix: every fault class fires over a normal run, none often
+	// enough to drown the learning signal.
+	in := chaos.New(chaos.Config{
+		Seed:          b.Seed,
+		TransientProb: 0.03,
+		StallProb:     0.03,
+		StallSec:      30,
+		DropoutProb:   0.03,
+	})
 	var records []core.EpisodeStats
 	rep, err := t.OfflineTrainOpts(func(ep int) *env.Env {
-		return newEnv(knobs.EngineCDB, inst, cat, w, b.Seed+int64(ep))
+		db := simdb.New(knobs.EngineCDB, inst, b.Seed+int64(ep))
+		return env.New(in.Wrap(db), cat, w)
 	}, core.TrainOptions{
 		Episodes: episodes,
 		Workers:  workers,
@@ -48,18 +63,18 @@ func TrainingTelemetry(b Budget, workers int) (Table, error) {
 		OnEpisode: func(s core.EpisodeStats) { records = append(records, s) },
 	})
 	if err != nil {
-		return Table{}, err
+		return nil, err
 	}
 	// Completion order is nondeterministic across workers; present the
 	// stream by episode index.
 	sort.Slice(records, func(i, j int) bool { return records[i].Episode < records[j].Episode })
-	tab := Table{
+	stream := Table{
 		Title: fmt.Sprintf("Training telemetry (%d episodes, %d workers; converged=%v at iter %d, best %.1f txn/sec)",
 			rep.Episodes, workers, rep.Converged, rep.ConvergedAt, rep.BestPerf.Throughput),
-		Header: []string{"episode", "worker", "best tput", "mean reward", "critic loss", "actor loss", "sigma", "crashes", "infer batch", "virtual sec"},
+		Header: []string{"episode", "worker", "best tput", "mean reward", "critic loss", "actor loss", "sigma", "crashes", "faults", "retries", "skipped", "infer batch", "virtual sec"},
 	}
 	for _, s := range records {
-		tab.Rows = append(tab.Rows, []string{
+		stream.Rows = append(stream.Rows, []string{
 			fmt.Sprintf("%d", s.Episode),
 			fmt.Sprintf("%d", s.Worker),
 			fmtF(s.BestThroughput),
@@ -68,9 +83,49 @@ func TrainingTelemetry(b Budget, workers int) (Table, error) {
 			fmt.Sprintf("%+.3f", s.ActorLoss),
 			fmt.Sprintf("%.4f", s.NoiseSigma),
 			fmt.Sprintf("%d", s.Crashes),
+			fmt.Sprintf("%d", s.Transients),
+			fmt.Sprintf("%d", s.Retries),
+			fmt.Sprintf("%d", s.SkippedSteps),
 			fmt.Sprintf("%.2f", s.InferBatchMean),
 			fmt.Sprintf("%.0f", s.VirtualSeconds),
 		})
 	}
-	return tab, nil
+
+	// A guarded online-tuning request against a crashier instance of the
+	// same class: the guardrail's reverts and vetoes close the summary.
+	tuneIn := chaos.New(chaos.Config{
+		Seed:          b.Seed + 1,
+		TransientProb: 0.05,
+		CrashProb:     0.15,
+	})
+	tuneDB := simdb.New(knobs.EngineCDB, inst, b.Seed+9999)
+	guard := core.NewGuardrail(2, 0.05)
+	tuned, err := t.OnlineTuneGuarded(env.New(tuneIn.Wrap(tuneDB), cat, w), 5, true, guard)
+	if err != nil {
+		return nil, err
+	}
+	reverts, vetoes, regions := guard.Stats()
+
+	cnt := in.Counters()
+	resil := Table{
+		Title: "Resilience summary (seeded fault injection vs. hardened-loop accounting)",
+		Header: []string{"counter", "training", "online tune"},
+		Rows: [][]string{
+			{"injected transients", fmt.Sprintf("%d", cnt.Transients), fmt.Sprintf("%d", tuneIn.Counters().Transients)},
+			{"injected stalls", fmt.Sprintf("%d", cnt.Stalls), fmt.Sprintf("%d", tuneIn.Counters().Stalls)},
+			{"injected dropouts", fmt.Sprintf("%d", cnt.Dropouts), fmt.Sprintf("%d", tuneIn.Counters().Dropouts)},
+			{"injected crashes", fmt.Sprintf("%d", cnt.Crashes), fmt.Sprintf("%d", tuneIn.Counters().Crashes)},
+			{"absorbed transients", fmt.Sprintf("%d", rep.Faults.Transients), fmt.Sprintf("%d", tuned.Faults.Transients)},
+			{"backoff retries", fmt.Sprintf("%d", rep.Faults.Retries), fmt.Sprintf("%d", tuned.Faults.Retries)},
+			{"retry backoff vsec", fmt.Sprintf("%.0f", rep.Faults.RetrySec), fmt.Sprintf("%.0f", tuned.Faults.RetrySec)},
+			{"stall vsec charged", fmt.Sprintf("%.0f", rep.Faults.StallSec), fmt.Sprintf("%.0f", tuned.Faults.StallSec)},
+			{"state dropouts sanitized", fmt.Sprintf("%d", rep.Faults.Dropouts), fmt.Sprintf("%d", tuned.Faults.Dropouts)},
+			{"skipped steps", "-", fmt.Sprintf("%d", tuned.SkippedSteps)},
+			{"guardrail reverts", "-", fmt.Sprintf("%d", reverts)},
+			{"guardrail vetoes", "-", fmt.Sprintf("%d", vetoes)},
+			{"crash regions recorded", "-", fmt.Sprintf("%d", regions)},
+			{"worker deaths / lost episodes", fmt.Sprintf("%d / %d", rep.WorkerDeaths, rep.LostEpisodes), "-"},
+		},
+	}
+	return []Table{stream, resil}, nil
 }

@@ -15,6 +15,19 @@ import (
 // outgrowing the disk (§5.2.3), and memory over-subscription does the same.
 var ErrCrashed = errors.New("simdb: instance crashed under this configuration")
 
+// ErrTransient marks a measurement failure that did not change the
+// instance: a dropped stress-test connection, a metric-collection timeout,
+// a restart that must be retried. The simulator itself never fails this
+// way; the chaos layer injects it, and env.Step/Measure retry it with
+// backoff before giving up.
+var ErrTransient = errors.New("simdb: transient measurement failure")
+
+// ErrWorkerLost marks the training server behind an environment becoming
+// unreachable mid-episode — the machine died, not the database
+// configuration. The chaos layer injects it; the parallel trainer responds
+// by respawning the worker and re-queueing the episode.
+var ErrWorkerLost = errors.New("simdb: training server lost")
+
 // Nominal wall-clock costs of one tuning step, from §5.1.1. The simulator
 // completes instantly; the virtual clock in internal/core charges these.
 const (

@@ -1,6 +1,7 @@
 #!/bin/sh
 # check.sh runs the repo's full verification gate: static analysis, the
-# full test suite, and a race-detector pass. The parallel trainer shares
+# full test suite (shuffled, to catch inter-test state leaks), the seeded
+# chaos smoke scenario, and a race-detector pass. The parallel trainer shares
 # one agent across worker goroutines, so -race is part of the standard
 # gate, not an optional extra. The race pass runs with -short: the long
 # expr integration test exceeds the per-package timeout under race
@@ -12,11 +13,14 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
-echo "== go test =="
-go test ./...
+echo "== go test (shuffled) =="
+go test -shuffle=on ./...
+
+echo "== chaos smoke =="
+go test -count=1 -run 'TestChaosSmoke|TestTuningRequestSurvivesCrashStorm' ./internal/controller/
 
 echo "== go test -race (short) =="
-go test -race -short -timeout 20m ./...
+go test -race -short -shuffle=on -timeout 20m ./...
 
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkMemoryAddSample|BenchmarkActBatched' -benchtime=1x -cpu 4 .
