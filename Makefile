@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos-smoke
+.PHONY: build test check bench chaos-smoke divergence-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ check:
 # EXPERIMENTS.md ("Chaos recipe").
 chaos-smoke:
 	$(GO) test -count=1 -run 'TestChaosSmoke|TestTuningRequestSurvivesCrashStorm' ./internal/controller/ -v
+
+# divergence-smoke runs the learner-health supervisor scenarios: a seeded
+# critic divergence that must heal and converge, an exhausted heal budget
+# that must abort with a diagnosis, and the full-stack smoke where chaos
+# injects finite reward spikes past disabled clamps. See EXPERIMENTS.md
+# ("Divergence-injection recipe").
+divergence-smoke:
+	$(GO) test -count=1 -timeout 120s -run 'TestDivergence' ./internal/core/ -v
 
 # bench runs the replay-contention and batched-inference microbenchmarks.
 # -cpu 4 simulates four training workers even on fewer cores; see

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +52,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cdbtune train -workload <name> [-instance CDB-A] [-episodes 40] [-workers 1] [-shards 0] [-model model.bin] [-quiet]
                 [-checkpoint train.ckpt] [-checkpoint-every 5] [-resume] [-chaos]
+                [-max-grad-norm 5] [-heal-budget 3] [-deadline 0] [-no-supervisor]
   cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf] [-chaos]
   cdbtune knobs [-engine cdb-mysql] [-all]
   cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A]
@@ -94,6 +97,10 @@ func cmdTrain(args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", 5, "episodes between checkpoints")
 	resume := fs.Bool("resume", false, "resume a killed run from -checkpoint")
 	withChaos := fs.Bool("chaos", false, "inject a seeded standard fault mix into every training environment")
+	maxGradNorm := fs.Float64("max-grad-norm", 0, "gradient-clipping threshold for actor and critic (0 = agent default; negative disables clipping)")
+	healBudget := fs.Int("heal-budget", 0, "divergence rollbacks before the supervisor aborts training (0 = default 3)")
+	deadline := fs.Duration("deadline", 0, "real wall-clock bound on the run; training stops with partial results at the deadline (0 = unbounded)")
+	noSupervisor := fs.Bool("no-supervisor", false, "disable learner-health supervision (divergence detection and auto-rollback)")
 	fs.Parse(args)
 
 	w, err := workload.ByName(*wname)
@@ -115,6 +122,9 @@ func cmdTrain(args []string) error {
 	if *shards == 0 && *workers > 1 {
 		cfg.MemoryShards = *workers
 	}
+	if *maxGradNorm != 0 {
+		cfg.DDPG.MaxGradNorm = *maxGradNorm
+	}
 	tuner, err := core.New(cfg)
 	if err != nil {
 		return err
@@ -132,7 +142,16 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("training CDBTune: %s on %s, %d episodes, %d workers\n", w.Name, inst.Name, *episodes, *workers)
 	var last core.EpisodeStats
-	opts := core.TrainOptions{Episodes: *episodes, Workers: *workers, Resume: *resume}
+	opts := core.TrainOptions{
+		Episodes: *episodes,
+		Workers:  *workers,
+		Resume:   *resume,
+		Deadline: *deadline,
+		Supervisor: core.SupervisorConfig{
+			Disabled:   *noSupervisor,
+			HealBudget: *healBudget,
+		},
+	}
 	if *ckptPath != "" {
 		opts.Checkpoint = &core.Checkpointer{Path: *ckptPath, Every: *ckptEvery}
 	} else if *resume {
@@ -145,7 +164,19 @@ func cmdTrain(args []string) error {
 		}
 	}
 	rep, err := tuner.OfflineTrainOpts(mk, opts)
-	if err != nil {
+	var dErr *core.DivergenceError
+	switch {
+	case err == nil:
+	case errors.As(err, &dErr):
+		// Exhausted heal budget: the weights are the diverged ones, so no
+		// model is written — the diagnosis is the deliverable.
+		fmt.Printf("training aborted after %d episodes: learner diverged beyond heal budget\n  %s\n",
+			rep.Episodes, dErr.Diagnosis)
+		return err
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// Deadline reached: report and save what the run produced so far.
+		fmt.Printf("deadline reached after %d episodes; partial results follow\n", rep.Episodes)
+	default:
 		return err
 	}
 	if rep.Resumed {
@@ -161,6 +192,11 @@ func cmdTrain(args []string) error {
 			rep.Faults.Transients, rep.Faults.Retries, rep.Faults.RetrySec,
 			rep.Faults.Stalls, rep.Faults.StallSec, rep.Faults.Dropouts,
 			rep.WorkerDeaths, rep.LostEpisodes)
+	}
+	if rep.Learner.Supervised {
+		fmt.Printf("learner health: %d heals, %d snapshots, %d dropped batches, lr-scale %.3g, |Q| %.1f, grad %.1f\n",
+			rep.Learner.Heals, rep.Learner.Snapshots, rep.Learner.SkippedBatches,
+			rep.Learner.LRScale, rep.Learner.MeanAbsQ, rep.Learner.GradNorm)
 	}
 	if rep.Converged {
 		fmt.Printf("converged at iteration %d\n", rep.ConvergedAt)

@@ -76,6 +76,16 @@ type Config struct {
 	// index reaches the value) fail with simdb.ErrWorkerLost — the
 	// training server died, not the database. 0 disables.
 	KillWorkerAtRun int
+
+	// SpikeProb and SpikeFactor inject corrupted-but-finite measurements:
+	// the stress test succeeds and the reported throughput is multiplied
+	// by SpikeFactor (latency divided by it). Unlike a NaN dropout this
+	// passes every finiteness check, so a quadratic reward function turns
+	// it into an enormous reward spike — the learner-side poison the
+	// learner-health supervisor exists to detect and heal. SpikeFactor
+	// defaults to 100 when SpikeProb > 0.
+	SpikeProb   float64
+	SpikeFactor float64
 }
 
 // Counters reports how many of each fault the injector has fired.
@@ -88,6 +98,7 @@ type Counters struct {
 	Crashes       int // injected crashes, storm and background
 	RecoveryFails int
 	Kills         int
+	Spikes        int // corrupted-measurement reward spikes
 }
 
 // Injector holds the shared fault schedule. Safe for concurrent use by
@@ -186,6 +197,12 @@ func (d *DB) RunWorkload(w workload.Workload, durationSec float64) (simdb.Result
 			res.State[i] = corrupt
 		}
 	}
+	if v.spike > 0 {
+		res.Ext.Throughput *= v.spike
+		if res.Ext.Latency99 > 0 {
+			res.Ext.Latency99 /= v.spike
+		}
+	}
 	return res, nil
 }
 
@@ -229,6 +246,7 @@ type verdict struct {
 	stallSec   float64
 	dropout    bool
 	dropoutNaN bool
+	spike      float64 // throughput multiplier, 0 = none
 }
 
 // draw advances the global schedule by one stress test and decides what to
@@ -281,6 +299,13 @@ func (in *Injector) draw(d *DB) verdict {
 		v.dropout = true
 		v.dropoutNaN = in.rng.Intn(2) == 0
 		in.ctr.Dropouts++
+	}
+	if in.cfg.SpikeProb > 0 && in.rng.Float64() < in.cfg.SpikeProb {
+		v.spike = in.cfg.SpikeFactor
+		if v.spike <= 0 {
+			v.spike = 100
+		}
+		in.ctr.Spikes++
 	}
 	return v
 }

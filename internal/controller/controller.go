@@ -9,6 +9,7 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -132,6 +133,16 @@ type RequestResult struct {
 // any measurement target satisfying env.Database — the simulator directly,
 // or a chaos-wrapped instance in resilience tests.
 func (c *Controller) HandleTuningRequest(db env.Database, userWorkload workload.Workload) (RequestResult, error) {
+	return c.HandleTuningRequestCtx(context.Background(), db, userWorkload)
+}
+
+// HandleTuningRequestCtx is HandleTuningRequest under a context. A
+// cancelled or past-deadline ctx abandons the request promptly: the tuning
+// loop stops recommending, and because the license step never ran the
+// instance is rolled back to its pre-request configuration before the
+// context's error is returned (with valid partial accounting in the
+// result).
+func (c *Controller) HandleTuningRequestCtx(ctx context.Context, db env.Database, userWorkload workload.Workload) (RequestResult, error) {
 	var out RequestResult
 	c.requests++
 	cat := c.cfg.Tuner.Config().Cat
@@ -149,11 +160,19 @@ func (c *Controller) HandleTuningRequest(db env.Database, userWorkload workload.
 	before := db.CurrentKnobs(cat)
 
 	e := env.New(db, cat, replayed)
-	res, err := c.cfg.Tuner.OnlineTuneGuarded(e, c.cfg.OnlineSteps, true, c.guard)
+	res, err := c.cfg.Tuner.OnlineTuneCtx(ctx, e, c.cfg.OnlineSteps, true, c.guard)
+	out.TuneResult = res
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Abandoned request: no license was granted, so the user's
+			// instance must not keep whatever the cut-short exploration
+			// deployed.
+			if rbErr := applyWithRetry(db, cat, before); rbErr != nil {
+				return out, fmt.Errorf("controller: rolling back abandoned request: %v (after %w)", rbErr, err)
+			}
+		}
 		return out, err
 	}
-	out.TuneResult = res
 
 	hw := db.Instance().HW
 	out.Values = cat.Denormalize(res.Best, hw.RAMGB, hw.DiskGB)

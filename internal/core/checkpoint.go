@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -50,7 +52,14 @@ type Checkpointer struct {
 	Every int
 }
 
-const checkpointVersion = 1
+const checkpointVersion = 2
+
+// checkpointMagic tags the 8-byte integrity footer every checkpoint ends
+// with: 4 magic bytes + the little-endian IEEE CRC32 of the gob payload.
+// Load verifies the footer before decoding a single byte, so a truncated
+// or bit-flipped file is rejected with a clear error instead of a gob
+// decode failure (or, worse, silently plausible garbage).
+var checkpointMagic = [4]byte{'c', 'k', 'p', '2'}
 
 // checkpointBlob is the on-disk format.
 type checkpointBlob struct {
@@ -105,7 +114,19 @@ func (c *Checkpointer) save(t *Tuner, rep TrainReport) error {
 	blob.Iterations = t.Iterations()
 
 	return WriteAtomic(c.Path, func(w io.Writer) error {
-		return gob.NewEncoder(w).Encode(blob)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+			return err
+		}
+		payload := buf.Bytes()
+		var footer [8]byte
+		copy(footer[:4], checkpointMagic[:])
+		binary.LittleEndian.PutUint32(footer[4:], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		_, err := w.Write(footer[:])
+		return err
 	})
 }
 
@@ -115,16 +136,23 @@ func (c *Checkpointer) save(t *Tuner, rep TrainReport) error {
 // was found (a missing file is not an error — the run simply starts
 // fresh).
 func (c *Checkpointer) Load(t *Tuner) (TrainReport, bool, error) {
-	f, err := os.Open(c.Path)
+	data, err := os.ReadFile(c.Path)
 	if os.IsNotExist(err) {
 		return TrainReport{}, false, nil
 	}
 	if err != nil {
 		return TrainReport{}, false, err
 	}
-	defer f.Close()
+	if len(data) < 8 || !bytes.Equal(data[len(data)-8:len(data)-4], checkpointMagic[:]) {
+		return TrainReport{}, false, fmt.Errorf("core: checkpoint %s: missing integrity footer (truncated file, or written by an older version)", c.Path)
+	}
+	payload := data[:len(data)-8]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return TrainReport{}, false, fmt.Errorf("core: checkpoint %s: payload CRC %08x does not match footer %08x: file is corrupt", c.Path, got, want)
+	}
 	var blob checkpointBlob
-	if err := gob.NewDecoder(f).Decode(&blob); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&blob); err != nil {
 		return TrainReport{}, false, fmt.Errorf("core: decoding checkpoint %s: %w", c.Path, err)
 	}
 	if blob.Version != checkpointVersion {

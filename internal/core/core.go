@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -138,6 +139,12 @@ type Tuner struct {
 	// running (set before the workers start, cleared after they join).
 	infer *inferBatcher
 
+	// super, when non-nil, is the learner-health supervisor the trainer
+	// installs for the duration of an offline training run. Like infer it
+	// is written only while no worker runs; trainUpdates consults it under
+	// agentMu after every gradient update.
+	super *Supervisor
+
 	mu         sync.Mutex
 	iterations int
 
@@ -252,6 +259,43 @@ type TrainReport struct {
 	// carried (they are included in Episodes).
 	Resumed         bool
 	ResumedEpisodes int
+
+	// Learner summarizes the learner-health supervision of the run: heals
+	// performed, batches discarded as non-finite, snapshot cadence and the
+	// final health signals. Learner.Healthy is false only when the run
+	// aborted on an exhausted heal budget (the returned error is then a
+	// *DivergenceError carrying the full Diagnosis).
+	Learner LearnerReport
+
+	// Stalls counts stall-watchdog flags: a worker observed stuck
+	// mid-step for longer than TrainOptions.StallTimeout (each distinct
+	// stuck step is flagged once).
+	Stalls int
+}
+
+// LearnerReport is the learner-health section of a TrainReport.
+type LearnerReport struct {
+	// Supervised reports whether a learner-health supervisor watched the
+	// run (see TrainOptions.Supervisor).
+	Supervised bool
+	// Heals counts divergence rollbacks; Snapshots the in-memory weight
+	// snapshots taken; SkippedBatches the non-finite batches discarded
+	// before they could touch a weight.
+	Heals          int
+	Snapshots      int
+	SkippedBatches int
+	// LRScale is the cumulative learning-rate backoff (1 = never backed
+	// off); MeanAbsQ, GradNorm and Saturation the final EMA health
+	// signals; MaxWeight the last observed weight magnitude.
+	LRScale    float64
+	MeanAbsQ   float64
+	GradNorm   float64
+	Saturation float64
+	MaxWeight  float64
+	// Healthy is true when the run ended without an unhealed divergence.
+	Healthy bool
+	// Diagnosis is the rendered post-mortem when Healthy is false.
+	Diagnosis string
 }
 
 // EnvFactory produces a fresh training environment per episode — the
@@ -395,9 +439,15 @@ func recoverEnv(e *env.Env) (simdb.Result, error) {
 // nil) and learns; otherwise it acts greedily. Environment faults are
 // absorbed: transient failures that out-ran env's retries skip the step,
 // crashes recover to defaults, and an instance that cannot be recovered
-// ends the episode early (st.lost) instead of aborting training.
-func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, error) {
+// ends the episode early (st.lost) instead of aborting training. A
+// cancelled ctx ends the episode with its error (never absorbed); beat,
+// when non-nil, is called before every environment step so the stall
+// watchdog can see the worker making progress.
+func (t *Tuner) runEpisode(ctx context.Context, e *env.Env, train bool, noise rl.Noise, beat func()) (epStats, error) {
 	var st epStats
+	if beat != nil {
+		beat()
+	}
 	base, err := e.Measure()
 	if err != nil {
 		if errors.Is(err, simdb.ErrCrashed) {
@@ -421,6 +471,14 @@ func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, err
 	flat := 0
 	var prevT float64 = base.Ext.Throughput
 	for step := 0; step < t.cfg.StepsPerEpisode; step++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+		}
+		if beat != nil {
+			beat()
+		}
 		action := t.selectAction(state, train, noise)
 		e.Clock.Charge(RecommendSec)
 		res, err := e.Step(action)
@@ -447,7 +505,11 @@ func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, err
 				Reward: t.cfg.CrashPenalty, NextState: state, Done: true,
 			})
 			if train {
-				st.updates.add(t.trainUpdates(e))
+				u, uerr := t.trainUpdates(e)
+				st.updates.add(u)
+				if uerr != nil {
+					return st, uerr
+				}
 			}
 			// The controller redeploys defaults and the episode continues
 			// from the recovered instance — §5.2.3 reports frequent
@@ -477,7 +539,11 @@ func (t *Tuner) runEpisode(e *env.Env, train bool, noise rl.Noise) (epStats, err
 			NextState: next, Done: step == t.cfg.StepsPerEpisode-1,
 		})
 		if train {
-			st.updates.add(t.trainUpdates(e))
+			u, uerr := t.trainUpdates(e)
+			st.updates.add(u)
+			if uerr != nil {
+				return st, uerr
+			}
 		}
 		state = next
 		if res.Ext.Throughput > st.best.Throughput {
@@ -594,7 +660,11 @@ func (u updateTotals) meanActor() float64 {
 	return u.actorSum / float64(u.actorN)
 }
 
-func (t *Tuner) trainUpdates(e *env.Env) updateTotals {
+// trainUpdates performs UpdatesPerStep gradient updates under agentMu,
+// feeding each step's health signals to the installed supervisor (when
+// any). A non-nil error is fatal to the run: the supervisor's heal budget
+// is exhausted (*DivergenceError) or a rollback itself failed.
+func (t *Tuner) trainUpdates(e *env.Env) (updateTotals, error) {
 	var u updateTotals
 	t.agentMu.Lock()
 	defer t.agentMu.Unlock()
@@ -604,14 +674,21 @@ func (t *Tuner) trainUpdates(e *env.Env) updateTotals {
 			continue
 		}
 		e.Clock.Charge(ModelUpdateSec)
-		u.criticSum += info.CriticLoss
-		u.criticN++
-		if info.ActorUpdated {
-			u.actorSum += info.ActorLoss
-			u.actorN++
+		if !info.SkippedNonFinite {
+			u.criticSum += info.CriticLoss
+			u.criticN++
+			if info.ActorUpdated {
+				u.actorSum += info.ActorLoss
+				u.actorN++
+			}
+		}
+		if t.super != nil {
+			if err := t.super.observe(info); err != nil {
+				return u, err
+			}
 		}
 	}
-	return u
+	return u, nil
 }
 
 // TuneResult is the outcome of one online tuning request.
@@ -655,10 +732,26 @@ func (t *Tuner) OnlineTune(e *env.Env, steps int, fineTune bool) (TuneResult, er
 // exploration, the instance ends the request on the best configuration
 // actually measured — never on a crashing one. A nil g runs unguarded.
 func (t *Tuner) OnlineTuneGuarded(e *env.Env, steps int, fineTune bool, g *Guardrail) (TuneResult, error) {
+	return t.OnlineTuneCtx(context.Background(), e, steps, fineTune, g)
+}
+
+// OnlineTuneCtx is OnlineTuneGuarded under a context: a cancelled or
+// past-deadline ctx stops recommending promptly (checked before every
+// step; the environment is bound to ctx so backoff waits abort too), but
+// the request still ends with the best-effort deploy of the best
+// configuration measured so far — an abandoned request must not leave the
+// instance on an exploratory configuration. The returned error is then
+// ctx's error and the TuneResult is valid partial accounting.
+func (t *Tuner) OnlineTuneCtx(ctx context.Context, e *env.Env, steps int, fineTune bool, g *Guardrail) (TuneResult, error) {
 	var out TuneResult
 	if steps <= 0 {
 		steps = 5
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.Bind(ctx)
+	defer e.Bind(nil)
 	start := e.Clock.Seconds()
 	base, err := e.Measure()
 	if err != nil {
@@ -683,7 +776,12 @@ func (t *Tuner) OnlineTuneGuarded(e *env.Env, steps int, fineTune bool, g *Guard
 		g.BeginRequest(out.Best, base.Ext.Throughput)
 	}
 
+	var cancelErr error
 	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
 		var action []float64
 		t.agentMu.Lock()
 		if best := t.agent.BCTarget(); step == 0 && best != nil {
@@ -737,8 +835,18 @@ func (t *Tuner) OnlineTuneGuarded(e *env.Env, steps int, fineTune bool, g *Guard
 					g.NoteFailure()
 				}
 			default:
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					// Cancellation surfaced through the bound environment
+					// mid-step: stop recommending, but still fall through to
+					// the best-known-good deploy below.
+					cancelErr = err
+					break
+				}
 				out.Faults = e.Faults()
 				return out, err
+			}
+			if cancelErr != nil {
+				break
 			}
 			if g != nil {
 				if target, ok := g.RevertTarget(); ok {
@@ -764,7 +872,10 @@ func (t *Tuner) OnlineTuneGuarded(e *env.Env, steps int, fineTune bool, g *Guard
 			NextState: next, Done: step == steps-1,
 		})
 		if fineTune {
-			t.trainUpdates(e)
+			if _, uerr := t.trainUpdates(e); uerr != nil {
+				out.Faults = e.Faults()
+				return out, uerr
+			}
 		}
 		state = next
 		out.History = append(out.History, res.Ext)
@@ -789,5 +900,5 @@ func (t *Tuner) OnlineTuneGuarded(e *env.Env, steps int, fineTune bool, g *Guard
 		return out, fmt.Errorf("core: deploying final configuration: %w", aerr)
 	}
 	out.Seconds = e.Clock.Seconds() - start
-	return out, nil
+	return out, cancelErr
 }

@@ -26,6 +26,32 @@
 //   - Iterations and the best-snapshot bookkeeping take their own small
 //     locks; TrainOptions.OnEpisode hooks run under the trainer's
 //     accounting lock, serialized in episode-completion order.
+//   - The learner-health supervisor has no locking of its own: it is
+//     installed before workers start and cleared after they join (both
+//     under agentMu), and observe/heal/Stats are invoked only while
+//     agentMu is held — observe immediately after each TrainStep, Stats
+//     from the per-episode accounting section. Rollback (agent.Restore),
+//     LR backoff and noise backoff therefore never race a concurrent
+//     update. A *DivergenceError returned by observe propagates out of
+//     the episode as a fatal error; the trainer still finalizes a valid
+//     partial TrainReport (episode accounting, learner-health counters,
+//     diagnosis) on that path.
+//
+// # Cancellation contract
+//
+// TrainOptions.Ctx and Deadline bound a training run; OnlineTuneCtx
+// bounds an online request. The context is bound to each worker's
+// environment (env.Bind), which checks it on Step/Measure entry and
+// before every retry backoff — cancellation is never counted as a
+// measurement fault and never retried. Workers observe cancellation at
+// the next step boundary, the dispatcher stops handing out episodes, and
+// the run returns ctx.Err() alongside a valid partial report. The online
+// path deploys the best-known configuration before returning on
+// cancellation, so an abandoned request never leaves the instance on an
+// experimental config. TrainOptions.StallTimeout arms a watchdog that
+// flags (OnStall, TrainReport.Stalls) workers stuck inside one step
+// longer than the timeout; it observes per-worker heartbeats and never
+// touches the agent.
 //
 // Data flow of one parallel training step, with the batched inference
 // front-end the trainer installs when Workers ≥ 2:

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cdbtune/internal/simdb"
 )
@@ -69,6 +72,15 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 	if maxRespawns <= 0 {
 		maxRespawns = 8
 	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 
 	var rep TrainReport
 	var next int
@@ -83,6 +95,27 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 			rep.ResumedEpisodes = saved.Episodes
 			next = saved.Episodes
 		}
+	}
+	// A resumed run's checkpoint carries the prior segment's learner
+	// accounting: the supervisor restarts from zero, so its counters are
+	// added on top of these.
+	priorLearner := rep.Learner
+
+	if !opts.Supervisor.Disabled {
+		// qBound is the largest honest stored-return magnitude: stored
+		// rewards live in [−RewardFloor, RewardClip] and the discounted sum
+		// of a constant bounded reward is bound/(1−γ).
+		qBound := t.cfg.RewardClip
+		if t.cfg.RewardFloor > qBound {
+			qBound = t.cfg.RewardFloor
+		}
+		if g := t.cfg.DDPG.Gamma; g > 0 && g < 1 {
+			qBound /= 1 - g
+		}
+		t.agentMu.Lock()
+		t.super = newSupervisor(opts.Supervisor, t.agent, qBound)
+		t.agentMu.Unlock()
+		defer func() { t.super = nil }()
 	}
 
 	if workers > 1 && opts.InferBatch != 1 {
@@ -118,6 +151,12 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 		if fatal != nil {
 			return 0, false
 		}
+		if err := ctx.Err(); err != nil {
+			// Cancellation is the run's terminal condition, not an episode
+			// failure: stop the handout and surface ctx's error.
+			fatal = err
+			return 0, false
+		}
 		if len(retry) > 0 {
 			ep := retry[0]
 			retry = retry[1:]
@@ -143,13 +182,64 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 		if rep.Episodes%every != 0 && rep.Episodes != opts.Episodes {
 			return
 		}
+		rep.Learner = t.learnerReport(priorLearner)
 		if err := opts.Checkpoint.save(t, rep); err != nil && fatal == nil {
 			fatal = err
 		}
 	}
+	// Stall watchdog: each worker stamps a heartbeat (real time) before
+	// every environment step and clears it while doing accounting; the
+	// watchdog goroutine flags any heartbeat older than StallTimeout, once
+	// per stuck step.
+	var beats []atomic.Int64
+	var watchStop, watchDone chan struct{}
+	if opts.StallTimeout > 0 {
+		beats = make([]atomic.Int64, workers)
+		watchStop = make(chan struct{})
+		watchDone = make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			lastFlag := make([]int64, len(beats))
+			period := opts.StallTimeout / 4
+			if period < time.Millisecond {
+				period = time.Millisecond
+			}
+			tick := time.NewTicker(period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-watchStop:
+					return
+				case <-tick.C:
+					now := time.Now().UnixNano()
+					for i := range beats {
+						b := beats[i].Load()
+						if b == 0 || b == lastFlag[i] || now-b < int64(opts.StallTimeout) {
+							continue
+						}
+						lastFlag[i] = b
+						mu.Lock()
+						rep.Stalls++
+						mu.Unlock()
+						if opts.OnStall != nil {
+							opts.OnStall(i, time.Duration(now-b))
+						}
+					}
+				}
+			}
+		}()
+	}
 	var runWorker func(wk int)
 	runWorker = func(wk int) {
 		defer wg.Done()
+		beat := func() {}
+		idle := func() {}
+		if beats != nil {
+			b := &beats[wk]
+			beat = func() { b.Store(time.Now().UnixNano()) }
+			idle = func() { b.Store(0) }
+			defer idle()
+		}
 		t.agentMu.Lock()
 		noise := t.agent.Noise.Fork()
 		t.agentMu.Unlock()
@@ -159,21 +249,25 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 				return
 			}
 			e := mkEnv(ep)
+			e.Bind(ctx)
 			var st epStats
 			var err error
 			if e.Cat.Len() != t.cfg.Cat.Len() {
 				err = fmt.Errorf("episode env has %d knobs, tuner expects %d", e.Cat.Len(), t.cfg.Cat.Len())
 			} else {
-				st, err = t.runEpisode(e, true, noise)
+				st, err = t.runEpisode(ctx, e, true, noise, beat)
 			}
 			seconds := e.Clock.Seconds()
 			faults := e.Faults()
 			if err == nil && t.cfg.SnapshotEvery > 0 && (ep+1)%t.cfg.SnapshotEvery == 0 {
 				pe := probeEnv(ep)
+				pe.Bind(ctx)
+				beat()
 				err = t.maybeSnapshot(pe)
 				seconds += pe.Clock.Seconds()
 				faults.Add(pe.Faults())
 			}
+			idle()
 			mu.Lock()
 			if err != nil {
 				if errors.Is(err, simdb.ErrWorkerLost) && fatal == nil {
@@ -192,6 +286,18 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 					}
 					wg.Add(1)
 					go runWorker(wk)
+					mu.Unlock()
+					return
+				}
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					// Cancelled mid-episode: the partial episode's cost is
+					// real and belongs in the report; the run's error is
+					// ctx's own, not an episode failure.
+					rep.VirtualSeconds += seconds
+					rep.Faults.Add(faults)
+					if fatal == nil {
+						fatal = err
+					}
 					mu.Unlock()
 					return
 				}
@@ -227,6 +333,10 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 			// then sync this worker's fork to the shared schedule.
 			t.agentMu.Lock()
 			sigma := t.agent.Noise.Decay()
+			var sup SupervisorStats
+			if t.super != nil {
+				sup = t.super.Stats()
+			}
 			t.agentMu.Unlock()
 			noise.SetScale(sigma)
 			noise.Reset()
@@ -253,6 +363,10 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 					Retries:        faults.Retries,
 					SkippedSteps:   st.skipped,
 					Lost:           st.lost,
+					Heals:          sup.Heals,
+					SkippedBatches: sup.SkippedBatches,
+					MeanAbsQ:       sup.MeanAbsQ,
+					CriticGradNorm: sup.GradNorm,
 				})
 			}
 			mu.Unlock()
@@ -263,12 +377,47 @@ func (t *Tuner) OfflineTrainOpts(mkEnv EnvFactory, opts TrainOptions) (TrainRepo
 		go runWorker(wk)
 	}
 	wg.Wait()
+	if watchStop != nil {
+		// Join the watchdog before touching rep: it writes rep.Stalls.
+		close(watchStop)
+		<-watchDone
+	}
+	rep.Learner = t.learnerReport(priorLearner)
+	rep.Iterations = t.Iterations()
 	if fatal != nil {
 		return rep, fatal
 	}
 	if err := t.restoreBest(); err != nil {
 		return rep, err
 	}
-	rep.Iterations = t.Iterations()
 	return rep, nil
+}
+
+// learnerReport folds the installed supervisor's counters (when one is
+// installed) on top of the prior accounting a resumed checkpoint carried.
+// Counter fields add; gauge fields reflect the current run.
+func (t *Tuner) learnerReport(prior LearnerReport) LearnerReport {
+	if t.super == nil {
+		return prior
+	}
+	t.agentMu.Lock()
+	s := t.super.Stats()
+	d := t.super.Diagnosis()
+	t.agentMu.Unlock()
+	out := LearnerReport{
+		Supervised:     true,
+		Heals:          prior.Heals + s.Heals,
+		Snapshots:      prior.Snapshots + s.Snapshots,
+		SkippedBatches: prior.SkippedBatches + s.SkippedBatches,
+		LRScale:        s.LRScale,
+		MeanAbsQ:       s.MeanAbsQ,
+		GradNorm:       s.GradNorm,
+		Saturation:     s.Saturation,
+		MaxWeight:      s.MaxWeight,
+		Healthy:        s.Healthy,
+	}
+	if d != nil {
+		out.Diagnosis = d.String()
+	}
+	return out
 }

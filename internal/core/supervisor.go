@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cdbtune/internal/rl/ddpg"
+)
+
+// SupervisorConfig tunes the learner-health supervisor. The zero value
+// enables supervision with defaults sized from the tuner's reward scale;
+// set Disabled to run unsupervised.
+type SupervisorConfig struct {
+	// Disabled turns learner-health supervision off entirely.
+	Disabled bool
+
+	// HealBudget bounds how many rollbacks the supervisor performs before
+	// declaring the run unhealable and aborting with a Diagnosis instead
+	// of a garbage model. 0 means the default of 3; negative aborts on the
+	// first divergence.
+	HealBudget int
+
+	// QLimit is the EMA mean-|Q| level that declares critic divergence.
+	// 0 derives it from the tuner's reward scale: stored rewards are
+	// clamped into [−RewardFloor, RewardClip], so no honest return exceeds
+	// max(RewardClip, RewardFloor)/(1−γ); the default limit is 25× that.
+	QLimit float64
+
+	// GradLimit is the EMA pre-clip gradient-norm level that declares a
+	// gradient blowup. 0 derives it as 200× the agent's MaxGradNorm
+	// (1000 when clipping is disabled).
+	GradLimit float64
+
+	// SaturationLimit declares a collapsed policy when the EMA fraction of
+	// actor outputs pinned within 0.02 of a boundary exceeds it. Default
+	// 0.995 — knob policies legitimately ride many boundaries (defaults
+	// normalize near 0), so only a fully pinned policy counts.
+	SaturationLimit float64
+
+	// NonFiniteBudget is the number of consecutive discarded (non-finite)
+	// batches that declares divergence. Default 3.
+	NonFiniteBudget int
+
+	// EMABeta is the smoothing factor of the health EMAs. Default 0.95.
+	EMABeta float64
+
+	// SnapshotEvery is the number of healthy train steps between
+	// in-memory weight snapshots — the rollback targets. Default 64.
+	SnapshotEvery int
+
+	// WarmupSteps arms the threshold checks (Q, gradient, saturation)
+	// only after this many observed train steps since start or since the
+	// last heal; the non-finite check is always armed. Default 16.
+	WarmupSteps int
+
+	// LRBackoff multiplies both learning rates on every heal (default
+	// 0.5); NoiseBackoff multiplies the exploration scale (default 0.7).
+	// A heal that does not slow the learner down would replay the same
+	// divergence from the same snapshot.
+	LRBackoff    float64
+	NoiseBackoff float64
+}
+
+// withDefaults fills zero-valued fields. qBound is the largest honest
+// stored-return magnitude (from the tuner's reward clamps and γ);
+// maxGradNorm is the agent's clip threshold.
+func (c SupervisorConfig) withDefaults(qBound, maxGradNorm float64) SupervisorConfig {
+	if c.HealBudget == 0 {
+		c.HealBudget = 3
+	}
+	if c.HealBudget < 0 {
+		c.HealBudget = 0
+	}
+	if c.QLimit == 0 {
+		c.QLimit = 25 * qBound
+		if c.QLimit <= 0 {
+			c.QLimit = 500
+		}
+	}
+	if c.GradLimit == 0 {
+		if maxGradNorm > 0 {
+			c.GradLimit = 200 * maxGradNorm
+		} else {
+			c.GradLimit = 1000
+		}
+	}
+	if c.SaturationLimit == 0 {
+		c.SaturationLimit = 0.995
+	}
+	if c.NonFiniteBudget == 0 {
+		c.NonFiniteBudget = 3
+	}
+	if c.EMABeta == 0 {
+		c.EMABeta = 0.95
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = 16
+	}
+	if c.LRBackoff == 0 {
+		c.LRBackoff = 0.5
+	}
+	if c.NoiseBackoff == 0 {
+		c.NoiseBackoff = 0.7
+	}
+	return c
+}
+
+// Diagnosis is the structured post-mortem of a learner divergence: what
+// tripped, where the health signals stood, and what the supervisor had
+// already tried. It is embedded in DivergenceError when the heal budget
+// is exhausted.
+type Diagnosis struct {
+	// Reason names the tripped check: "non-finite", "q-explosion",
+	// "gradient-blowup" or "actor-saturation".
+	Reason string
+	// Step is the observed train-step index at detection.
+	Step int
+	// Heals is how many rollbacks had been spent (budget included).
+	Heals int
+	// MeanAbsQ, GradNorm and Saturation are the EMA health signals at
+	// detection; MaxWeight the last observed weight magnitude.
+	MeanAbsQ   float64
+	GradNorm   float64
+	Saturation float64
+	MaxWeight  float64
+	// SkippedBatches is the cumulative count of discarded non-finite
+	// batches.
+	SkippedBatches int
+	// QLimit and GradLimit echo the thresholds in force.
+	QLimit    float64
+	GradLimit float64
+}
+
+// String renders the diagnosis as one log-friendly line.
+func (d Diagnosis) String() string {
+	return fmt.Sprintf("reason=%s step=%d heals=%d |Q|=%.1f (limit %.1f) grad=%.1f (limit %.1f) sat=%.3f maxW=%.2f skipped=%d",
+		d.Reason, d.Step, d.Heals, d.MeanAbsQ, d.QLimit, d.GradNorm, d.GradLimit, d.Saturation, d.MaxWeight, d.SkippedBatches)
+}
+
+// DivergenceError reports that the learner diverged and the supervisor's
+// heal budget could not bring it back. The embedded Diagnosis carries the
+// structured post-mortem; the training report returned alongside it is
+// still valid accounting.
+type DivergenceError struct {
+	Diagnosis Diagnosis
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return "core: learner diverged beyond heal budget: " + e.Diagnosis.String()
+}
+
+// Supervisor watches every gradient update's health signals, keeps a
+// rolling in-memory snapshot of the last-known-healthy weights, and heals
+// divergence by rolling back with learning-rate and noise backoff. It is
+// created per training run and called under the agent lock, so it needs
+// no locking of its own. See the package doc for the contract.
+type Supervisor struct {
+	cfg   SupervisorConfig
+	agent *ddpg.Agent
+
+	snap      *ddpg.WeightSnapshot
+	snapshots int
+
+	steps        int // observed updates (lifetime)
+	sinceHeal    int // observed updates since start or last heal (warmup)
+	healthy      int // consecutive healthy updates (snapshot cadence)
+	consecNF     int // consecutive non-finite (skipped) batches
+	heals        int
+	lrScale      float64
+	emaQ         float64
+	emaGrad      float64
+	emaSat       float64
+	satSeen      bool
+	emaInit      bool
+	lastMaxW     float64
+	skippedSeen  int // skipped batches observed through StepInfo
+	diag         *Diagnosis
+}
+
+// newSupervisor builds a supervisor for one training run and takes the
+// initial snapshot (so a rollback target always exists). Caller holds the
+// agent lock.
+func newSupervisor(cfg SupervisorConfig, agent *ddpg.Agent, qBound float64) *Supervisor {
+	s := &Supervisor{
+		cfg:     cfg.withDefaults(qBound, agent.Config().MaxGradNorm),
+		agent:   agent,
+		lrScale: 1,
+	}
+	s.snap = agent.Snapshot()
+	s.snapshots++
+	return s
+}
+
+// SupervisorStats is a snapshot of the supervisor's health signals for
+// telemetry.
+type SupervisorStats struct {
+	Heals          int
+	Snapshots      int
+	SkippedBatches int
+	LRScale        float64
+	MeanAbsQ       float64
+	GradNorm       float64
+	Saturation     float64
+	MaxWeight      float64
+	QLimit         float64
+	GradLimit      float64
+	Healthy        bool
+}
+
+// Stats reports the current health signals. Caller holds the agent lock.
+func (s *Supervisor) Stats() SupervisorStats {
+	return SupervisorStats{
+		Heals:          s.heals,
+		Snapshots:      s.snapshots,
+		SkippedBatches: s.skippedSeen,
+		LRScale:        s.lrScale,
+		MeanAbsQ:       s.emaQ,
+		GradNorm:       s.emaGrad,
+		Saturation:     s.emaSat,
+		MaxWeight:      s.lastMaxW,
+		QLimit:         s.cfg.QLimit,
+		GradLimit:      s.cfg.GradLimit,
+		Healthy:        s.diag == nil,
+	}
+}
+
+// observe folds one gradient update's health signals into the EMAs,
+// checks the divergence conditions, and heals (or aborts with a
+// *DivergenceError once the budget is spent). Caller holds the agent
+// lock. A nil return means the learner is healthy or was healed.
+func (s *Supervisor) observe(info ddpg.StepInfo) error {
+	s.steps++
+	s.sinceHeal++
+
+	if info.SkippedNonFinite {
+		s.skippedSeen++
+		s.consecNF++
+		s.healthy = 0
+		if s.consecNF >= s.cfg.NonFiniteBudget {
+			return s.heal("non-finite")
+		}
+		return nil
+	}
+	s.consecNF = 0
+
+	beta := s.cfg.EMABeta
+	if !s.emaInit {
+		s.emaInit = true
+		s.emaQ = info.MeanAbsQ
+		s.emaGrad = info.CriticGradNorm
+	} else {
+		s.emaQ = beta*s.emaQ + (1-beta)*info.MeanAbsQ
+		s.emaGrad = beta*s.emaGrad + (1-beta)*info.CriticGradNorm
+	}
+	if info.ActorUpdated {
+		if info.ActorGradNorm > s.emaGrad {
+			s.emaGrad = beta*s.emaGrad + (1-beta)*info.ActorGradNorm
+		}
+		if !s.satSeen {
+			s.satSeen = true
+			s.emaSat = info.ActorSaturation
+		} else {
+			s.emaSat = beta*s.emaSat + (1-beta)*info.ActorSaturation
+		}
+	}
+	s.lastMaxW = info.MaxWeight
+
+	// NaN/Inf anywhere in the weights is divergence regardless of warmup:
+	// the skip guard keeps poisoned *batches* out, so a non-finite weight
+	// means the optimizer itself overflowed.
+	if math.IsNaN(info.MaxWeight) || math.IsInf(info.MaxWeight, 0) {
+		return s.heal("non-finite")
+	}
+	if s.sinceHeal >= s.cfg.WarmupSteps {
+		switch {
+		case s.emaQ > s.cfg.QLimit || info.MeanAbsQ > 10*s.cfg.QLimit:
+			return s.heal("q-explosion")
+		case s.emaGrad > s.cfg.GradLimit || info.CriticGradNorm > 10*s.cfg.GradLimit:
+			return s.heal("gradient-blowup")
+		case s.satSeen && s.emaSat > s.cfg.SaturationLimit:
+			return s.heal("actor-saturation")
+		}
+	}
+
+	s.healthy++
+	if s.healthy >= s.cfg.SnapshotEvery {
+		s.healthy = 0
+		s.snap = s.agent.Snapshot()
+		s.snapshots++
+	}
+	return nil
+}
+
+// heal rolls the agent back to the last-healthy snapshot with
+// learning-rate and noise backoff, or — when the budget is exhausted —
+// records the diagnosis and returns a *DivergenceError.
+func (s *Supervisor) heal(reason string) error {
+	s.heals++
+	d := Diagnosis{
+		Reason:         reason,
+		Step:           s.steps,
+		Heals:          s.heals,
+		MeanAbsQ:       s.emaQ,
+		GradNorm:       s.emaGrad,
+		Saturation:     s.emaSat,
+		MaxWeight:      s.lastMaxW,
+		SkippedBatches: s.skippedSeen,
+		QLimit:         s.cfg.QLimit,
+		GradLimit:      s.cfg.GradLimit,
+	}
+	if s.heals > s.cfg.HealBudget {
+		s.diag = &d
+		return &DivergenceError{Diagnosis: d}
+	}
+	if err := s.agent.Restore(s.snap); err != nil {
+		// A snapshot that no longer fits the agent is a programming error;
+		// surface it instead of training on half-restored weights.
+		s.diag = &d
+		return fmt.Errorf("core: supervisor rollback: %w", err)
+	}
+	s.agent.ScaleLR(s.cfg.LRBackoff)
+	s.lrScale *= s.cfg.LRBackoff
+	s.agent.Noise.SetScale(s.agent.Noise.Scale() * s.cfg.NoiseBackoff)
+
+	// Re-arm from a clean slate: the EMAs described the diverged
+	// trajectory, not the restored one.
+	s.emaInit = false
+	s.satSeen = false
+	s.emaQ, s.emaGrad, s.emaSat = 0, 0, 0
+	s.consecNF = 0
+	s.healthy = 0
+	s.sinceHeal = 0
+	return nil
+}
+
+// Diagnosis returns the recorded divergence post-mortem, or nil while the
+// learner is healthy (or healed).
+func (s *Supervisor) Diagnosis() *Diagnosis { return s.diag }

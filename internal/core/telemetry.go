@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"time"
+)
 
 // EpisodeStats is one per-episode training-telemetry record, emitted after
 // every completed offline-training episode (serial or parallel). It is the
@@ -63,6 +67,15 @@ type EpisodeStats struct {
 	// Lost marks an episode abandoned early because its instance could
 	// not be recovered.
 	Lost bool
+
+	// Heals and SkippedBatches are the learner-health supervisor's
+	// cumulative rollback and discarded-batch counts at episode
+	// completion; MeanAbsQ and CriticGradNorm its EMA health gauges.
+	// All zero when the run is unsupervised.
+	Heals          int
+	SkippedBatches int
+	MeanAbsQ       float64
+	CriticGradNorm float64
 }
 
 // String renders the record as a compact single log line.
@@ -71,6 +84,9 @@ func (s EpisodeStats) String() string {
 		s.Episode, s.Worker, s.BestThroughput, s.MeanReward, s.CriticLoss, s.ActorLoss, s.NoiseSigma, s.Crashes, s.InferBatchMean, s.VirtualSeconds)
 	if s.Transients > 0 || s.Retries > 0 || s.SkippedSteps > 0 {
 		line += fmt.Sprintf("  faults %d/%d retries, %d skipped", s.Transients, s.Retries, s.SkippedSteps)
+	}
+	if s.Heals > 0 || s.SkippedBatches > 0 {
+		line += fmt.Sprintf("  health %d heals, %d dropped batches, |Q| %.1f", s.Heals, s.SkippedBatches, s.MeanAbsQ)
 	}
 	if s.Lost {
 		line += "  LOST"
@@ -128,4 +144,35 @@ type TrainOptions struct {
 	// the interrupted episode and respawns the worker on the shared
 	// annealing schedule.
 	MaxWorkerRespawns int
+
+	// Ctx, when non-nil, cancels the run: no new episode is handed out and
+	// every worker's environment fails fast once the context is done. The
+	// run drains promptly and returns the context's error with valid
+	// partial accounting (episodes completed before cancellation are fully
+	// reported). Nil means no external cancellation.
+	Ctx context.Context
+
+	// Deadline, when positive, bounds the run's real (not virtual)
+	// wall-clock time: the run behaves as if Ctx had that timeout. Both
+	// can be combined; whichever fires first stops the run.
+	Deadline time.Duration
+
+	// StallTimeout arms the stall watchdog: a worker that sits on one
+	// environment step for longer than this (real time) is flagged —
+	// TrainReport.Stalls increments and OnStall fires, once per stuck
+	// step. The watchdog observes and reports; it never kills the worker
+	// (the simulator is synchronous, so the step eventually returns —
+	// combine with Deadline to bound the whole run). 0 disables.
+	StallTimeout time.Duration
+
+	// OnStall, when non-nil, is invoked from the watchdog goroutine each
+	// time a worker is flagged as stalled. Keep it fast; it must not call
+	// back into the Tuner.
+	OnStall func(worker int, stuck time.Duration)
+
+	// Supervisor configures learner-health supervision of the run
+	// (divergence detection and auto-rollback; see SupervisorConfig). The
+	// zero value supervises with defaults; set Supervisor.Disabled to
+	// train unsupervised.
+	Supervisor SupervisorConfig
 }

@@ -15,6 +15,7 @@
 package env
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -145,7 +146,8 @@ type Env struct {
 	steps int
 
 	faults FaultReport
-	rng    *rand.Rand // retry jitter; seeded so runs stay reproducible
+	rng    *rand.Rand      // retry jitter; seeded so runs stay reproducible
+	ctx    context.Context // nil = unbound; see Bind
 }
 
 // New builds an environment over db, exposing the knobs of cat, driving
@@ -159,6 +161,25 @@ func New(db Database, cat *knobs.Catalog, w workload.Workload) *Env {
 		Clock:        &Clock{},
 		rng:          rand.New(rand.NewSource(1)),
 	}
+}
+
+// Bind attaches a context to the environment's measurement path: Step,
+// Measure and RecoverDefaults fail fast with ctx.Err() once the context is
+// cancelled or past its deadline, checked on entry and before every retry
+// backoff — a stress test mid-flight is never interrupted (the simulator
+// is synchronous), but no new measurement or backoff wait starts after
+// cancellation. The cancellation error is not a transient fault: it does
+// not touch the FaultReport and hardened callers must not retry it. A nil
+// ctx unbinds the environment.
+func (e *Env) Bind(ctx context.Context) { e.ctx = ctx }
+
+// ctxErr reports the bound context's cancellation state (nil when
+// unbound).
+func (e *Env) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // Dim is the tunable knob count.
@@ -185,6 +206,9 @@ func (e *Env) Default() []float64 {
 // transient measurement failures are retried with backoff before being
 // returned.
 func (e *Env) Step(x []float64) (simdb.Result, error) {
+	if err := e.ctxErr(); err != nil {
+		return simdb.Result{}, err
+	}
 	e.steps++
 	if e.DeltaScale > 0 {
 		cur := e.DB.CurrentKnobs(e.Cat)
@@ -234,6 +258,9 @@ func (e *Env) Measure() (simdb.Result, error) {
 func (e *Env) measure() (simdb.Result, error) {
 	backoff := e.RetryBaseSec
 	for attempt := 0; ; attempt++ {
+		if err := e.ctxErr(); err != nil {
+			return simdb.Result{}, err
+		}
 		res, err := e.DB.RunWorkload(e.W, e.DurationSec)
 		e.Clock.Charge(e.DurationSec + simdb.MetricsCollectSec)
 		if s, ok := e.DB.(Staller); ok {

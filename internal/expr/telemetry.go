@@ -50,6 +50,10 @@ func TrainingTelemetry(b Budget, workers int) ([]Table, error) {
 		StallProb:     0.03,
 		StallSec:      30,
 		DropoutProb:   0.03,
+		// Occasional corrupted-but-finite measurements: they pass the env
+		// sanitizers by design, so the learner-health table below shows the
+		// supervisor watching (reward clamping keeps them non-fatal here).
+		SpikeProb: 0.02,
 	})
 	var records []core.EpisodeStats
 	rep, err := t.OfflineTrainOpts(func(ep int) *env.Env {
@@ -115,6 +119,7 @@ func TrainingTelemetry(b Budget, workers int) ([]Table, error) {
 			{"injected stalls", fmt.Sprintf("%d", cnt.Stalls), fmt.Sprintf("%d", tuneIn.Counters().Stalls)},
 			{"injected dropouts", fmt.Sprintf("%d", cnt.Dropouts), fmt.Sprintf("%d", tuneIn.Counters().Dropouts)},
 			{"injected crashes", fmt.Sprintf("%d", cnt.Crashes), fmt.Sprintf("%d", tuneIn.Counters().Crashes)},
+			{"injected reward spikes", fmt.Sprintf("%d", cnt.Spikes), fmt.Sprintf("%d", tuneIn.Counters().Spikes)},
 			{"absorbed transients", fmt.Sprintf("%d", rep.Faults.Transients), fmt.Sprintf("%d", tuned.Faults.Transients)},
 			{"backoff retries", fmt.Sprintf("%d", rep.Faults.Retries), fmt.Sprintf("%d", tuned.Faults.Retries)},
 			{"retry backoff vsec", fmt.Sprintf("%.0f", rep.Faults.RetrySec), fmt.Sprintf("%.0f", tuned.Faults.RetrySec)},
@@ -127,5 +132,30 @@ func TrainingTelemetry(b Budget, workers int) ([]Table, error) {
 			{"worker deaths / lost episodes", fmt.Sprintf("%d / %d", rep.WorkerDeaths, rep.LostEpisodes), "-"},
 		},
 	}
-	return []Table{stream, resil}, nil
+
+	// Learner-health summary: what the divergence supervisor saw. On a
+	// healthy run the gauges document normal operating levels (the baseline
+	// against which a diverging run's q-explosion or gradient blowup is
+	// obvious); heals and dropped batches are zero unless something poisoned
+	// the learner.
+	health := Table{
+		Title:  "Learner health (divergence supervision over the training run)",
+		Header: []string{"signal", "value"},
+		Rows: [][]string{
+			{"supervised", fmt.Sprintf("%v", rep.Learner.Supervised)},
+			{"healthy at end", fmt.Sprintf("%v", rep.Learner.Healthy)},
+			{"heals (rollbacks)", fmt.Sprintf("%d", rep.Learner.Heals)},
+			{"weight snapshots taken", fmt.Sprintf("%d", rep.Learner.Snapshots)},
+			{"non-finite batches dropped", fmt.Sprintf("%d", rep.Learner.SkippedBatches)},
+			{"learning-rate backoff scale", fmt.Sprintf("%.3g", rep.Learner.LRScale)},
+			{"EMA mean |Q|", fmt.Sprintf("%.2f", rep.Learner.MeanAbsQ)},
+			{"EMA critic grad norm", fmt.Sprintf("%.2f", rep.Learner.GradNorm)},
+			{"EMA actor saturation", fmt.Sprintf("%.3f", rep.Learner.Saturation)},
+			{"max |weight|", fmt.Sprintf("%.2f", rep.Learner.MaxWeight)},
+		},
+	}
+	if rep.Learner.Diagnosis != "" {
+		health.Rows = append(health.Rows, []string{"diagnosis", rep.Learner.Diagnosis})
+	}
+	return []Table{stream, health, resil}, nil
 }

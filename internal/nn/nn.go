@@ -157,6 +157,27 @@ func (n *Network) ClipGradients(maxNorm float64) float64 {
 	return norm
 }
 
+// MaxAbsWeight returns the largest parameter magnitude in the network — a
+// cheap health signal: a diverging optimizer shows up as a runaway max
+// weight long before every output is NaN. A NaN parameter anywhere makes
+// the result NaN (returned immediately), so non-finite weights cannot hide
+// behind a finite maximum.
+func (n *Network) MaxAbsWeight() float64 {
+	var max float64
+	for _, p := range n.Params() {
+		for _, v := range p.Value.Data {
+			a := math.Abs(v)
+			if math.IsNaN(a) {
+				return a
+			}
+			if a > max {
+				max = a
+			}
+		}
+	}
+	return max
+}
+
 // InitUniform fills every parameter value of n with Uniform(−a, a) draws,
 // matching the paper's ω ~ Uniform(−0.1, 0.1) initialization (Table 4).
 // Bias-style parameters (single row named "b" or "beta") are zeroed.

@@ -70,6 +70,20 @@ func NewAdam(net *Network, lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: ps, m: m, v: v}
 }
 
+// Reset clears the accumulated first/second moments and the step counter.
+// The learner-health supervisor calls it after rolling weights back to a
+// snapshot: moments estimated on a diverging trajectory would immediately
+// push the restored weights back toward the divergence.
+func (o *Adam) Reset() {
+	o.t = 0
+	for i := range o.m {
+		for j := range o.m[i] {
+			o.m[i][j] = 0
+			o.v[i][j] = 0
+		}
+	}
+}
+
 // Step implements Optimizer.
 func (o *Adam) Step() {
 	o.t++

@@ -65,6 +65,12 @@ type Config struct {
 	// WeightDecay is the critic optimizer's L2 coefficient.
 	WeightDecay float64
 
+	// MaxGradNorm clips both the actor's and the critic's global L2
+	// gradient norm per update (see nn.Network.ClipGradients); the pre-clip
+	// norms are reported in StepInfo for learner-health supervision.
+	// Values ≤ 0 disable clipping but the norms are still measured.
+	MaxGradNorm float64
+
 	// PolicyDelay applies the actor (and actor-target) update only every
 	// PolicyDelay critic updates (Fujimoto et al. 2018), damping policy
 	// oscillation on top of a still-converging critic.
@@ -112,6 +118,7 @@ func DefaultConfig(stateDim, actionDim int) Config {
 		Dropout:        0.3,
 		MinMemory:      64,
 		WeightDecay:    1e-4,
+		MaxGradNorm:    5,
 		PolicyDelay:    2,
 		BCWeight:       2,
 		Seed:           1,
@@ -136,7 +143,8 @@ type Agent struct {
 
 	bcTarget []float64
 
-	trainSteps int
+	trainSteps     int
+	skippedBatches int
 }
 
 // New builds a DDPG agent from cfg.
@@ -328,8 +336,8 @@ func (a *Agent) SetBCTarget(action []float64) {
 // BCTarget returns the current self-imitation target, or nil.
 func (a *Agent) BCTarget() []float64 { return a.bcTarget }
 
-// StepInfo reports the losses of one gradient update, for training
-// telemetry.
+// StepInfo reports the losses and health signals of one gradient update,
+// for training telemetry and learner-health supervision.
 type StepInfo struct {
 	// CriticLoss is the importance-weighted squared TD error of the batch.
 	CriticLoss float64
@@ -338,6 +346,36 @@ type StepInfo struct {
 	// updates on most critic steps).
 	ActorLoss    float64
 	ActorUpdated bool
+
+	// CriticGradNorm and ActorGradNorm are the pre-clip global L2 gradient
+	// norms of the update (ActorGradNorm only when ActorUpdated). A norm
+	// orders of magnitude above Config.MaxGradNorm means the optimizer is
+	// flying blind — every step is clipped down from a direction dominated
+	// by a few outlier samples.
+	CriticGradNorm float64
+	ActorGradNorm  float64
+
+	// MeanAbsQ is the critic's mean |Q(s, a)| over the replayed batch.
+	// Stored rewards are bounded, so the achievable |return| is too;
+	// MeanAbsQ growing past that bound is the TD3-style critic
+	// overestimation spiral, the dominant DDPG failure mode.
+	MeanAbsQ float64
+
+	// MaxWeight is the largest parameter magnitude across the online actor
+	// and critic after the update; NaN when any weight went non-finite.
+	MaxWeight float64
+
+	// ActorSaturation is the fraction of µ(s) outputs in the batch within
+	// 0.02 of a [0,1] boundary (only measured when ActorUpdated). A fully
+	// saturated policy has collapsed into an action-space corner and its
+	// sigmoid gradients have vanished — it cannot learn its way back out.
+	ActorSaturation float64
+
+	// SkippedNonFinite marks a batch whose loss or gradients were not
+	// finite: the update was discarded before touching any weight, and the
+	// agent's skipped-batch counter advanced. All other fields except
+	// CriticLoss are zero for a skipped batch.
+	SkippedNonFinite bool
 }
 
 // TrainStep performs one critic and one actor update from a replayed
@@ -396,17 +434,34 @@ func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 	q := a.critic.forward(states, actions, true)
 	grad := mat.New(n, 1)
 	tdErrors := make([]float64, n)
-	var loss float64
+	var loss, absQ float64
 	for i := 0; i < n; i++ {
 		d := q.Data[i] - target.Data[i]
 		tdErrors[i] = d
 		w := weights[i]
 		loss += w * d * d
 		grad.Data[i] = 2 * w * d / float64(n)
+		absQ += math.Abs(q.Data[i])
 	}
 	loss /= float64(n)
+	absQ /= float64(n)
+	if !finite(loss) {
+		// A NaN/Inf loss means the batch carried a non-finite sample (or
+		// the critic's weights are already ruined): applying it would
+		// poison every parameter in one optimizer step. Discard the update
+		// before any backward pass runs — in particular before the actor's
+		// train-mode forward below would fold the poisoned states into
+		// BatchNorm running statistics.
+		a.skippedBatches++
+		return StepInfo{CriticLoss: loss, SkippedNonFinite: true}, true
+	}
 	a.critic.backward(grad)
-	a.critic.net().ClipGradients(5)
+	criticNorm := a.critic.net().ClipGradients(a.cfg.MaxGradNorm)
+	if !finite(criticNorm) {
+		a.skippedBatches++
+		a.critic.net().ZeroGrad()
+		return StepInfo{CriticLoss: loss, SkippedNonFinite: true}, true
+	}
 	a.criticOpt.Step()
 	a.Memory.UpdatePriorities(indices, tdErrors)
 	a.critTarget.softUpdateFrom(a.critic, a.cfg.Tau)
@@ -417,7 +472,12 @@ func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 		delay = 1
 	}
 	if a.trainSteps%delay != 0 {
-		return StepInfo{CriticLoss: loss}, true
+		return StepInfo{
+			CriticLoss:     loss,
+			CriticGradNorm: criticNorm,
+			MeanAbsQ:       absQ,
+			MaxWeight:      a.maxAbsWeight(),
+		}, true
 	}
 
 	// Step 7: actor ascends ∇_a Q(s, µ(s)) via the chain rule. The first
@@ -430,11 +490,17 @@ func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 	a.critic.net().ZeroGrad()
 	mu := a.actor.Forward(states, false)
 	qPi := a.critic.forward(states, mu, false)
-	var actorLoss float64
+	var actorLoss, saturated float64
 	for i := 0; i < n; i++ {
 		actorLoss -= qPi.Data[i]
+		for _, v := range mu.Row(i) {
+			if v < 0.02 || v > 0.98 {
+				saturated++
+			}
+		}
 	}
 	actorLoss /= float64(n)
+	saturated /= float64(n * a.cfg.ActionDim)
 	ones := mat.New(n, 1)
 	ones.Fill(-1.0 / float64(n)) // minimize −Q
 	_, dAction := a.critic.backward(ones)
@@ -452,13 +518,56 @@ func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 		}
 	}
 	a.actor.Backward(dAction)
-	a.actor.ClipGradients(5)
+	actorNorm := a.actor.ClipGradients(a.cfg.MaxGradNorm)
+	if !finite(actorLoss) || !finite(actorNorm) {
+		// The critic half of the update was finite and has been applied;
+		// only the actor's half is poisoned (e.g. a critic weight crossed
+		// into overflow during this pass). Discard the actor update alone.
+		a.skippedBatches++
+		a.actor.ZeroGrad()
+		return StepInfo{
+			CriticLoss:       loss,
+			CriticGradNorm:   criticNorm,
+			MeanAbsQ:         absQ,
+			SkippedNonFinite: true,
+		}, true
+	}
 	a.actorOpt.Step()
 
 	// Soft target update: θ' ← τθ + (1−τ)θ'.
 	a.actorTarget.SoftUpdateFrom(a.actor, a.cfg.Tau)
-	return StepInfo{CriticLoss: loss, ActorLoss: actorLoss, ActorUpdated: true}, true
+	return StepInfo{
+		CriticLoss:      loss,
+		ActorLoss:       actorLoss,
+		ActorUpdated:    true,
+		CriticGradNorm:  criticNorm,
+		ActorGradNorm:   actorNorm,
+		MeanAbsQ:        absQ,
+		MaxWeight:       a.maxAbsWeight(),
+		ActorSaturation: saturated,
+	}, true
 }
+
+// finite reports whether v is neither NaN nor infinite.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// maxAbsWeight is the largest parameter magnitude across the online actor
+// and critic (targets trail them, so scanning the online pair suffices);
+// NaN as soon as any weight is NaN.
+func (a *Agent) maxAbsWeight() float64 {
+	w := a.actor.MaxAbsWeight()
+	if math.IsNaN(w) {
+		return w
+	}
+	if cw := a.critic.net().MaxAbsWeight(); math.IsNaN(cw) || cw > w {
+		w = cw
+	}
+	return w
+}
+
+// SkippedBatches reports how many replayed batches were discarded because
+// their loss or gradients were non-finite.
+func (a *Agent) SkippedBatches() int { return a.skippedBatches }
 
 // QValue returns the critic's score for a single (state, action) pair,
 // used by diagnostics and tests.
@@ -472,7 +581,7 @@ func (a *Agent) QValue(state, action []float64) float64 {
 // configuration (the self-imitation target that also seeds online
 // recommendations).
 func (a *Agent) Save(w io.Writer) error {
-	for _, n := range []*nn.Network{a.actor, a.actorTarget, a.critic.net(), a.critTarget.net()} {
+	for _, n := range a.networks() {
 		if err := n.Save(w); err != nil {
 			return fmt.Errorf("ddpg: save: %w", err)
 		}
@@ -483,17 +592,53 @@ func (a *Agent) Save(w io.Writer) error {
 	return nil
 }
 
+// netNames labels the networks in Save/Load order for error messages.
+var netNames = [...]string{"actor", "actor target", "critic", "critic target"}
+
 // Load restores state previously written by Save into an agent built with
-// the same Config.
+// the same Config. Everything is decoded and validated before any weight
+// is touched: each network's layer dimensions must match the architecture
+// Config builds, every weight and BatchNorm statistic must be finite, and
+// a stored self-imitation target must fit ActionDim. A corrupt or
+// mismatched model is rejected with a descriptive error and the agent is
+// left exactly as it was.
 func (a *Agent) Load(r io.Reader) error {
-	for _, n := range []*nn.Network{a.actor, a.actorTarget, a.critic.net(), a.critTarget.net()} {
-		if err := n.Load(r); err != nil {
-			return fmt.Errorf("ddpg: load: %w", err)
+	nets := a.networks()
+	states := make([]*nn.NetworkState, len(nets))
+	for i := range nets {
+		st, err := nn.ReadState(r)
+		if err != nil {
+			return fmt.Errorf("ddpg: load %s: %w", netNames[i], err)
 		}
+		states[i] = st
 	}
 	var ex agentExtras
 	if err := gob.NewDecoder(r).Decode(&ex); err != nil {
 		return fmt.Errorf("ddpg: load extras: %w", err)
+	}
+	for i, st := range states {
+		if err := nets[i].CheckState(st); err != nil {
+			return fmt.Errorf("ddpg: load %s: model does not match Config (state %d, action %d): %w",
+				netNames[i], a.cfg.StateDim, a.cfg.ActionDim, err)
+		}
+		if err := st.Finite(); err != nil {
+			return fmt.Errorf("ddpg: load %s: corrupt model: %w", netNames[i], err)
+		}
+	}
+	if ex.BCTarget != nil {
+		if len(ex.BCTarget) != a.cfg.ActionDim {
+			return fmt.Errorf("ddpg: load extras: best-action target has %d dims, want %d", len(ex.BCTarget), a.cfg.ActionDim)
+		}
+		for _, v := range ex.BCTarget {
+			if !finite(v) {
+				return fmt.Errorf("ddpg: load extras: best-action target contains non-finite value %v", v)
+			}
+		}
+	}
+	for i, st := range states {
+		if err := nets[i].SetState(st); err != nil {
+			return fmt.Errorf("ddpg: load %s: %w", netNames[i], err)
+		}
 	}
 	a.bcTarget = ex.BCTarget
 	return nil

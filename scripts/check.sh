@@ -14,10 +14,13 @@ echo "== go vet =="
 go vet ./...
 
 echo "== go test (shuffled) =="
-go test -shuffle=on ./...
+go test -shuffle=on -timeout 120s ./...
 
 echo "== chaos smoke =="
-go test -count=1 -run 'TestChaosSmoke|TestTuningRequestSurvivesCrashStorm' ./internal/controller/
+go test -count=1 -timeout 120s -run 'TestChaosSmoke|TestTuningRequestSurvivesCrashStorm' ./internal/controller/
+
+echo "== divergence smoke =="
+go test -count=1 -timeout 120s -run 'TestDivergence' ./internal/core/
 
 echo "== go test -race (short) =="
 go test -race -short -shuffle=on -timeout 20m ./...
