@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos-smoke divergence-smoke
+.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ check:
 # EXPERIMENTS.md ("Chaos recipe").
 chaos-smoke:
 	$(GO) test -count=1 -run 'TestChaosSmoke|TestTuningRequestSurvivesCrashStorm' ./internal/controller/ -v
+
+# serve-smoke runs the multi-tenant serving scenario end to end: an HTTP
+# server on a random port, a scratch tuning job against the simulator that
+# must complete and register its model, and a second same-workload job
+# that must take the warm-start path and converge in fewer episodes. See
+# EXPERIMENTS.md ("Serving walkthrough").
+serve-smoke:
+	$(GO) test -count=1 -timeout 120s -run 'TestServeSmoke' ./internal/server/ -v
 
 # divergence-smoke runs the learner-health supervisor scenarios: a seeded
 # critic divergence that must heal and converge, an exhausted heal budget

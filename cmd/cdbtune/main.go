@@ -3,6 +3,8 @@
 //
 //	cdbtune train -workload sysbench-rw -instance CDB-A -episodes 40 -model model.bin
 //	cdbtune tune  -workload tpcc -instance CDB-C -model model.bin [-steps 5]
+//	cdbtune serve -addr 127.0.0.1:8080 -registry registry
+//	cdbtune submit -workload sysbench-rw -wait
 //	cdbtune info
 package main
 
@@ -38,6 +40,14 @@ func main() {
 		err = cmdKnobs(os.Args[2:])
 	case "benchmark":
 		err = cmdBenchmark(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "models":
+		err = cmdModels(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -56,6 +66,11 @@ func usage() {
   cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf] [-chaos]
   cdbtune knobs [-engine cdb-mysql] [-all]
   cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A]
+  cdbtune serve  [-addr 127.0.0.1:8080] [-registry registry] [-workers 2] [-queue 16]
+                 [-match-radius 0.1] [-max-episodes 8] [-fine-tune-episodes 2] [-max-models 64]
+  cdbtune submit [-addr http://127.0.0.1:8080] -workload <name> [-instance CDB-A] [-wait]
+  cdbtune status [-addr http://127.0.0.1:8080] [job-id]
+  cdbtune models [-addr http://127.0.0.1:8080] [-promote id] [-delete id]
   cdbtune info`)
 }
 

@@ -5,7 +5,7 @@
 //
 // Experiments: fig1ab fig1c fig1d table1 table2 fig5 fig6 fig7 fig8 table3
 // fig9 fig10 fig11 fig12 fig14 fig15 table6 fig16to18 timing qdqn
-// ablation-replay ablation-action telemetry all
+// ablation-replay ablation-action telemetry serving all
 package main
 
 import (
@@ -49,7 +49,7 @@ func main() {
 			"fig5", "fig6", "fig7", "fig8", "fig9", "table3", "fig10", "fig11",
 			"fig12", "fig14", "fig15", "table6", "fig16to18", "qdqn",
 			"ablation-replay", "ablation-action", "findings", "ycsb-variants",
-			"telemetry"}
+			"telemetry", "serving"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -217,6 +217,8 @@ func run(id string, b expr.Budget) error {
 		for _, t := range ts {
 			printTable(t)
 		}
+	case "serving":
+		return printTables(expr.ServingTelemetry(b))
 	default:
 		return fmt.Errorf("unknown experiment %q (run with no args for the list)", id)
 	}
@@ -235,6 +237,7 @@ experiments:
   qdqn ablation-replay ablation-action      design ablations
   findings ycsb-variants                    §5.2.3 findings + extensions
   telemetry                                 parallel-training telemetry stream
+  serving                                   multi-tenant serving telemetry (warm starts, queue waits)
   all                                       everything above
 `)
 }

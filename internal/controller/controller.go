@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"cdbtune/internal/core"
 	"cdbtune/internal/env"
@@ -69,12 +70,17 @@ type Config struct {
 	GuardRadius float64
 }
 
-// Controller mediates tuning and training requests.
+// Controller mediates tuning and training requests. It is safe for
+// concurrent use: the serving layer runs many sessions against one
+// controller, so the request counter and the capture rng are mutex-
+// protected here, the guardrail synchronizes itself, and the tuner
+// serializes agent access internally (see the core package doc).
 type Controller struct {
 	cfg   Config
-	rng   *rand.Rand
 	guard *core.Guardrail
 
+	mu       sync.Mutex
+	rng      *rand.Rand
 	requests int
 }
 
@@ -109,7 +115,11 @@ func New(cfg Config) (*Controller, error) {
 func (c *Controller) Guardrail() *core.Guardrail { return c.guard }
 
 // Requests reports how many tuning requests have been served.
-func (c *Controller) Requests() int { return c.requests }
+func (c *Controller) Requests() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requests
+}
 
 // RequestResult is the outcome of one served tuning request.
 type RequestResult struct {
@@ -144,12 +154,15 @@ func (c *Controller) HandleTuningRequest(db env.Database, userWorkload workload.
 // result).
 func (c *Controller) HandleTuningRequestCtx(ctx context.Context, db env.Database, userWorkload workload.Workload) (RequestResult, error) {
 	var out RequestResult
-	c.requests++
 	cat := c.cfg.Tuner.Config().Cat
 
 	// Workload generator, replay mode (§2.2.1): capture the user's recent
-	// operations and reconstruct an equivalent profile.
+	// operations and reconstruct an equivalent profile. The rng is shared
+	// across concurrent requests, so the capture runs under the mutex.
+	c.mu.Lock()
+	c.requests++
 	trace := workload.Record(userWorkload, c.cfg.CaptureSec, c.cfg.CaptureOpsPerSec, c.rng)
+	c.mu.Unlock()
 	replayed, err := workload.Replay(trace)
 	if err != nil {
 		return out, fmt.Errorf("controller: replaying captured workload: %w", err)

@@ -8,34 +8,46 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
+
+	"cdbtune/internal/nn"
 )
 
-// WriteAtomic writes a file by streaming into a temp file in the target's
-// directory, closing it, and renaming over the destination — a crash or
-// write error never leaves a truncated file at path; the temp file is
-// removed on failure.
+// WriteAtomic writes a file atomically and durably (temp file + fsync +
+// rename + directory fsync). It is nn.WriteAtomic re-exported under the
+// name the training stack has always used.
 func WriteAtomic(path string, write func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
+	return nn.WriteAtomic(path, write)
+}
+
+// WriteFramed writes payload to w followed by the 8-byte integrity footer
+// (4 magic bytes + the little-endian IEEE CRC32 of the payload) that
+// checkpoints and registry entries end with. ReadFramed verifies and
+// strips the footer before any decoding happens, so a truncated or
+// bit-flipped file is rejected with a clear error instead of a gob decode
+// failure (or, worse, silently plausible garbage).
+func WriteFramed(w io.Writer, payload []byte, magic [4]byte) error {
+	var footer [8]byte
+	copy(footer[:4], magic[:])
+	binary.LittleEndian.PutUint32(footer[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(payload); err != nil {
 		return err
 	}
-	tmp := f.Name()
-	if err := write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	_, err := w.Write(footer[:])
+	return err
+}
+
+// ReadFramed verifies data's integrity footer against magic and returns
+// the payload with the footer stripped. The name argument labels errors.
+func ReadFramed(data []byte, magic [4]byte, name string) ([]byte, error) {
+	if len(data) < 8 || !bytes.Equal(data[len(data)-8:len(data)-4], magic[:]) {
+		return nil, fmt.Errorf("%s: missing integrity footer (truncated file, or written by an older version)", name)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+	payload := data[:len(data)-8]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%s: payload CRC %08x does not match footer %08x: file is corrupt", name, got, want)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return payload, nil
 }
 
 // Checkpointer periodically persists a training run so a killed process
@@ -118,15 +130,7 @@ func (c *Checkpointer) save(t *Tuner, rep TrainReport) error {
 		if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
 			return err
 		}
-		payload := buf.Bytes()
-		var footer [8]byte
-		copy(footer[:4], checkpointMagic[:])
-		binary.LittleEndian.PutUint32(footer[4:], crc32.ChecksumIEEE(payload))
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-		_, err := w.Write(footer[:])
-		return err
+		return WriteFramed(w, buf.Bytes(), checkpointMagic)
 	})
 }
 
@@ -143,13 +147,9 @@ func (c *Checkpointer) Load(t *Tuner) (TrainReport, bool, error) {
 	if err != nil {
 		return TrainReport{}, false, err
 	}
-	if len(data) < 8 || !bytes.Equal(data[len(data)-8:len(data)-4], checkpointMagic[:]) {
-		return TrainReport{}, false, fmt.Errorf("core: checkpoint %s: missing integrity footer (truncated file, or written by an older version)", c.Path)
-	}
-	payload := data[:len(data)-8]
-	want := binary.LittleEndian.Uint32(data[len(data)-4:])
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return TrainReport{}, false, fmt.Errorf("core: checkpoint %s: payload CRC %08x does not match footer %08x: file is corrupt", c.Path, got, want)
+	payload, err := ReadFramed(data, checkpointMagic, "core: checkpoint "+c.Path)
+	if err != nil {
+		return TrainReport{}, false, err
 	}
 	var blob checkpointBlob
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&blob); err != nil {

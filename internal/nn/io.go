@@ -2,10 +2,63 @@ package nn
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 )
+
+// WriteAtomic writes a file by streaming into a temp file in the target's
+// directory, syncing it, renaming over the destination, and fsyncing the
+// containing directory — a crash or write error never leaves a truncated
+// file at path, and a crash right after the rename cannot lose the rename
+// itself (the directory entry is durable before WriteAtomic returns). The
+// temp file is removed on failure.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename recorded in it survives a crash.
+// Filesystems that refuse directory fsync (some network mounts) degrade to
+// the pre-fsync durability rather than failing the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
 
 // NetworkState is a deep copy of everything Save persists for a Network:
 // parameter tensors in layer order plus BatchNorm running statistics. It

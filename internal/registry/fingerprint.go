@@ -1,0 +1,97 @@
+package registry
+
+import (
+	"fmt"
+	"math"
+
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// FingerprintDim is the length of a workload fingerprint: the 63
+// normalized internal metrics observed under the default configuration,
+// the workload's read/write ratio, and four hardware-class features.
+const FingerprintDim = metrics.NumMetrics + 2 + 4
+
+// Fingerprint builds the workload fingerprint lookup matches on: the
+// 63-metric state vector measured under the *default* configuration (so
+// two requests for the same workload on the same hardware class land near
+// each other regardless of their current tuning), the read/write ratio,
+// and the hardware class (RAM, disk size, disk medium, cores — each
+// soft-normalized into [0,1]). defaultState is the raw collector vector
+// (simdb.Result.State); it is normalized here. Every component lives in
+// [0,1], so the RMS Euclidean Distance below is scale-free.
+func Fingerprint(defaultState []float64, w workload.Workload, hw simdb.Hardware) []float64 {
+	fp := make([]float64, 0, FingerprintDim)
+	fp = append(fp, metrics.Normalize(defaultState)...)
+	fp = append(fp, clamp01(w.ReadFraction), clamp01(w.WriteFraction()))
+	fp = append(fp,
+		hw.RAMGB/(hw.RAMGB+16),
+		hw.DiskGB/(hw.DiskGB+200),
+		diskKind01(hw.Disk),
+		float64(hw.Cores)/(float64(hw.Cores)+16),
+	)
+	return fp
+}
+
+// diskKind01 maps the disk medium onto a speed-ordered scalar.
+func diskKind01(k simdb.DiskKind) float64 {
+	switch k {
+	case simdb.DiskHDD:
+		return 0
+	case simdb.DiskNVM:
+		return 1
+	default: // SSD
+		return 0.5
+	}
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Distance is the normalized RMS Euclidean distance between two
+// fingerprints: sqrt(mean((a−b)²)). With every component in [0,1] the
+// result is in [0,1] too — 0 is identical, and the serving layer's match
+// radius is expressed in these units. Mismatched lengths (a different
+// metric layout) are an error, never a match.
+func Distance(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("registry: fingerprint dims %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("registry: empty fingerprints")
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a))), nil
+}
+
+// Cosine is the cosine similarity between two fingerprints (1 = parallel,
+// 0 = orthogonal), provided for diagnostics and experiments; lookup uses
+// Distance.
+func Cosine(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("registry: fingerprint dims %d vs %d", len(a), len(b))
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0, nil
+	}
+	return dot / math.Sqrt(na*nb), nil
+}

@@ -1,0 +1,435 @@
+// Package registry implements the model collection behind the paper's
+// serving story (§5, "when a new tuning request arrives"): trained agents
+// persisted on disk and keyed by a workload fingerprint, so a new tuning
+// request can be matched against previously trained models and fine-tune
+// the closest one instead of training from scratch.
+//
+// Each entry is one file (<id>.model) holding the entry metadata plus the
+// serialized agent, written atomically (nn.WriteAtomic: temp file, fsync,
+// rename, directory fsync) and framed with the same CRC32 integrity
+// footer checkpoints use, so a torn or bit-flipped entry is detected and
+// skipped loudly rather than served. Repeated fine-tunes of the same
+// model update the entry in place and bump its version instead of
+// duplicating it; when the collection outgrows MaxEntries, the
+// least-recently-updated unpinned entry is evicted (Promote pins an entry
+// against eviction).
+//
+// All methods are safe for concurrent use by multiple serving sessions.
+package registry
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cdbtune/internal/core"
+	"cdbtune/internal/nn"
+)
+
+// entryMagic tags the CRC32 integrity footer of every registry entry.
+var entryMagic = [4]byte{'r', 'e', 'g', '1'}
+
+// DefaultMaxEntries bounds the collection when Open is not told otherwise.
+const DefaultMaxEntries = 64
+
+// Meta describes one registered model. The registry owns ID, Version, Seq
+// and the timestamps; everything else is the caller's.
+type Meta struct {
+	// ID names the entry (and its file, <ID>.model). Empty on Put creates
+	// a new entry; a known ID updates it in place.
+	ID string
+	// Workload and Instance label the training conditions for humans; the
+	// Fingerprint is what lookup actually matches on.
+	Workload string
+	Instance string
+	// Fingerprint is the workload fingerprint the model was trained under
+	// (see Fingerprint in this package).
+	Fingerprint []float64
+	// Version counts writes of this entry: 1 on creation, +1 per
+	// fine-tune update.
+	Version int
+	// Episodes is the cumulative training episodes baked into the model;
+	// ScratchEpisodes what the original from-scratch training cost (the
+	// baseline against which a warm start's savings are measured).
+	Episodes        int
+	ScratchEpisodes int
+	// BestThroughput is the best stress-test throughput the model has
+	// achieved (txn/sec).
+	BestThroughput float64
+	// Pinned marks a promoted entry: preferred on near-ties and protected
+	// from eviction.
+	Pinned bool
+
+	CreatedUnix int64
+	UpdatedUnix int64
+	// Seq is a registry-assigned monotone update counter; eviction removes
+	// the unpinned entry with the lowest Seq.
+	Seq int64
+}
+
+// entryBlob is the on-disk format inside the CRC frame.
+type entryBlob struct {
+	Meta  Meta
+	Model []byte
+}
+
+// Registry is a persistent, concurrency-safe collection of trained models.
+type Registry struct {
+	dir string
+	max int
+
+	mu      sync.Mutex
+	entries map[string]Meta
+	corrupt map[string]string // file base name -> reason
+	seq     int64
+	nextID  int
+	logf    func(format string, args ...any)
+}
+
+// Option customizes Open.
+type Option func(*Registry)
+
+// WithMaxEntries bounds the collection (default DefaultMaxEntries).
+func WithMaxEntries(n int) Option {
+	return func(r *Registry) {
+		if n > 0 {
+			r.max = n
+		}
+	}
+}
+
+// WithLogf redirects the registry's complaints about corrupt entries
+// (default log.Printf). Corruption is never silent: skipped entries are
+// both logged and recorded in Corrupt.
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(r *Registry) {
+		if f != nil {
+			r.logf = f
+		}
+	}
+}
+
+// Open loads (creating if needed) the registry rooted at dir. Entries
+// that fail their integrity check are skipped loudly: logged, recorded in
+// Corrupt, and left on disk for inspection.
+func Open(dir string, opts ...Option) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	r := &Registry{
+		dir:     dir,
+		max:     DefaultMaxEntries,
+		entries: make(map[string]Meta),
+		corrupt: make(map[string]string),
+		logf:    log.Printf,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.model"))
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	for _, f := range files {
+		blob, err := readEntry(f)
+		if err != nil {
+			r.noteCorrupt(filepath.Base(f), err)
+			continue
+		}
+		r.entries[blob.Meta.ID] = blob.Meta
+		if blob.Meta.Seq > r.seq {
+			r.seq = blob.Meta.Seq
+		}
+		var n int
+		if _, err := fmt.Sscanf(blob.Meta.ID, "m%d", &n); err == nil && n >= r.nextID {
+			r.nextID = n + 1
+		}
+	}
+	return r, nil
+}
+
+// Dir reports the registry's root directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// Len reports the number of healthy entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// List returns the healthy entries sorted by ID.
+func (r *Registry) List() []Meta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Meta, 0, len(r.entries))
+	for _, m := range r.entries {
+		out = append(out, cloneMeta(m))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Corrupt reports the entry files skipped for failing their integrity
+// check (file base name → reason), since Open.
+func (r *Registry) Corrupt() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.corrupt))
+	for k, v := range r.corrupt {
+		out[k] = v
+	}
+	return out
+}
+
+// Put stores a model. An empty meta.ID creates a new entry; a known ID
+// updates it in place, preserving CreatedUnix and bumping Version — the
+// fine-tune path never duplicates a model. The returned Meta carries the
+// registry-assigned fields. Storing may evict the least-recently-updated
+// unpinned entry once the collection exceeds its bound.
+func (r *Registry) Put(meta Meta, model []byte) (Meta, error) {
+	if len(model) == 0 {
+		return Meta{}, fmt.Errorf("registry: refusing to store empty model")
+	}
+	if len(meta.Fingerprint) == 0 {
+		return Meta{}, fmt.Errorf("registry: refusing to store model without fingerprint")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now().Unix()
+	if meta.ID == "" {
+		meta.ID = fmt.Sprintf("m%04d", r.nextID)
+		r.nextID++
+		meta.Version = 1
+		meta.CreatedUnix = now
+	} else if prev, ok := r.entries[meta.ID]; ok {
+		meta.Version = prev.Version + 1
+		meta.CreatedUnix = prev.CreatedUnix
+		if meta.ScratchEpisodes == 0 {
+			meta.ScratchEpisodes = prev.ScratchEpisodes
+		}
+	} else {
+		// Caller-chosen ID for a fresh entry.
+		if meta.Version == 0 {
+			meta.Version = 1
+		}
+		meta.CreatedUnix = now
+	}
+	meta.UpdatedUnix = now
+	r.seq++
+	meta.Seq = r.seq
+	if err := r.writeLocked(meta, model); err != nil {
+		return Meta{}, err
+	}
+	r.entries[meta.ID] = cloneMeta(meta)
+	delete(r.corrupt, meta.ID+".model")
+	r.evictLocked()
+	return meta, nil
+}
+
+// Get returns an entry's metadata and model bytes, re-verifying the file's
+// integrity. A file that went corrupt after Open is skipped loudly: the
+// entry is dropped from the index, recorded in Corrupt, and an error
+// returned.
+func (r *Registry) Get(id string) (Meta, []byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.getLocked(id)
+}
+
+func (r *Registry) getLocked(id string) (Meta, []byte, error) {
+	if _, ok := r.entries[id]; !ok {
+		return Meta{}, nil, fmt.Errorf("registry: no entry %q", id)
+	}
+	blob, err := readEntry(r.path(id))
+	if err != nil {
+		r.noteCorrupt(id+".model", err)
+		delete(r.entries, id)
+		return Meta{}, nil, fmt.Errorf("registry: entry %q: %w", id, err)
+	}
+	return blob.Meta, blob.Model, nil
+}
+
+// Match is the outcome of a nearest-fingerprint lookup.
+type Match struct {
+	Meta     Meta
+	Model    []byte
+	Distance float64
+}
+
+// Nearest returns the healthy entry whose fingerprint is closest to fp
+// (normalized RMS Euclidean distance; see Distance), verifying the
+// winner's file before returning it. Entries that fail verification are
+// skipped loudly and the next-nearest survivor is returned instead. A
+// pinned entry wins a near-tie (within 1% distance) against an unpinned
+// one. ok is false when the registry holds no readable entry.
+func (r *Registry) Nearest(fp []float64) (Match, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type cand struct {
+		id  string
+		d   float64
+		pin bool
+	}
+	var cands []cand
+	for id, m := range r.entries {
+		d, err := Distance(fp, m.Fingerprint)
+		if err != nil {
+			continue // dimension mismatch: a different metric layout, never a match
+		}
+		cands = append(cands, cand{id: id, d: d, pin: m.Pinned})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.pin != b.pin && nearTie(a.d, b.d) {
+			return a.pin
+		}
+		return a.d < b.d
+	})
+	for _, c := range cands {
+		meta, model, err := r.getLocked(c.id)
+		if err != nil {
+			continue // already logged and recorded; try the next survivor
+		}
+		return Match{Meta: meta, Model: model, Distance: c.d}, true
+	}
+	return Match{}, false
+}
+
+// nearTie reports whether two distances are within 1% (relative) of each
+// other.
+func nearTie(a, b float64) bool {
+	hi := a
+	if b > hi {
+		hi = b
+	}
+	if hi == 0 {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d/hi <= 0.01
+}
+
+// Promote pins an entry: protected from eviction and preferred on
+// near-tie lookups. The entry file is rewritten (same version).
+func (r *Registry) Promote(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	meta, model, err := r.getLocked(id)
+	if err != nil {
+		return err
+	}
+	if meta.Pinned {
+		return nil
+	}
+	meta.Pinned = true
+	meta.UpdatedUnix = time.Now().Unix()
+	if err := r.writeLocked(meta, model); err != nil {
+		return err
+	}
+	r.entries[id] = cloneMeta(meta)
+	return nil
+}
+
+// Delete removes an entry and its file. Deleting an unknown ID is an
+// error; deleting an entry whose file already vanished is not.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[id]; !ok {
+		return fmt.Errorf("registry: no entry %q", id)
+	}
+	if err := os.Remove(r.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("registry: delete %q: %w", id, err)
+	}
+	delete(r.entries, id)
+	return nil
+}
+
+// evictLocked removes least-recently-updated unpinned entries until the
+// collection fits its bound. A collection of nothing but pinned entries is
+// allowed to exceed the bound (with a complaint).
+func (r *Registry) evictLocked() {
+	for len(r.entries) > r.max {
+		victim := ""
+		var low int64
+		for id, m := range r.entries {
+			if m.Pinned {
+				continue
+			}
+			if victim == "" || m.Seq < low {
+				victim, low = id, m.Seq
+			}
+		}
+		if victim == "" {
+			r.logf("registry: %d entries all pinned, over the %d bound; not evicting", len(r.entries), r.max)
+			return
+		}
+		if err := os.Remove(r.path(victim)); err != nil && !os.IsNotExist(err) {
+			r.logf("registry: evicting %s: %v", victim, err)
+		}
+		delete(r.entries, victim)
+		r.logf("registry: evicted %s (collection over %d entries)", victim, r.max)
+	}
+}
+
+func (r *Registry) path(id string) string {
+	return filepath.Join(r.dir, id+".model")
+}
+
+func (r *Registry) noteCorrupt(file string, err error) {
+	reason := err.Error()
+	// Keep the reason short in the index; the log line has the full text.
+	if i := strings.IndexByte(reason, '\n'); i >= 0 {
+		reason = reason[:i]
+	}
+	r.corrupt[file] = reason
+	r.logf("registry: skipping corrupt entry %s: %v", file, err)
+}
+
+// writeLocked persists one entry atomically with the CRC frame.
+func (r *Registry) writeLocked(meta Meta, model []byte) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entryBlob{Meta: meta, Model: model}); err != nil {
+		return fmt.Errorf("registry: encode %q: %w", meta.ID, err)
+	}
+	return nn.WriteAtomic(r.path(meta.ID), func(w io.Writer) error {
+		return core.WriteFramed(w, buf.Bytes(), entryMagic)
+	})
+}
+
+// readEntry reads and verifies one entry file.
+func readEntry(path string) (entryBlob, error) {
+	var blob entryBlob
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return blob, err
+	}
+	payload, err := core.ReadFramed(data, entryMagic, "registry entry")
+	if err != nil {
+		return blob, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&blob); err != nil {
+		return blob, fmt.Errorf("registry entry: decode: %w", err)
+	}
+	if blob.Meta.ID == "" {
+		return blob, fmt.Errorf("registry entry: blank ID")
+	}
+	return blob, nil
+}
+
+func cloneMeta(m Meta) Meta {
+	m.Fingerprint = append([]float64(nil), m.Fingerprint...)
+	return m
+}

@@ -1,0 +1,40 @@
+// Package server is the multi-tenant serving layer of the reproduction:
+// the piece that turns the tuning algorithm into the cloud service the
+// paper deploys (§5: users submit tuning requests; the system matches the
+// workload against previously trained models and fine-tunes the closest
+// one rather than training from scratch).
+//
+// # Architecture
+//
+//	HTTP JSON API (http.go)
+//	  └─ Manager (manager.go): bounded worker pool + admission queue
+//	       └─ per-session pipeline:
+//	            fingerprint → registry match → warm-start or scratch
+//	            training → guarded online tuning (controller) → registry
+//	            write-back
+//
+// Admission control is queue-depth backpressure: Submit fails fast with
+// ErrQueueFull once QueueDepth sessions are waiting, which the HTTP layer
+// surfaces as 429 with a Retry-After header — the service sheds load
+// instead of accumulating unbounded latency.
+//
+// Each session trains and serves its *own* core.Tuner, so sessions never
+// contend on an agent lock; the shared, synchronized pieces are the
+// registry (its own mutex), the manager's accounting (one mutex), and —
+// when a caller wires several sessions through one controller — the
+// controller's request state (see controller.Controller).
+//
+// # Warm start
+//
+// A session fingerprints the submitted workload by measuring the user
+// instance under its default configuration (the 63 internal metrics, plus
+// read/write ratio and hardware class; see registry.Fingerprint) and asks
+// the registry for the nearest model. A match within Config.MatchRadius
+// seeds the session's agent, and fine-tuning replaces scratch training:
+// training runs in chunks and stops as soon as the greedy policy's probed
+// performance plateaus, so a well-matched model converges after a chunk
+// or two while a scratch model must climb first. Which path was taken,
+// the match distance, and the episodes saved versus the matched model's
+// recorded scratch cost are all reported in the job status and the
+// serving telemetry.
+package server

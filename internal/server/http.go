@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the HTTP front-end over a Manager: a JSON API for submitting
+// tuning requests, watching their progress and administering the model
+// registry. Built on net/http alone.
+type Server struct {
+	m    *Manager
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer wires the API routes over m.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /api/v1/models/{id}/promote", s.handlePromote)
+	s.mux.HandleFunc("DELETE /api/v1/models/{id}", s.handleDeleteModel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler exposes the routed mux (tests drive it via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux}
+	go func() { _ = s.http.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and the manager's worker pool.
+func (s *Server) Close() error {
+	var err error
+	if s.http != nil {
+		err = s.http.Close()
+	}
+	s.m.Close()
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	st, err := s.m.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Admission control: shed load with an explicit retry hint rather
+		// than queueing unboundedly.
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSec))
+		writeError(w, http.StatusTooManyRequests, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.m.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams a session's progress as JSON lines until the
+// session reaches a terminal state (or the client goes away). Each line is
+// one Event; the final line is the terminal JobStatus tagged as such.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.m.Job(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	after := 0
+	for {
+		events, notify, ok := s.m.Events(id, after)
+		if !ok {
+			return
+		}
+		for _, e := range events {
+			_ = enc.Encode(e)
+			after = e.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		st, _ := s.m.Job(id)
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			_ = enc.Encode(map[string]any{"final": true, "job": st})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-time.After(30 * time.Second):
+			// Keep-alive tick so an idle stream is detected as live.
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Cancel(id); err != nil {
+		code := http.StatusConflict
+		if _, ok := s.m.Job(id); !ok {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	st, _ := s.m.Job(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":  s.m.Registry().List(),
+		"corrupt": s.m.Registry().Corrupt(),
+	})
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Registry().Promote(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"promoted": id})
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Registry().Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	mt := s.m.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.m.Workers(),
+		"active":  mt.Active,
+		"queued":  mt.Queued,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Metrics())
+}

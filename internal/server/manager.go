@@ -1,0 +1,831 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"cdbtune/internal/controller"
+	"cdbtune/internal/core"
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/registry"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// ErrQueueFull rejects a submission when the admission queue is at
+// capacity; the HTTP layer maps it to 429 with a Retry-After header.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// RetryAfterSec is the backoff the service suggests to a rejected client.
+const RetryAfterSec = 2
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Warm-start paths.
+const (
+	PathWarm    = "warm"
+	PathScratch = "scratch"
+)
+
+// Config assembles a Manager. The zero value (plus a Registry) serves the
+// full CDB knob catalog against the simulator with the paper's protocol.
+type Config struct {
+	// Registry is the model collection behind warm starts. Required.
+	Registry *registry.Registry
+
+	// Workers is the session worker-pool size (default 2); QueueDepth the
+	// admission queue bound beyond which Submit rejects (default 16).
+	Workers    int
+	QueueDepth int
+
+	// OnlineSteps is the per-request recommendation budget (paper: 5).
+	OnlineSteps int
+
+	// Scratch training runs in ChunkEpisodes-sized chunks between greedy
+	// probes, for at least MinScratchEpisodes and at most
+	// MaxScratchEpisodes; a warm-started session fine-tunes for at most
+	// MaxFineTuneEpisodes. Training stops early once a probe fails to beat
+	// the best probed throughput by more than ConvergeEps (relative) for
+	// Patience consecutive probes. ProbeSteps is the number of greedy
+	// actions per probe.
+	MinScratchEpisodes  int
+	MaxScratchEpisodes  int
+	MaxFineTuneEpisodes int
+	ChunkEpisodes       int
+	Patience            int
+	ProbeSteps          int
+	ConvergeEps         float64
+
+	// MatchRadius is the fingerprint distance under which a registry entry
+	// counts as the same workload class and seeds the session's agent.
+	MatchRadius float64
+
+	// TrainWorkers is the parallelism of each session's offline training
+	// (default 1 — sessions are already concurrent with each other).
+	TrainWorkers int
+
+	// Seed derives every session's deterministic seed stream.
+	Seed int64
+
+	// GuardK and GuardRadius configure each session's safety guardrail
+	// (see controller.Config).
+	GuardK      int
+	GuardRadius float64
+
+	// Catalog is the tunable knob subset (default: the full CDB catalog).
+	Catalog *knobs.Catalog
+	// TunerConfig builds each session's tuner configuration (default
+	// core.DefaultConfig). Tests swap in a small fast network.
+	TunerConfig func(cat *knobs.Catalog) core.Config
+	// MakeDB builds database instances — the user instance under tuning
+	// and the fresh training/probe instances (default: the simulator).
+	MakeDB func(inst simdb.Instance, seed int64) env.Database
+
+	// Logf receives the manager's log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Registry == nil {
+		return errors.New("server: Config.Registry is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.OnlineSteps <= 0 {
+		c.OnlineSteps = 5
+	}
+	if c.MinScratchEpisodes <= 0 {
+		c.MinScratchEpisodes = 4
+	}
+	if c.MaxScratchEpisodes <= 0 {
+		c.MaxScratchEpisodes = 8
+	}
+	if c.MaxScratchEpisodes < c.MinScratchEpisodes {
+		c.MaxScratchEpisodes = c.MinScratchEpisodes
+	}
+	if c.MaxFineTuneEpisodes <= 0 {
+		c.MaxFineTuneEpisodes = 2
+	}
+	if c.ChunkEpisodes <= 0 {
+		c.ChunkEpisodes = 2
+	}
+	if c.Patience <= 0 {
+		c.Patience = 1
+	}
+	if c.ProbeSteps <= 0 {
+		c.ProbeSteps = 2
+	}
+	if c.ConvergeEps <= 0 {
+		c.ConvergeEps = 0.01
+	}
+	if c.MatchRadius <= 0 {
+		c.MatchRadius = 0.1
+	}
+	if c.TrainWorkers <= 0 {
+		c.TrainWorkers = 1
+	}
+	if c.Catalog == nil {
+		c.Catalog = knobs.MySQL(knobs.EngineCDB)
+	}
+	if c.TunerConfig == nil {
+		c.TunerConfig = core.DefaultConfig
+	}
+	if c.MakeDB == nil {
+		c.MakeDB = func(inst simdb.Instance, seed int64) env.Database {
+			return simdb.New(knobs.EngineCDB, inst, seed)
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return nil
+}
+
+// JobRequest is one user tuning request.
+type JobRequest struct {
+	// Workload names a standard workload profile (workload.ByName).
+	Workload string `json:"workload"`
+	// Instance names a Table 1 instance (default CDB-A).
+	Instance string `json:"instance,omitempty"`
+	// Seed seeds the user instance's simulator (0 = derived).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// JobStatus is a session's externally visible state.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Instance string `json:"instance"`
+	State    string `json:"state"`
+
+	// Path reports which serving path the session took: "warm" (a
+	// registry model within MatchRadius seeded the agent, training was a
+	// fine-tune) or "scratch".
+	Path          string  `json:"path,omitempty"`
+	MatchID       string  `json:"match_id,omitempty"`
+	MatchDistance float64 `json:"match_distance,omitempty"`
+
+	// Episodes is the training episodes this session ran; EpisodesSaved
+	// how many the warm start avoided versus the matched model's recorded
+	// from-scratch cost.
+	Episodes      int `json:"episodes"`
+	EpisodesSaved int `json:"episodes_saved"`
+
+	// ModelID is the registry entry this session created or updated.
+	ModelID string `json:"model_id,omitempty"`
+
+	// Improvement is the deployed configuration's relative throughput gain
+	// over the instance's defaults; Approved whether the license step
+	// granted deployment.
+	Improvement    float64 `json:"improvement"`
+	Approved       bool    `json:"approved"`
+	BestThroughput float64 `json:"best_throughput"`
+
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Event is one line of a session's progress stream.
+type Event struct {
+	Seq     int    `json:"seq"`
+	UnixMs  int64  `json:"unix_ms"`
+	Stage   string `json:"stage"`
+	Message string `json:"message"`
+}
+
+// Metrics is the service-level snapshot behind GET /metrics.
+type Metrics struct {
+	Submitted int `json:"submitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	Active    int `json:"active"`
+	Queued    int `json:"queued"`
+
+	WarmHits   int `json:"warm_hits"`
+	WarmMisses int `json:"warm_misses"`
+
+	EpisodesTrained int `json:"episodes_trained"`
+	EpisodesSaved   int `json:"episodes_saved"`
+
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP95Ms float64 `json:"queue_wait_p95_ms"`
+
+	RegistryEntries int `json:"registry_entries"`
+	RegistryCorrupt int `json:"registry_corrupt"`
+}
+
+// session is one tuning request moving through the pipeline.
+type session struct {
+	id  string
+	req JobRequest
+
+	w        workload.Workload
+	inst     simdb.Instance
+	baseSeed int64
+
+	submitted time.Time
+
+	// Everything below is guarded by the manager's mutex.
+	state         string
+	path          string
+	matchID       string
+	matchDistance float64
+	episodes      int
+	episodesSaved int
+	modelID       string
+	improvement   float64
+	approved      bool
+	bestTput      float64
+	queueWait     time.Duration
+	errMsg        string
+	events        []Event
+	notify        chan struct{}
+	cancel        context.CancelFunc
+	canceled      bool
+}
+
+// Manager runs the multi-tenant serving pipeline: a bounded worker pool
+// draining an admission queue of tuning sessions.
+type Manager struct {
+	cfg Config
+	reg *registry.Registry
+
+	queue chan *session
+	wg    sync.WaitGroup
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*session
+	order  []string
+	nextID int
+	active int
+
+	submitted, rejected, completed, failed, canceled int
+	warmHits, warmMisses                             int
+	episodesTrained, episodesSaved                   int
+	waitsMs                                          []float64
+}
+
+// NewManager validates cfg, fills defaults and starts the worker pool.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		queue:      make(chan *session, cfg.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		jobs:       make(map[string]*session),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Close cancels every running session, drains the pool and waits for it.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.rootCancel()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// Submit validates and enqueues a tuning request. It fails fast with
+// ErrQueueFull when the admission queue is at capacity — backpressure
+// instead of unbounded latency — and with a validation error for an
+// unknown workload or instance.
+func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
+	w, err := workload.ByName(req.Workload)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("server: %w", err)
+	}
+	inst := simdb.CDBA
+	if req.Instance != "" {
+		var ok bool
+		if inst, ok = simdb.ByName(req.Instance); !ok {
+			return JobStatus{}, fmt.Errorf("server: unknown instance %q", req.Instance)
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobStatus{}, errors.New("server: manager closed")
+	}
+	s := &session{
+		id:        fmt.Sprintf("job-%04d", m.nextID),
+		req:       req,
+		w:         w,
+		inst:      inst,
+		baseSeed:  m.cfg.Seed + int64(m.nextID)*1_000_003,
+		submitted: time.Now(),
+		state:     StateQueued,
+		notify:    make(chan struct{}),
+	}
+	m.nextID++
+
+	select {
+	case m.queue <- s:
+	default:
+		m.rejected++
+		m.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+	m.submitted++
+	m.jobs[s.id] = s
+	m.order = append(m.order, s.id)
+	m.eventLocked(s, "queued", "request queued (workload %s, instance %s)", w.Name, inst.Name)
+	st := m.statusLocked(s)
+	m.mu.Unlock()
+	return st, nil
+}
+
+// Job returns one session's status.
+func (m *Manager) Job(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return m.statusLocked(s), true
+}
+
+// Jobs returns every session's status in submission order.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Cancel stops a session: a queued session is skipped when a worker picks
+// it up, a running one has its context cancelled (the controller rolls the
+// instance back).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("server: no job %q", id)
+	}
+	switch s.state {
+	case StateDone, StateFailed, StateCanceled:
+		return fmt.Errorf("server: job %q already %s", id, s.state)
+	}
+	s.canceled = true
+	if s.cancel != nil {
+		s.cancel()
+	}
+	m.eventLocked(s, "cancel", "cancellation requested")
+	return nil
+}
+
+// Events returns a session's progress events after the given sequence
+// number, plus a channel closed on the next append — the long-poll surface
+// behind the streaming endpoint.
+func (m *Manager) Events(id string, after int) ([]Event, <-chan struct{}, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	var out []Event
+	for _, e := range s.events {
+		if e.Seq > after {
+			out = append(out, e)
+		}
+	}
+	return out, s.notify, true
+}
+
+// Metrics snapshots the service counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p50, p95 := percentiles(m.waitsMs)
+	return Metrics{
+		Submitted: m.submitted, Rejected: m.rejected,
+		Completed: m.completed, Failed: m.failed, Canceled: m.canceled,
+		Active: m.active, Queued: len(m.queue),
+		WarmHits: m.warmHits, WarmMisses: m.warmMisses,
+		EpisodesTrained: m.episodesTrained, EpisodesSaved: m.episodesSaved,
+		QueueWaitP50Ms: p50, QueueWaitP95Ms: p95,
+		RegistryEntries: m.reg.Len(), RegistryCorrupt: len(m.reg.Corrupt()),
+	}
+}
+
+// Workers reports the worker-pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Registry exposes the model collection behind the serving layer.
+func (m *Manager) Registry() *registry.Registry { return m.reg }
+
+func percentiles(samples []float64) (p50, p95 float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.95)
+}
+
+// statusLocked renders a session snapshot; callers hold m.mu.
+func (m *Manager) statusLocked(s *session) JobStatus {
+	return JobStatus{
+		ID: s.id, Workload: s.w.Name, Instance: s.inst.Name,
+		State: s.state, Path: s.path,
+		MatchID: s.matchID, MatchDistance: s.matchDistance,
+		Episodes: s.episodes, EpisodesSaved: s.episodesSaved,
+		ModelID: s.modelID, Improvement: s.improvement,
+		Approved: s.approved, BestThroughput: s.bestTput,
+		QueueWaitMs: float64(s.queueWait) / float64(time.Millisecond),
+		Error:       s.errMsg,
+	}
+}
+
+// eventLocked appends a progress event and wakes streamers; callers hold
+// m.mu.
+func (m *Manager) eventLocked(s *session, stage, format string, args ...any) {
+	e := Event{
+		Seq:     len(s.events) + 1,
+		UnixMs:  time.Now().UnixMilli(),
+		Stage:   stage,
+		Message: fmt.Sprintf(format, args...),
+	}
+	s.events = append(s.events, e)
+	close(s.notify)
+	s.notify = make(chan struct{})
+	m.cfg.Logf("server: %s [%s] %s", s.id, stage, e.Message)
+}
+
+func (m *Manager) event(s *session, stage, format string, args ...any) {
+	m.mu.Lock()
+	m.eventLocked(s, stage, format, args...)
+	m.mu.Unlock()
+}
+
+// worker drains the admission queue until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for s := range m.queue {
+		m.run(s)
+	}
+}
+
+// finish transitions a session to its terminal state.
+func (m *Manager) finish(s *session, state string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.state = state
+	switch state {
+	case StateDone:
+		m.completed++
+	case StateFailed:
+		m.failed++
+	case StateCanceled:
+		m.canceled++
+	}
+	if err != nil {
+		s.errMsg = err.Error()
+		m.eventLocked(s, state, "%v", err)
+	} else {
+		m.eventLocked(s, state, "session %s", state)
+	}
+	m.active--
+}
+
+// run executes one session end to end: fingerprint, registry match, warm
+// or scratch training, guarded online tuning, registry write-back.
+func (m *Manager) run(s *session) {
+	ctx, cancel := context.WithCancel(m.rootCtx)
+	defer cancel()
+
+	m.mu.Lock()
+	if s.canceled || m.rootCtx.Err() != nil {
+		s.state = StateCanceled
+		m.canceled++
+		m.eventLocked(s, StateCanceled, "canceled before start")
+		m.mu.Unlock()
+		return
+	}
+	s.state = StateRunning
+	s.cancel = cancel
+	s.queueWait = time.Since(s.submitted)
+	m.waitsMs = append(m.waitsMs, float64(s.queueWait)/float64(time.Millisecond))
+	if len(m.waitsMs) > 256 {
+		m.waitsMs = m.waitsMs[len(m.waitsMs)-256:]
+	}
+	m.active++
+	m.eventLocked(s, "start", "session started after %.0f ms in queue", float64(s.queueWait)/float64(time.Millisecond))
+	m.mu.Unlock()
+
+	err := m.serve(ctx, s)
+	switch {
+	case err == nil:
+		m.finish(s, StateDone, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.finish(s, StateCanceled, err)
+	default:
+		m.finish(s, StateFailed, err)
+	}
+}
+
+func (m *Manager) serve(ctx context.Context, s *session) error {
+	cfg := m.cfg
+
+	// The user's instance. Its default-configuration measurement doubles
+	// as the workload fingerprint (§5: match the new tuning request
+	// against previously trained models).
+	userSeed := s.req.Seed
+	if userSeed == 0 {
+		userSeed = s.baseSeed + 17
+	}
+	userDB := cfg.MakeDB(s.inst, userSeed)
+	base, err := env.New(userDB, cfg.Catalog, s.w).Measure()
+	if err != nil {
+		return fmt.Errorf("fingerprinting %s on defaults: %w", s.w.Name, err)
+	}
+	fp := registry.Fingerprint(base.State, s.w, s.inst.HW)
+	m.event(s, "fingerprint", "measured defaults: %.1f tx/s; fingerprint dim %d", base.Ext.Throughput, len(fp))
+
+	tn, err := core.New(cfg.TunerConfig(cfg.Catalog))
+	if err != nil {
+		return fmt.Errorf("building session tuner: %w", err)
+	}
+
+	// Registry match: a close-enough model seeds the agent and training
+	// becomes a fine-tune.
+	warm := false
+	var match registry.Match
+	if mt, ok := m.reg.Nearest(fp); ok && mt.Distance <= cfg.MatchRadius {
+		if lerr := tn.Load(bytes.NewReader(mt.Model)); lerr != nil {
+			m.event(s, "match", "model %s matched (d=%.4f) but failed to load (%v); training from scratch", mt.Meta.ID, mt.Distance, lerr)
+		} else {
+			warm, match = true, mt
+		}
+	}
+	m.mu.Lock()
+	if warm {
+		s.path, s.matchID, s.matchDistance = PathWarm, match.Meta.ID, match.Distance
+		m.warmHits++
+		m.eventLocked(s, "match", "warm start from %s (workload %s, d=%.4f, %d scratch episodes on record)",
+			match.Meta.ID, match.Meta.Workload, match.Distance, match.Meta.ScratchEpisodes)
+	} else {
+		s.path = PathScratch
+		m.warmMisses++
+		m.eventLocked(s, "match", "no model within radius %.3f; training from scratch", cfg.MatchRadius)
+	}
+	m.mu.Unlock()
+
+	episodes, err := m.train(ctx, s, tn, warm)
+	m.mu.Lock()
+	s.episodes = episodes
+	m.episodesTrained += episodes
+	if warm {
+		if saved := match.Meta.ScratchEpisodes - episodes; saved > 0 {
+			s.episodesSaved = saved
+			m.episodesSaved += saved
+		}
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	m.event(s, "train", "%s training converged after %d episodes", s.path, episodes)
+
+	// Online tuning through the controller: capture, replay, recommend,
+	// license, deploy-or-rollback — under the session guardrail.
+	ctrl, err := controller.New(controller.Config{
+		Tuner: tn, Seed: s.baseSeed,
+		OnlineSteps: cfg.OnlineSteps,
+		GuardK:      cfg.GuardK, GuardRadius: cfg.GuardRadius,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := ctrl.HandleTuningRequestCtx(ctx, userDB, s.w)
+	if err != nil {
+		return fmt.Errorf("tuning request: %w", err)
+	}
+	improvement := 0.0
+	if res.Initial.Throughput > 0 {
+		improvement = res.BestPerf.Throughput/res.Initial.Throughput - 1
+	}
+	m.mu.Lock()
+	s.improvement = improvement
+	s.approved = res.Approved
+	s.bestTput = res.BestPerf.Throughput
+	m.eventLocked(s, "tune", "online tuning: %.1f → %.1f tx/s (%+.1f%%), approved=%v",
+		res.Initial.Throughput, res.BestPerf.Throughput, improvement*100, res.Approved)
+	m.mu.Unlock()
+
+	// Write the tuned model back: a warm session updates its matched entry
+	// in place (version bump), a scratch session registers a new one.
+	var buf bytes.Buffer
+	if err := tn.Save(&buf); err != nil {
+		return fmt.Errorf("serializing tuned model: %w", err)
+	}
+	meta := registry.Meta{
+		Workload: s.w.Name, Instance: s.inst.Name, Fingerprint: fp,
+		Episodes: episodes, BestThroughput: res.BestPerf.Throughput,
+	}
+	if warm {
+		meta.ID = match.Meta.ID
+		meta.Episodes = match.Meta.Episodes + episodes
+		if match.Meta.BestThroughput > meta.BestThroughput {
+			meta.BestThroughput = match.Meta.BestThroughput
+		}
+	} else {
+		meta.ScratchEpisodes = episodes
+	}
+	stored, err := m.reg.Put(meta, buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("registering tuned model: %w", err)
+	}
+	m.mu.Lock()
+	s.modelID = stored.ID
+	m.eventLocked(s, "registry", "model %s v%d stored (%d cumulative episodes)", stored.ID, stored.Version, stored.Episodes)
+	m.mu.Unlock()
+	return nil
+}
+
+// train runs chunked offline training until the greedy policy's probed
+// throughput plateaus: after each chunk the current policy is probed with
+// ProbeSteps greedy steps on a fresh instance (no exploration, nothing
+// enters the replay memory), and training stops once the probe fails to
+// beat the best probed throughput by more than ConvergeEps for Patience
+// consecutive probes. A warm-started session is probed before any
+// training, so an already-converged model stops after a single chunk;
+// scratch training runs at least MinScratchEpisodes.
+func (m *Manager) train(ctx context.Context, s *session, tn *core.Tuner, warm bool) (int, error) {
+	cfg := m.cfg
+	maxEp, minEp := cfg.MaxScratchEpisodes, cfg.MinScratchEpisodes
+	if warm {
+		maxEp, minEp = cfg.MaxFineTuneEpisodes, 0
+	}
+
+	episodes := 0
+	best := 0.0
+	if warm {
+		if p, err := m.probe(ctx, s, tn, 0); err == nil {
+			best = p
+			m.event(s, "probe", "warm model probes at %.1f tx/s before fine-tuning", p)
+		} else if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+	}
+
+	flat := 0
+	for episodes < maxEp {
+		n := cfg.ChunkEpisodes
+		if episodes+n > maxEp {
+			n = maxEp - episodes
+		}
+		chunkBase := s.baseSeed + int64(episodes)*101
+		mk := func(ep int) *env.Env {
+			db := cfg.MakeDB(s.inst, chunkBase+int64(ep))
+			return env.New(db, cfg.Catalog, s.w)
+		}
+		rep, err := tn.OfflineTrainOpts(mk, core.TrainOptions{
+			Episodes: n, Workers: cfg.TrainWorkers, Ctx: ctx,
+		})
+		episodes += rep.Episodes
+		if err != nil {
+			return episodes, fmt.Errorf("training episode %d: %w", episodes, err)
+		}
+
+		p, perr := m.probe(ctx, s, tn, episodes)
+		if perr != nil {
+			if ctx.Err() != nil {
+				return episodes, ctx.Err()
+			}
+			// A probe lost to environment faults neither stops nor extends
+			// training; the next chunk's probe decides.
+			m.event(s, "probe", "probe after episode %d failed (%v); continuing", episodes, perr)
+			continue
+		}
+		m.event(s, "probe", "episode %d: greedy policy probes at %.1f tx/s (best %.1f)", episodes, p, best)
+		if episodes >= minEp && best > 0 && p <= best*(1+cfg.ConvergeEps) {
+			flat++
+			if flat >= cfg.Patience {
+				break
+			}
+		} else {
+			flat = 0
+		}
+		if p > best {
+			best = p
+		}
+	}
+	return episodes, nil
+}
+
+// probe measures the current greedy policy on a fresh instance: reset to
+// defaults, then ProbeSteps greedy actions, best throughput wins. Probe
+// steps bypass the replay memory — they evaluate, never train.
+func (m *Manager) probe(ctx context.Context, s *session, tn *core.Tuner, afterEpisodes int) (float64, error) {
+	db := m.cfg.MakeDB(s.inst, s.baseSeed+9_000_000+int64(afterEpisodes))
+	e := env.New(db, m.cfg.Catalog, s.w)
+	e.Bind(ctx)
+	defer e.Bind(nil)
+	base, err := e.Measure()
+	if err != nil {
+		return 0, err
+	}
+	best := base.Ext.Throughput
+	state := metrics.Normalize(base.State)
+	for i := 0; i < m.cfg.ProbeSteps; i++ {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
+		res, err := e.Step(tn.Agent().Act(state))
+		if err != nil {
+			// Crashed or flaky probe instance: the probe reports what it
+			// saw; recovery is the trainer's business, not the prober's.
+			break
+		}
+		state = metrics.Normalize(res.State)
+		if res.Ext.Throughput > best {
+			best = res.Ext.Throughput
+		}
+	}
+	return best, nil
+}
+
+// SessionStats is the per-session telemetry row behind the expdriver
+// serving table.
+type SessionStats struct {
+	ID            string
+	Workload      string
+	Instance      string
+	State         string
+	Path          string
+	QueueWaitMs   float64
+	MatchDistance float64
+	Episodes      int
+	EpisodesSaved int
+	Improvement   float64
+}
+
+// Sessions snapshots per-session telemetry in submission order.
+func (m *Manager) Sessions() []SessionStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionStats, 0, len(m.order))
+	for _, id := range m.order {
+		s := m.jobs[id]
+		out = append(out, SessionStats{
+			ID: s.id, Workload: s.w.Name, Instance: s.inst.Name,
+			State: s.state, Path: s.path,
+			QueueWaitMs:   float64(s.queueWait) / float64(time.Millisecond),
+			MatchDistance: s.matchDistance,
+			Episodes:      s.episodes, EpisodesSaved: s.episodesSaved,
+			Improvement: s.improvement,
+		})
+	}
+	return out
+}

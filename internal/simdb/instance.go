@@ -69,6 +69,16 @@ func MakeX2(diskGB float64) Instance {
 // Table1 returns the five fixed instances.
 func Table1() []Instance { return []Instance{CDBA, CDBB, CDBC, CDBD, CDBE} }
 
+// ByName resolves a Table 1 instance by name (e.g. "CDB-C").
+func ByName(name string) (Instance, bool) {
+	for _, in := range Table1() {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Instance{}, false
+}
+
 // diskSpeedFactor scales IO cost by medium: HDD misses hurt more, NVM less.
 func (h Hardware) diskSpeedFactor() float64 {
 	switch h.Disk {

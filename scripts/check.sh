@@ -22,6 +22,9 @@ go test -count=1 -timeout 120s -run 'TestChaosSmoke|TestTuningRequestSurvivesCra
 echo "== divergence smoke =="
 go test -count=1 -timeout 120s -run 'TestDivergence' ./internal/core/
 
+echo "== serve smoke =="
+go test -count=1 -timeout 120s -run 'TestServeSmoke' ./internal/server/
+
 echo "== go test -race (short) =="
 go test -race -short -shuffle=on -timeout 20m ./...
 
