@@ -70,4 +70,16 @@
 // but makes no promise about cross-worker interleaving of observations
 // in the memory pool; replay sampling is random precisely so that order
 // does not matter (§2.2.4).
+//
+// # Buffer ownership under the pooled hot path
+//
+// The nn layers reuse their output matrices across passes (see the
+// internal/nn package doc), so anything the agent returns from a pooled
+// buffer would be clobbered by the next forward pass. The agent API this
+// package consumes is therefore copy-out by contract: Act/ActBatch/
+// ActNoisy return freshly allocated action slices, never views into
+// network-owned scratch. That is what makes it safe for the batcher to
+// release agentMu and fan actions out to workers that read them after
+// another batch (or a concurrent TrainStep) has already run the actor
+// again.
 package core

@@ -1,0 +1,40 @@
+// Package mat provides the small dense linear-algebra kernels used by
+// the neural-network and Gaussian-process packages: row-major float64
+// matrices with the handful of operations the rest of the system needs.
+//
+// # Kernel contract
+//
+// The GEMM entry points (Mul, MulT, TMul, TMulAdd) are the training and
+// inference hot path and are written for throughput: k-fused blocked
+// inner kernels (four terms per pass over the destination row) with a
+// goroutine-parallel row-partitioned variant that engages automatically
+// when the kernel exceeds gemmMinParallelFlops of work and GOMAXPROCS
+// permits. The parallel split assigns every destination row to exactly
+// one worker running the identical serial kernel, so parallel results
+// are bit-for-bit identical to serial ones at any worker count; the
+// blocked kernels themselves may differ from a textbook triple loop
+// only by floating-point summation order (bounded by the usual ~1e-12
+// relative error at these operand scales, and covered by the
+// serial-equivalence tests).
+//
+// The kernels preserve full IEEE semantics: every product a[i][k]·b[k][j]
+// is evaluated, with no sparsity short-circuits, so NaN and Inf values
+// propagate through matmuls even when the opposite coefficient is zero.
+// The DDPG learner's NaN-batch skip and the learner-health Supervisor
+// depend on this guarantee.
+//
+// # Aliasing and concurrency
+//
+// GEMM destinations must not alias their operands. Elementwise
+// operations (Add, Sub, Hadamard, Scale, ...) may alias freely. Matrix
+// values have no internal synchronization: concurrent reads are safe,
+// and concurrent GEMM calls are safe when their destinations do not
+// overlap (the parallel variant relies on exactly this).
+//
+// # Buffer reuse
+//
+// Reuse and ReuseVec recycle backing storage across calls and are the
+// pooling primitive behind the nn package's per-layer scratch caches.
+// Both return storage with unspecified contents; callers own the
+// returned buffer until they next pass it back.
+package mat

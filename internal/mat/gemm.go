@@ -1,0 +1,316 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The GEMM kernels below are the training hot path: every Dense
+// Forward/Backward and every critic pass bottoms out here. They share
+// three design rules:
+//
+//   - Full IEEE semantics: every a[i][k]·b[k][j] product is computed.
+//     There is deliberately no "skip zero coefficient" short-circuit —
+//     0·NaN is NaN, and the DDPG learner's NaN-batch skip and the
+//     divergence Supervisor rely on non-finite values propagating
+//     through matmuls instead of being silently swallowed (a ReLU-sparse
+//     activation against a poisoned weight would otherwise hide the
+//     corruption).
+//   - k-fused blocking: the innermost axpy/dot kernels consume four
+//     k-terms per pass over the destination row, quartering the
+//     load/store traffic on dst relative to one-axpy-per-k.
+//   - Row partitioning: above gemmMinParallelFlops of work (and with
+//     GOMAXPROCS > 1) the destination rows are split across goroutines.
+//     Each row is produced by exactly one worker running the identical
+//     serial kernel, so the parallel result is bit-for-bit equal to the
+//     serial one, at any worker count.
+//
+// Each call returns only when dst is fully written; dst must not alias
+// a or b. Concurrent calls are safe as long as their dst regions are
+// disjoint.
+
+// gemmMinParallelFlops is the approximate kernel cost (2·m·k·n floating
+// point operations) below which goroutine fan-out costs more than it
+// buys. It is a variable so tests can force the parallel path.
+var gemmMinParallelFlops = 1 << 18
+
+// gemmParallelWorthwhile reports whether a kernel of the given size
+// should fan out across goroutines. It is checked before the dispatch
+// closure is built, so the serial path allocates nothing — the nn
+// package's AllocsPerRun assertions depend on that.
+func gemmParallelWorthwhile(rows, flops int) bool {
+	return flops >= gemmMinParallelFlops && rows >= 2 && runtime.GOMAXPROCS(0) >= 2
+}
+
+// gemmParallelRows splits [0, rows) across GOMAXPROCS workers, running
+// fn on each disjoint chunk, and returns once all chunks are done.
+func gemmParallelRows(rows int, fn func(i0, i1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < rows; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > rows {
+			i1 = rows
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			fn(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// Mul computes dst = a × b. dst must be a.Rows×b.Cols and must not
+// alias a or b. Every element of dst is overwritten. It returns dst
+// for chaining.
+func Mul(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if gemmParallelWorthwhile(a.Rows, 2*a.Rows*a.Cols*b.Cols) {
+		gemmParallelRows(a.Rows, func(i0, i1 int) { mulRows(dst, a, b, i0, i1) })
+	} else {
+		mulRows(dst, a, b, 0, a.Rows)
+	}
+	return dst
+}
+
+// mulRows computes rows [i0, i1) of dst = a × b with the k loop fused
+// eight terms at a time (four for the remainder).
+func mulRows(dst, a, b *Matrix, i0, i1 int) {
+	kTotal := a.Cols
+	for i := i0; i < i1; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		k := 0
+		for ; k+7 < kTotal; k += 8 {
+			axpy8(drow,
+				b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3),
+				b.Row(k+4), b.Row(k+5), b.Row(k+6), b.Row(k+7),
+				arow[k], arow[k+1], arow[k+2], arow[k+3],
+				arow[k+4], arow[k+5], arow[k+6], arow[k+7])
+		}
+		for ; k+3 < kTotal; k += 4 {
+			axpy4(drow, b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3),
+				arow[k], arow[k+1], arow[k+2], arow[k+3])
+		}
+		for ; k < kTotal; k++ {
+			axpyUnrolled(drow, b.Row(k), arow[k])
+		}
+	}
+}
+
+// axpy4 computes dst += a0·b0 + a1·b1 + a2·b2 + a3·b3 elementwise; the
+// four fused terms share one load/store round trip on dst. The slice
+// re-bind eliminates bounds checks in the hot loop.
+func axpy4(dst, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	n := len(dst)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	j := 0
+	for ; j+1 < n; j += 2 {
+		s0 := dst[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		s1 := dst[j+1] + a0*b0[j+1] + a1*b1[j+1] + a2*b2[j+1] + a3*b3[j+1]
+		dst[j] = s0
+		dst[j+1] = s1
+	}
+	if j < n {
+		dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// axpy8 computes dst += Σ aᵢ·bᵢ over eight fused terms; one load/store
+// round trip on dst serves sixteen flops per two-element step.
+func axpy8(dst, b0, b1, b2, b3, b4, b5, b6, b7 []float64, a0, a1, a2, a3, a4, a5, a6, a7 float64) {
+	n := len(dst)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	b4, b5, b6, b7 = b4[:n], b5[:n], b6[:n], b7[:n]
+	j := 0
+	for ; j+1 < n; j += 2 {
+		s0 := dst[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
+			a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j]
+		s1 := dst[j+1] + a0*b0[j+1] + a1*b1[j+1] + a2*b2[j+1] + a3*b3[j+1] +
+			a4*b4[j+1] + a5*b5[j+1] + a6*b6[j+1] + a7*b7[j+1]
+		dst[j] = s0
+		dst[j+1] = s1
+	}
+	if j < n {
+		dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
+			a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j]
+	}
+}
+
+// axpyUnrolled computes dst += s·src with 4-way unrolling.
+func axpyUnrolled(dst, src []float64, s float64) {
+	n := len(dst)
+	src = src[:n]
+	j := 0
+	for ; j+3 < n; j += 4 {
+		dst[j] += s * src[j]
+		dst[j+1] += s * src[j+1]
+		dst[j+2] += s * src[j+2]
+		dst[j+3] += s * src[j+3]
+	}
+	for ; j < n; j++ {
+		dst[j] += s * src[j]
+	}
+}
+
+// MulT computes dst = a × bᵀ. dst must be a.Rows×b.Rows and must not
+// alias a or b. Every element of dst is overwritten.
+func MulT(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulT shape mismatch %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulT dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if gemmParallelWorthwhile(a.Rows, 2*a.Rows*a.Cols*b.Rows) {
+		gemmParallelRows(a.Rows, func(i0, i1 int) { mulTRows(dst, a, b, i0, i1) })
+	} else {
+		mulTRows(dst, a, b, 0, a.Rows)
+	}
+	return dst
+}
+
+// mulTRows computes rows [i0, i1) of dst = a × bᵀ, producing four
+// output columns per pass over a row of a.
+func mulTRows(dst, a, b *Matrix, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		j := 0
+		for ; j+7 < b.Rows; j += 8 {
+			drow[j], drow[j+1], drow[j+2], drow[j+3] =
+				dot4(arow, b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3))
+			drow[j+4], drow[j+5], drow[j+6], drow[j+7] =
+				dot4(arow, b.Row(j+4), b.Row(j+5), b.Row(j+6), b.Row(j+7))
+		}
+		for ; j+3 < b.Rows; j += 4 {
+			drow[j], drow[j+1], drow[j+2], drow[j+3] =
+				dot4(arow, b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3))
+		}
+		for ; j < b.Rows; j++ {
+			drow[j] = dotUnrolled(arow, b.Row(j))
+		}
+	}
+}
+
+// dot4 computes the four inner products of a with b0..b3 in one pass
+// over a. Four outputs per call is the measured sweet spot: an
+// eight-output variant spills accumulators to the stack and loses ~25%.
+func dot4(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
+	n := len(a)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for j := 0; j < n; j++ {
+		v := a[j]
+		s0 += v * b0[j]
+		s1 += v * b1[j]
+		s2 += v * b2[j]
+		s3 += v * b3[j]
+	}
+	return s0, s1, s2, s3
+}
+
+// dotUnrolled is an unrolled inner product for the hot paths.
+func dotUnrolled(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+3 < n; j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; j < n; j++ {
+		s += a[j] * b[j]
+	}
+	return s
+}
+
+// TMul computes dst = aᵀ × b. dst must be a.Cols×b.Cols and must not
+// alias a or b. Every element of dst is overwritten.
+func TMul(dst, a, b *Matrix) *Matrix {
+	checkTMulShapes("TMul", dst, a, b)
+	if gemmParallelWorthwhile(a.Cols, 2*a.Rows*a.Cols*b.Cols) {
+		gemmParallelRows(a.Cols, func(i0, i1 int) { tMulRows(dst, a, b, i0, i1, true) })
+	} else {
+		tMulRows(dst, a, b, 0, a.Cols, true)
+	}
+	return dst
+}
+
+// TMulAdd computes dst += aᵀ × b — the accumulate flavor Dense.Backward
+// uses to fold the weight gradient xᵀ·∂y straight into the gradient
+// tensor without a scratch product.
+func TMulAdd(dst, a, b *Matrix) *Matrix {
+	checkTMulShapes("TMulAdd", dst, a, b)
+	if gemmParallelWorthwhile(a.Cols, 2*a.Rows*a.Cols*b.Cols) {
+		gemmParallelRows(a.Cols, func(i0, i1 int) { tMulRows(dst, a, b, i0, i1, false) })
+	} else {
+		tMulRows(dst, a, b, 0, a.Cols, false)
+	}
+	return dst
+}
+
+func checkTMulShapes(op string, dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: %s shape mismatch (%dx%d)ᵀ × %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+}
+
+// tMulRows computes rows [i0, i1) of dst = aᵀ × b (dst row i is column
+// i of a swept against b), fusing four k-terms per pass. zero selects
+// overwrite (TMul) versus accumulate (TMulAdd) semantics.
+func tMulRows(dst, a, b *Matrix, i0, i1 int, zero bool) {
+	if zero {
+		for i := i0; i < i1; i++ {
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+	}
+	kTotal := a.Rows
+	k := 0
+	for ; k+7 < kTotal; k += 8 {
+		a0, a1, a2, a3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+		a4, a5, a6, a7 := a.Row(k+4), a.Row(k+5), a.Row(k+6), a.Row(k+7)
+		b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+		b4, b5, b6, b7 := b.Row(k+4), b.Row(k+5), b.Row(k+6), b.Row(k+7)
+		for i := i0; i < i1; i++ {
+			axpy8(dst.Row(i), b0, b1, b2, b3, b4, b5, b6, b7,
+				a0[i], a1[i], a2[i], a3[i], a4[i], a5[i], a6[i], a7[i])
+		}
+	}
+	for ; k+3 < kTotal; k += 4 {
+		a0, a1, a2, a3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+		b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+		for i := i0; i < i1; i++ {
+			axpy4(dst.Row(i), b0, b1, b2, b3, a0[i], a1[i], a2[i], a3[i])
+		}
+	}
+	for ; k < kTotal; k++ {
+		arow, brow := a.Row(k), b.Row(k)
+		for i := i0; i < i1; i++ {
+			axpyUnrolled(dst.Row(i), brow, arow[i])
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// naiveMulT and naiveTMul are the dense reference kernels the blocked
+// implementations are verified against (naiveMul lives in
+// unroll_test.go).
+func naiveMulT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func naiveTMul(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Rows; k++ {
+				s += a.At(k, i) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func matsClose(t *testing.T, name string, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		g, w := got.Data[i], want.Data[i]
+		if math.IsNaN(w) {
+			if !math.IsNaN(g) {
+				t.Fatalf("%s[%d] = %v, want NaN", name, i, g)
+			}
+			continue
+		}
+		if math.Abs(g-w) > tol*math.Max(1, math.Abs(w)) {
+			t.Fatalf("%s[%d] = %v, want %v (tol %v)", name, i, g, w, tol)
+		}
+	}
+}
+
+// TestGEMMEquivalenceFuzz sweeps random shapes — including 1-row/1-col
+// and non-multiple-of-4 extents that exercise every blocked remainder
+// path — and checks the fused kernels against the naive references
+// within 1e-12 relative error.
+func TestGEMMEquivalenceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	shapes := [][3]int{{1, 1, 1}, {1, 4, 1}, {4, 1, 4}, {3, 5, 7}, {4, 4, 4}, {5, 8, 13}, {1, 17, 9}, {16, 16, 16}, {7, 33, 2}}
+	for trial := 0; trial < 40; trial++ {
+		var m, k, n int
+		if trial < len(shapes) {
+			m, k, n = shapes[trial][0], shapes[trial][1], shapes[trial][2]
+		} else {
+			m, k, n = 1+rng.Intn(33), 1+rng.Intn(33), 1+rng.Intn(33)
+		}
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		matsClose(t, "Mul", Mul(New(m, n), a, b), naiveMul(a, b), 1e-12)
+
+		bt := randMat(rng, n, k)
+		matsClose(t, "MulT", MulT(New(m, n), a, bt), naiveMulT(a, bt), 1e-12)
+
+		ta, tb := randMat(rng, k, m), randMat(rng, k, n)
+		matsClose(t, "TMul", TMul(New(m, n), ta, tb), naiveTMul(ta, tb), 1e-12)
+
+		acc := randMat(rng, m, n)
+		want := naiveTMul(ta, tb)
+		for i := range want.Data {
+			want.Data[i] += acc.Data[i]
+		}
+		matsClose(t, "TMulAdd", TMulAdd(acc, ta, tb), want, 1e-12)
+	}
+}
+
+// TestParallelGEMMBitIdentical forces the goroutine row-partitioned
+// path and requires results bit-for-bit equal to the serial kernel:
+// every destination row is produced by one worker running the same
+// serial code, so no summation-order drift is tolerated.
+func TestParallelGEMMBitIdentical(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	prevFlops := gemmMinParallelFlops
+	defer func() {
+		runtime.GOMAXPROCS(prevProcs)
+		gemmMinParallelFlops = prevFlops
+	}()
+
+	rng := rand.New(rand.NewSource(5))
+	for _, sh := range [][3]int{{2, 3, 4}, {5, 16, 9}, {64, 63, 128}, {7, 1, 1}, {31, 8, 33}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		bt := randMat(rng, n, k)
+		ta, tb := randMat(rng, k, m), randMat(rng, k, n)
+
+		gemmMinParallelFlops = 1 << 62 // serial
+		serialMul := Mul(New(m, n), a, b)
+		serialMulT := MulT(New(m, n), a, bt)
+		serialTMul := TMul(New(m, n), ta, tb)
+
+		gemmMinParallelFlops = 0 // parallel for any size
+		parMul := Mul(New(m, n), a, b)
+		parMulT := MulT(New(m, n), a, bt)
+		parTMul := TMul(New(m, n), ta, tb)
+
+		for i := range serialMul.Data {
+			if parMul.Data[i] != serialMul.Data[i] {
+				t.Fatalf("%dx%dx%d Mul: parallel diverges from serial at %d", m, k, n, i)
+			}
+			if parMulT.Data[i] != serialMulT.Data[i] {
+				t.Fatalf("%dx%dx%d MulT: parallel diverges from serial at %d", m, k, n, i)
+			}
+			if parTMul.Data[i] != serialTMul.Data[i] {
+				t.Fatalf("%dx%dx%d TMul: parallel diverges from serial at %d", m, k, n, i)
+			}
+		}
+	}
+}
+
+// TestNaNPropagatesThroughZeroCoefficient is the regression test for
+// the sparsity short-circuit bug: a zero coefficient in one operand
+// must not swallow a NaN (or Inf) in the other — 0·NaN is NaN, and the
+// learner's NaN-batch skip depends on seeing it.
+func TestNaNPropagatesThroughZeroCoefficient(t *testing.T) {
+	nan := math.NaN()
+
+	// Mul: a[0][1] = 0 pairs with b's NaN row 1.
+	a := FromSlice(1, 2, []float64{1, 0})
+	b := FromSlice(2, 2, []float64{1, 2, nan, nan})
+	got := Mul(New(1, 2), a, b)
+	for j, v := range got.Data {
+		if !math.IsNaN(v) {
+			t.Fatalf("Mul: zero coefficient swallowed NaN: dst[%d] = %v", j, v)
+		}
+	}
+
+	// TMul: a's zero column entry pairs with b's NaN row.
+	ta := FromSlice(2, 1, []float64{1, 0})
+	tb := FromSlice(2, 2, []float64{3, 4, nan, nan})
+	got = TMul(New(1, 2), ta, tb)
+	for j, v := range got.Data {
+		if !math.IsNaN(v) {
+			t.Fatalf("TMul: zero coefficient swallowed NaN: dst[%d] = %v", j, v)
+		}
+	}
+
+	// MulT: zero in a against NaN in the matching position of b's row.
+	ma := FromSlice(1, 2, []float64{0, 1})
+	mb := FromSlice(1, 2, []float64{nan, 5})
+	got = MulT(New(1, 1), ma, mb)
+	if !math.IsNaN(got.Data[0]) {
+		t.Fatalf("MulT: zero coefficient swallowed NaN: got %v", got.Data[0])
+	}
+
+	// Inf must survive the same way (0·Inf is also NaN).
+	ia := FromSlice(1, 2, []float64{0, 2})
+	ib := FromSlice(2, 1, []float64{math.Inf(1), 3})
+	if v := Mul(New(1, 1), ia, ib).Data[0]; !math.IsNaN(v) {
+		t.Fatalf("Mul: 0·Inf = %v, want NaN", v)
+	}
+}
+
+// TestReuseRecyclesStorage pins the pooling contract: a large-enough
+// buffer is reshaped in place with zero allocations, a too-small one is
+// replaced.
+func TestReuseRecyclesStorage(t *testing.T) {
+	m := New(8, 8)
+	data := &m.Data[0]
+	r := Reuse(m, 4, 6)
+	if r != m || &r.Data[0] != data {
+		t.Fatal("Reuse reallocated a sufficient buffer")
+	}
+	if r.Rows != 4 || r.Cols != 6 || len(r.Data) != 24 {
+		t.Fatalf("Reuse shape = %dx%d len %d", r.Rows, r.Cols, len(r.Data))
+	}
+	if g := Reuse(m, 9, 9); g == m {
+		t.Fatal("Reuse kept an undersized buffer")
+	}
+	if g := Reuse(nil, 2, 2); g == nil || len(g.Data) != 4 {
+		t.Fatal("Reuse(nil) must allocate")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		m = Reuse(m, 8, 8)
+		m = Reuse(m, 3, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reuse allocates %v times", allocs)
+	}
+	if v := ReuseVec(nil, 3); len(v) != 3 {
+		t.Fatal("ReuseVec(nil) must allocate")
+	}
+	v := make([]float64, 10)
+	if got := ReuseVec(v, 4); len(got) != 4 || &got[0] != &v[0] {
+		t.Fatal("ReuseVec reallocated a sufficient buffer")
+	}
+}

@@ -1,7 +1,3 @@
-// Package mat provides the small dense linear-algebra kernels used by the
-// neural-network and Gaussian-process packages. It is deliberately minimal:
-// row-major float64 matrices with the handful of operations the rest of the
-// system needs, written for clarity first and cache behaviour second.
 package mat
 
 import (
@@ -62,104 +58,29 @@ func (m *Matrix) Fill(v float64) {
 	}
 }
 
-// Mul computes dst = a × b. dst must be a.Rows×b.Cols and must not alias a
-// or b. It returns dst for chaining.
-func Mul(dst, a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+// Reuse returns a rows×cols matrix recycling m's backing storage when
+// it is large enough, allocating a replacement otherwise. It is the
+// buffer-pooling primitive behind the nn layers' scratch caches: a
+// layer keeps its output (or gradient) buffer across calls and reshapes
+// it per batch, so the steady state allocates nothing. The returned
+// matrix's contents are unspecified — callers must fully overwrite it.
+// Passing nil m always allocates.
+func Reuse(m *Matrix, rows, cols int) *Matrix {
+	if m != nil && cap(m.Data) >= rows*cols {
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:rows*cols]
+		return m
 	}
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: Mul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
-	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			axpyUnrolled(drow, b.Row(k), aik)
-		}
-	}
-	return dst
+	return New(rows, cols)
 }
 
-// axpyUnrolled computes dst += s·src with 4-way unrolling; the slice
-// re-bound eliminates bounds checks in the hot loop.
-func axpyUnrolled(dst, src []float64, s float64) {
-	n := len(dst)
-	src = src[:n]
-	j := 0
-	for ; j+3 < n; j += 4 {
-		dst[j] += s * src[j]
-		dst[j+1] += s * src[j+1]
-		dst[j+2] += s * src[j+2]
-		dst[j+3] += s * src[j+3]
+// ReuseVec returns a length-n float64 slice recycling v's storage when
+// possible. Contents are unspecified; callers must overwrite.
+func ReuseVec(v []float64, n int) []float64 {
+	if cap(v) >= n {
+		return v[:n]
 	}
-	for ; j < n; j++ {
-		dst[j] += s * src[j]
-	}
-}
-
-// MulT computes dst = a × bᵀ. dst must be a.Rows×b.Rows.
-func MulT(dst, a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MulT shape mismatch %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: MulT dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			drow[j] = dotUnrolled(arow, b.Row(j))
-		}
-	}
-	return dst
-}
-
-// dotUnrolled is an unrolled inner product for the hot paths.
-func dotUnrolled(a, b []float64) float64 {
-	n := len(a)
-	b = b[:n]
-	var s0, s1, s2, s3 float64
-	j := 0
-	for ; j+3 < n; j += 4 {
-		s0 += a[j] * b[j]
-		s1 += a[j+1] * b[j+1]
-		s2 += a[j+2] * b[j+2]
-		s3 += a[j+3] * b[j+3]
-	}
-	s := s0 + s1 + s2 + s3
-	for ; j < n; j++ {
-		s += a[j] * b[j]
-	}
-	return s
-}
-
-// TMul computes dst = aᵀ × b. dst must be a.Cols×b.Cols.
-func TMul(dst, a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("mat: TMul shape mismatch (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	if dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: TMul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
-	}
-	dst.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, aki := range arow {
-			if aki == 0 {
-				continue
-			}
-			axpyUnrolled(dst.Row(i), brow, aki)
-		}
-	}
-	return dst
+	return make([]float64, n)
 }
 
 // Add computes dst = a + b elementwise. All three may alias.
@@ -231,13 +152,39 @@ func (m *Matrix) AddRowVector(v []float64) *Matrix {
 // ColSums returns the per-column sums of m.
 func (m *Matrix) ColSums() []float64 {
 	sums := make([]float64, m.Cols)
+	m.AddColSums(sums)
+	return sums
+}
+
+// AddColSums accumulates the per-column sums of m into dst (length
+// Cols) without allocating — the form Dense.Backward uses to fold the
+// bias gradient straight into its gradient tensor.
+func (m *Matrix) AddColSums(dst []float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: AddColSums length %d != cols %d", len(dst), m.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			sums[j] += v
+			dst[j] += v
 		}
 	}
-	return sums
+}
+
+// ColMeansInto overwrites dst (length Cols) with the per-column means
+// of m without allocating.
+func (m *Matrix) ColMeansInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: ColMeansInto length %d != cols %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	m.AddColSums(dst)
+	inv := 1.0 / float64(m.Rows)
+	for j := range dst {
+		dst[j] *= inv
+	}
 }
 
 // ColMeans returns the per-column means of m.

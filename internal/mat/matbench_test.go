@@ -17,3 +17,35 @@ func BenchmarkMul(b *testing.B) {
 		Mul(d, a, x)
 	}
 }
+
+func BenchmarkMulT(b *testing.B) {
+	a := New(64, 256)
+	x := New(256, 256)
+	d := New(64, 256)
+	for i := range a.Data {
+		a.Data[i] = 1.1
+	}
+	for i := range x.Data {
+		x.Data[i] = 0.9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulT(d, a, x)
+	}
+}
+
+func BenchmarkTMul(b *testing.B) {
+	a := New(64, 256)
+	x := New(64, 256)
+	d := New(256, 256)
+	for i := range a.Data {
+		a.Data[i] = 1.1
+	}
+	for i := range x.Data {
+		x.Data[i] = 0.9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TMul(d, a, x)
+	}
+}

@@ -79,15 +79,16 @@ func TestAxpyUnrolledRemainders(t *testing.T) {
 	}
 }
 
-func TestMulSkipsZeros(t *testing.T) {
-	// The sparse short-circuit (aik == 0) must not change results.
+func TestMulZeroCoefficientsMatchNaive(t *testing.T) {
+	// Zero-heavy operands (ReLU-sparse activations) must take no special
+	// path: results match the dense reference exactly.
 	a := FromSlice(2, 3, []float64{0, 1, 0, 2, 0, 3})
 	b := FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
 	want := naiveMul(a, b)
 	got := Mul(New(2, 2), a, b)
 	for i := range want.Data {
 		if got.Data[i] != want.Data[i] {
-			t.Fatalf("sparse path diverges at %d", i)
+			t.Fatalf("zero-coefficient result diverges at %d", i)
 		}
 	}
 }

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cdbtune/internal/mat"
+)
+
+// TestBatchNormRunningVarUnbiased is the regression test for the biased
+// running-variance bug: the running estimate must fold in the unbiased
+// (÷N−1) batch variance, not the biased (÷N) one used for in-batch
+// normalization.
+func TestBatchNormRunningVarUnbiased(t *testing.T) {
+	bn := NewBatchNorm(1)
+	bn.Momentum = 1 // running stats = exactly this batch's estimate
+
+	// Batch {0,2,4,6}: mean 3, biased variance 5, unbiased variance 20/3.
+	x := mat.FromSlice(4, 1, []float64{0, 2, 4, 6})
+	bn.Forward(x, true)
+
+	if got, want := bn.RunningMean[0], 3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RunningMean = %v, want %v", got, want)
+	}
+	if got, want := bn.RunningVar[0], 20.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RunningVar = %v, want unbiased %v (biased estimate is 5)", got, want)
+	}
+}
+
+// TestWeightDecayExemptsNormAndBias is the regression test for the
+// over-eager weight decay bug: with zero gradients and positive decay,
+// weight matrices must shrink while biases and BatchNorm gamma/beta stay
+// exactly put.
+func TestWeightDecayExemptsNormAndBias(t *testing.T) {
+	build := func() *Network {
+		net := NewNetwork(NewDense(3, 3), NewBatchNorm(3))
+		d := net.Layers[0].(*Dense)
+		d.W.Value.Fill(1)
+		d.B.Value.Fill(0.5)
+		bn := net.Layers[1].(*BatchNorm)
+		bn.Beta.Value.Fill(0.25)
+		return net
+	}
+
+	check := func(t *testing.T, net *Network, step func()) {
+		t.Helper()
+		d := net.Layers[0].(*Dense)
+		bn := net.Layers[1].(*BatchNorm)
+		step()
+		if w := d.W.Value.Data[0]; w >= 1 {
+			t.Fatalf("weight decay did not shrink W: %v", w)
+		}
+		if b := d.B.Value.Data[0]; b != 0.5 {
+			t.Fatalf("weight decay touched bias: %v", b)
+		}
+		if g := bn.Gamma.Value.Data[0]; g != 1 {
+			t.Fatalf("weight decay touched gamma: %v", g)
+		}
+		if bt := bn.Beta.Value.Data[0]; bt != 0.25 {
+			t.Fatalf("weight decay touched beta: %v", bt)
+		}
+	}
+
+	t.Run("sgd", func(t *testing.T) {
+		net := build()
+		opt := NewSGD(net, 0.1, 0)
+		opt.WeightDecay = 0.1
+		check(t, net, opt.Step)
+	})
+	t.Run("adam", func(t *testing.T) {
+		net := build()
+		opt := NewAdam(net, 0.1)
+		opt.WeightDecay = 0.1
+		check(t, net, opt.Step)
+	})
+}
+
+// TestFusedInferMatchesUnfused pins the fused Dense+activation inference
+// path against per-layer Infer and eval-mode Forward on a network ending
+// in a bare Dense (no fusion partner), covering both branches.
+func TestFusedInferMatchesUnfused(t *testing.T) {
+	nets := []*Network{
+		NewNetwork(NewDense(5, 7), NewLeakyReLU(0.2), NewDense(7, 3), NewTanh()),
+		NewNetwork(NewDense(5, 7), NewSigmoid(), NewDense(7, 3)),
+		NewNetwork(NewBatchNorm(5), NewDense(5, 3), NewReLU()),
+	}
+	for _, net := range nets {
+		net.InitUniform(rand.New(rand.NewSource(11)), 0.3)
+		x := mat.New(4, 5)
+		r := rand.New(rand.NewSource(12))
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64()
+		}
+		want := net.Forward(x, false).Clone()
+		got := net.Infer(x)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("fused Infer diverges from eval Forward at %d: %v vs %v", i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

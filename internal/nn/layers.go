@@ -7,6 +7,15 @@ import (
 	"cdbtune/internal/mat"
 )
 
+// Every layer in this file owns per-layer scratch buffers for its
+// Forward, Backward and Infer outputs (see the package documentation
+// for the ownership contract): buffers are recycled via mat.Reuse, so
+// the steady state of a training loop allocates nothing. A returned
+// matrix is valid until the same layer's next call of the same kind.
+// Forward and Infer deliberately use disjoint buffers — Infer between a
+// training Forward and its Backward must not disturb the cached
+// activations.
+
 // Dense is a fully connected layer computing y = x·W + b for a batch x
 // (rows = samples, cols = In). W is In×Out, b is 1×Out.
 type Dense struct {
@@ -14,6 +23,8 @@ type Dense struct {
 	W, B    *Param
 
 	lastInput *mat.Matrix
+
+	out, inferOut, dx *mat.Matrix // scratch, recycled across calls
 }
 
 // NewDense returns a Dense layer with zero-initialized parameters; call one
@@ -25,28 +36,35 @@ func NewDense(in, out int) *Dense {
 // Forward implements Layer.
 func (d *Dense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	d.lastInput = x
-	y := mat.Mul(mat.New(x.Rows, d.Out), x, d.W.Value)
-	y.AddRowVector(d.B.Value.Data)
-	return y
+	d.out = mat.Reuse(d.out, x.Rows, d.Out)
+	mat.Mul(d.out, x, d.W.Value)
+	d.out.AddRowVector(d.B.Value.Data)
+	return d.out
 }
 
 // Infer implements Inferrer: Forward without caching the input for
-// Backward.
+// Backward, on a buffer disjoint from Forward's.
 func (d *Dense) Infer(x *mat.Matrix) *mat.Matrix {
-	y := mat.Mul(mat.New(x.Rows, d.Out), x, d.W.Value)
-	y.AddRowVector(d.B.Value.Data)
-	return y
+	d.inferOut = mat.Reuse(d.inferOut, x.Rows, d.Out)
+	mat.Mul(d.inferOut, x, d.W.Value)
+	d.inferOut.AddRowVector(d.B.Value.Data)
+	return d.inferOut
 }
 
 // Backward implements Layer: accumulates dW = xᵀ·grad, db = Σ grad and
-// returns dx = grad·Wᵀ.
+// returns dx = grad·Wᵀ. The weight and bias gradients accumulate
+// directly into the Param tensors without intermediate products.
 func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
-	dW := mat.TMul(mat.New(d.In, d.Out), d.lastInput, grad)
-	d.W.Grad.AddScaled(1, dW)
-	for j, s := range grad.ColSums() {
-		d.B.Grad.Data[j] += s
-	}
-	return mat.MulT(mat.New(grad.Rows, d.In), grad, d.W.Value)
+	mat.TMulAdd(d.W.Grad, d.lastInput, grad)
+	grad.AddColSums(d.B.Grad.Data)
+	return d.BackwardInput(grad)
+}
+
+// BackwardInput implements InputGradOnly: dx = grad·Wᵀ, skipping the
+// weight- and bias-gradient accumulation.
+func (d *Dense) BackwardInput(grad *mat.Matrix) *mat.Matrix {
+	d.dx = mat.Reuse(d.dx, grad.Rows, d.In)
+	return mat.MulT(d.dx, grad, d.W.Value)
 }
 
 // Params implements Layer.
@@ -59,6 +77,8 @@ type ReLU struct {
 	Alpha float64
 
 	mask *mat.Matrix
+
+	out, inferOut, dx *mat.Matrix // scratch
 }
 
 // NewReLU returns a plain rectifier.
@@ -69,74 +89,94 @@ func NewLeakyReLU(alpha float64) *ReLU { return &ReLU{Alpha: alpha} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *mat.Matrix, train bool) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
-	r.mask = mat.New(x.Rows, x.Cols)
+	r.out = mat.Reuse(r.out, x.Rows, x.Cols)
+	r.mask = mat.Reuse(r.mask, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
-			y.Data[i] = v
+			r.out.Data[i] = v
 			r.mask.Data[i] = 1
 		} else {
-			y.Data[i] = r.Alpha * v
+			r.out.Data[i] = r.Alpha * v
 			r.mask.Data[i] = r.Alpha
 		}
 	}
-	return y
+	return r.out
 }
 
 // Infer implements Inferrer: Forward without recording the mask.
 func (r *ReLU) Infer(x *mat.Matrix) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
+	r.inferOut = mat.Reuse(r.inferOut, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
-			y.Data[i] = v
+			r.inferOut.Data[i] = v
 		} else {
-			y.Data[i] = r.Alpha * v
+			r.inferOut.Data[i] = r.Alpha * v
 		}
 	}
-	return y
+	return r.inferOut
+}
+
+// activateInPlace implements the fused-inference hook.
+func (r *ReLU) activateInPlace(m *mat.Matrix) {
+	for i, v := range m.Data {
+		if v <= 0 {
+			m.Data[i] = r.Alpha * v
+		}
+	}
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *mat.Matrix) *mat.Matrix {
-	return mat.Hadamard(mat.New(grad.Rows, grad.Cols), grad, r.mask)
+	r.dx = mat.Reuse(r.dx, grad.Rows, grad.Cols)
+	return mat.Hadamard(r.dx, grad, r.mask)
 }
 
 // Params implements Layer.
 func (r *ReLU) Params() []*Param { return nil }
 
 // Tanh applies the hyperbolic tangent elementwise.
-type Tanh struct{ lastOut *mat.Matrix }
+type Tanh struct {
+	lastOut *mat.Matrix
+
+	inferOut, dx *mat.Matrix // scratch (lastOut doubles as the Forward buffer)
+}
 
 // NewTanh returns a Tanh activation layer.
 func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *mat.Matrix, train bool) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
+	t.lastOut = mat.Reuse(t.lastOut, x.Rows, x.Cols)
 	for i, v := range x.Data {
-		y.Data[i] = math.Tanh(v)
+		t.lastOut.Data[i] = math.Tanh(v)
 	}
-	t.lastOut = y
-	return y
+	return t.lastOut
 }
 
 // Infer implements Inferrer: Forward without recording the activation.
 func (t *Tanh) Infer(x *mat.Matrix) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
+	t.inferOut = mat.Reuse(t.inferOut, x.Rows, x.Cols)
 	for i, v := range x.Data {
-		y.Data[i] = math.Tanh(v)
+		t.inferOut.Data[i] = math.Tanh(v)
 	}
-	return y
+	return t.inferOut
+}
+
+// activateInPlace implements the fused-inference hook.
+func (t *Tanh) activateInPlace(m *mat.Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = math.Tanh(v)
+	}
 }
 
 // Backward implements Layer: dx = grad ⊙ (1 − y²).
 func (t *Tanh) Backward(grad *mat.Matrix) *mat.Matrix {
-	dx := mat.New(grad.Rows, grad.Cols)
+	t.dx = mat.Reuse(t.dx, grad.Rows, grad.Cols)
 	for i, g := range grad.Data {
 		y := t.lastOut.Data[i]
-		dx.Data[i] = g * (1 - y*y)
+		t.dx.Data[i] = g * (1 - y*y)
 	}
-	return dx
+	return t.dx
 }
 
 // Params implements Layer.
@@ -144,38 +184,48 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Sigmoid applies the logistic function elementwise. The actor's output
 // layer uses it to keep normalized knob values in (0, 1).
-type Sigmoid struct{ lastOut *mat.Matrix }
+type Sigmoid struct {
+	lastOut *mat.Matrix
+
+	inferOut, dx *mat.Matrix // scratch
+}
 
 // NewSigmoid returns a Sigmoid activation layer.
 func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *mat.Matrix, train bool) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
+	s.lastOut = mat.Reuse(s.lastOut, x.Rows, x.Cols)
 	for i, v := range x.Data {
-		y.Data[i] = 1 / (1 + math.Exp(-v))
+		s.lastOut.Data[i] = 1 / (1 + math.Exp(-v))
 	}
-	s.lastOut = y
-	return y
+	return s.lastOut
 }
 
 // Infer implements Inferrer: Forward without recording the activation.
 func (s *Sigmoid) Infer(x *mat.Matrix) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
+	s.inferOut = mat.Reuse(s.inferOut, x.Rows, x.Cols)
 	for i, v := range x.Data {
-		y.Data[i] = 1 / (1 + math.Exp(-v))
+		s.inferOut.Data[i] = 1 / (1 + math.Exp(-v))
 	}
-	return y
+	return s.inferOut
+}
+
+// activateInPlace implements the fused-inference hook.
+func (s *Sigmoid) activateInPlace(m *mat.Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = 1 / (1 + math.Exp(-v))
+	}
 }
 
 // Backward implements Layer: dx = grad ⊙ y(1−y).
 func (s *Sigmoid) Backward(grad *mat.Matrix) *mat.Matrix {
-	dx := mat.New(grad.Rows, grad.Cols)
+	s.dx = mat.Reuse(s.dx, grad.Rows, grad.Cols)
 	for i, g := range grad.Data {
 		y := s.lastOut.Data[i]
-		dx.Data[i] = g * y * (1 - y)
+		s.dx.Data[i] = g * y * (1 - y)
 	}
-	return dx
+	return s.dx
 }
 
 // Params implements Layer.
@@ -189,6 +239,8 @@ type Dropout struct {
 	rng *rand.Rand
 
 	mask *mat.Matrix
+
+	out, dx *mat.Matrix // scratch
 }
 
 // NewDropout returns a Dropout layer with drop probability p, drawing
@@ -204,15 +256,18 @@ func (d *Dropout) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 		return x
 	}
 	keep := 1 - d.P
-	d.mask = mat.New(x.Rows, x.Cols)
-	y := mat.New(x.Rows, x.Cols)
+	d.mask = mat.Reuse(d.mask, x.Rows, x.Cols)
+	d.out = mat.Reuse(d.out, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask.Data[i] = 1 / keep
-			y.Data[i] = v / keep
+			d.out.Data[i] = v / keep
+		} else {
+			d.mask.Data[i] = 0
+			d.out.Data[i] = 0
 		}
 	}
-	return y
+	return d.out
 }
 
 // Infer implements Inferrer: inverted dropout is the identity at
@@ -225,7 +280,8 @@ func (d *Dropout) Backward(grad *mat.Matrix) *mat.Matrix {
 	if d.mask == nil {
 		return grad
 	}
-	return mat.Hadamard(mat.New(grad.Rows, grad.Cols), grad, d.mask)
+	d.dx = mat.Reuse(d.dx, grad.Rows, grad.Cols)
+	return mat.Hadamard(d.dx, grad, d.mask)
 }
 
 // Params implements Layer.
@@ -241,12 +297,19 @@ type BatchNorm struct {
 
 	Gamma, Beta *Param
 
-	// Running statistics for evaluation mode.
+	// Running statistics for evaluation mode. RunningVar tracks the
+	// unbiased (÷N−1) batch variance, matching the standard estimator
+	// eval-mode normalization expects; the in-batch normalization itself
+	// uses the biased (÷N) variance as usual.
 	RunningMean, RunningVar []float64
 
 	// Cached forward state for backward.
 	xhat   *mat.Matrix
 	invStd []float64
+
+	out, inferOut, dx *mat.Matrix // scratch
+	mean, variance    []float64   // scratch
+	dgamma, dbeta     []float64   // scratch
 }
 
 // NewBatchNorm returns a BatchNorm layer over dim features with the usual
@@ -270,56 +333,63 @@ func NewBatchNorm(dim int) *BatchNorm {
 
 // Forward implements Layer.
 func (b *BatchNorm) Forward(x *mat.Matrix, train bool) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
+	b.out = mat.Reuse(b.out, x.Rows, x.Cols)
 	if train && x.Rows > 1 {
-		mean := x.ColMeans()
-		variance := make([]float64, b.Dim)
+		b.mean = mat.ReuseVec(b.mean, b.Dim)
+		x.ColMeansInto(b.mean)
+		b.variance = mat.ReuseVec(b.variance, b.Dim)
+		for j := range b.variance {
+			b.variance[j] = 0
+		}
 		for i := 0; i < x.Rows; i++ {
 			row := x.Row(i)
 			for j, v := range row {
-				d := v - mean[j]
-				variance[j] += d * d
+				d := v - b.mean[j]
+				b.variance[j] += d * d
 			}
 		}
-		for j := range variance {
-			variance[j] /= float64(x.Rows)
+		for j := range b.variance {
+			b.variance[j] /= float64(x.Rows)
 		}
-		b.invStd = make([]float64, b.Dim)
+		b.invStd = mat.ReuseVec(b.invStd, b.Dim)
 		for j := range b.invStd {
-			b.invStd[j] = 1 / math.Sqrt(variance[j]+b.Eps)
+			b.invStd[j] = 1 / math.Sqrt(b.variance[j]+b.Eps)
 		}
-		b.xhat = mat.New(x.Rows, x.Cols)
+		b.xhat = mat.Reuse(b.xhat, x.Rows, x.Cols)
 		for i := 0; i < x.Rows; i++ {
-			xr, hr, yr := x.Row(i), b.xhat.Row(i), y.Row(i)
+			xr, hr, yr := x.Row(i), b.xhat.Row(i), b.out.Row(i)
 			for j := range xr {
-				h := (xr[j] - mean[j]) * b.invStd[j]
+				h := (xr[j] - b.mean[j]) * b.invStd[j]
 				hr[j] = h
 				yr[j] = b.Gamma.Value.Data[j]*h + b.Beta.Value.Data[j]
 			}
 		}
+		// Running stats track the unbiased (÷N−1) variance estimator —
+		// folding the biased batch variance in instead would skew
+		// eval-mode outputs at small batch sizes.
 		m := b.Momentum
-		for j := range mean {
-			b.RunningMean[j] = (1-m)*b.RunningMean[j] + m*mean[j]
-			b.RunningVar[j] = (1-m)*b.RunningVar[j] + m*variance[j]
+		unbias := float64(x.Rows) / float64(x.Rows-1)
+		for j := range b.mean {
+			b.RunningMean[j] = (1-m)*b.RunningMean[j] + m*b.mean[j]
+			b.RunningVar[j] = (1-m)*b.RunningVar[j] + m*b.variance[j]*unbias
 		}
-		return y
+		return b.out
 	}
 	// Evaluation (or single-sample) mode: use running statistics.
 	b.xhat = nil
-	for i := 0; i < x.Rows; i++ {
-		xr, yr := x.Row(i), y.Row(i)
-		for j := range xr {
-			h := (xr[j] - b.RunningMean[j]) / math.Sqrt(b.RunningVar[j]+b.Eps)
-			yr[j] = b.Gamma.Value.Data[j]*h + b.Beta.Value.Data[j]
-		}
-	}
-	return y
+	b.normalizeByRunningStats(x, b.out)
+	return b.out
 }
 
 // Infer implements Inferrer: normalization by running statistics without
 // clearing the cached training-mode batch state.
 func (b *BatchNorm) Infer(x *mat.Matrix) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
+	b.inferOut = mat.Reuse(b.inferOut, x.Rows, x.Cols)
+	b.normalizeByRunningStats(x, b.inferOut)
+	return b.inferOut
+}
+
+func (b *BatchNorm) normalizeByRunningStats(x, y *mat.Matrix) {
 	for i := 0; i < x.Rows; i++ {
 		xr, yr := x.Row(i), y.Row(i)
 		for j := range xr {
@@ -327,46 +397,61 @@ func (b *BatchNorm) Infer(x *mat.Matrix) *mat.Matrix {
 			yr[j] = b.Gamma.Value.Data[j]*h + b.Beta.Value.Data[j]
 		}
 	}
-	return y
 }
 
 // Backward implements Layer using the standard batch-norm gradient.
 func (b *BatchNorm) Backward(grad *mat.Matrix) *mat.Matrix {
+	return b.backward(grad, true)
+}
+
+// BackwardInput implements InputGradOnly. The per-feature gradient sums
+// are still computed (the input gradient depends on them) but are not
+// folded into Gamma.Grad/Beta.Grad.
+func (b *BatchNorm) BackwardInput(grad *mat.Matrix) *mat.Matrix {
+	return b.backward(grad, false)
+}
+
+func (b *BatchNorm) backward(grad *mat.Matrix, accumulate bool) *mat.Matrix {
+	b.dx = mat.Reuse(b.dx, grad.Rows, grad.Cols)
 	if b.xhat == nil {
 		// Evaluation-mode backward (used when training with batch size 1):
 		// treat running stats as constants.
-		dx := mat.New(grad.Rows, grad.Cols)
 		for i := 0; i < grad.Rows; i++ {
-			gr, dr := grad.Row(i), dx.Row(i)
+			gr, dr := grad.Row(i), b.dx.Row(i)
 			for j := range gr {
 				dr[j] = gr[j] * b.Gamma.Value.Data[j] / math.Sqrt(b.RunningVar[j]+b.Eps)
 			}
 		}
-		return dx
+		return b.dx
 	}
 	n := float64(grad.Rows)
-	dgamma := make([]float64, b.Dim)
-	dbeta := make([]float64, b.Dim)
+	b.dgamma = mat.ReuseVec(b.dgamma, b.Dim)
+	b.dbeta = mat.ReuseVec(b.dbeta, b.Dim)
+	for j := 0; j < b.Dim; j++ {
+		b.dgamma[j] = 0
+		b.dbeta[j] = 0
+	}
 	for i := 0; i < grad.Rows; i++ {
 		gr, hr := grad.Row(i), b.xhat.Row(i)
 		for j := range gr {
-			dgamma[j] += gr[j] * hr[j]
-			dbeta[j] += gr[j]
+			b.dgamma[j] += gr[j] * hr[j]
+			b.dbeta[j] += gr[j]
 		}
 	}
-	for j := range dgamma {
-		b.Gamma.Grad.Data[j] += dgamma[j]
-		b.Beta.Grad.Data[j] += dbeta[j]
+	if accumulate {
+		for j := range b.dgamma {
+			b.Gamma.Grad.Data[j] += b.dgamma[j]
+			b.Beta.Grad.Data[j] += b.dbeta[j]
+		}
 	}
-	dx := mat.New(grad.Rows, grad.Cols)
 	for i := 0; i < grad.Rows; i++ {
-		gr, hr, dr := grad.Row(i), b.xhat.Row(i), dx.Row(i)
+		gr, hr, dr := grad.Row(i), b.xhat.Row(i), b.dx.Row(i)
 		for j := range gr {
 			g := b.Gamma.Value.Data[j]
-			dr[j] = g * b.invStd[j] / n * (n*gr[j] - dbeta[j] - hr[j]*dgamma[j])
+			dr[j] = g * b.invStd[j] / n * (n*gr[j] - b.dbeta[j] - hr[j]*b.dgamma[j])
 		}
 	}
-	return dx
+	return b.dx
 }
 
 // Params implements Layer.

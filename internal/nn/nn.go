@@ -1,8 +1,3 @@
-// Package nn implements the small feed-forward neural-network stack used by
-// CDBTune's deep reinforcement-learning agents: dense, ReLU, Tanh, Sigmoid,
-// Dropout and BatchNorm layers with hand-written backpropagation, plus SGD
-// and Adam optimizers. The layer set is exactly what Table 5 of the paper's
-// actor-critic architecture requires.
 package nn
 
 import (
@@ -41,9 +36,13 @@ type Layer interface {
 	Params() []*Param
 }
 
-// Network is a sequential stack of layers.
+// Network is a sequential stack of layers. Layers must not be modified
+// after the first call to Params (directly or via an optimizer,
+// CopyTo, SoftUpdateFrom, ...): the parameter list is cached.
 type Network struct {
 	Layers []Layer
+
+	params []*Param // cached by Params
 }
 
 // NewNetwork builds a sequential network from the given layers.
@@ -76,7 +75,20 @@ type Inferrer interface {
 // values — callers still must not run it concurrently with an update that
 // mutates those parameters.
 func (n *Network) Infer(x *mat.Matrix) *mat.Matrix {
-	for _, l := range n.Layers {
+	for i := 0; i < len(n.Layers); i++ {
+		l := n.Layers[i]
+		// Fused Dense+activation: the affine output lands in the Dense
+		// layer's inference buffer and the elementwise activation is
+		// applied to it in place, skipping the activation layer's own
+		// buffer and pass entirely.
+		if d, ok := l.(*Dense); ok && i+1 < len(n.Layers) {
+			if act, fuse := n.Layers[i+1].(inPlaceActivation); fuse {
+				x = d.Infer(x)
+				act.activateInPlace(x)
+				i++
+				continue
+			}
+		}
 		if inf, ok := l.(Inferrer); ok {
 			x = inf.Infer(x)
 		} else {
@@ -84,6 +96,13 @@ func (n *Network) Infer(x *mat.Matrix) *mat.Matrix {
 		}
 	}
 	return x
+}
+
+// inPlaceActivation marks stateless elementwise activations whose
+// inference step can mutate the previous layer's output buffer directly,
+// enabling the fused Dense+activation path in Network.Infer.
+type inPlaceActivation interface {
+	activateInPlace(m *mat.Matrix)
 }
 
 // Backward propagates the output gradient back through every layer,
@@ -95,13 +114,42 @@ func (n *Network) Backward(grad *mat.Matrix) *mat.Matrix {
 	return grad
 }
 
-// Params returns every learnable parameter in layer order.
-func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+// InputGradOnly is an optional Layer extension: BackwardInput returns
+// the same input gradient as Backward without accumulating parameter
+// gradients. Layers with parameters implement it so that input-gradient
+// consumers (the deterministic policy gradient's ∇ₐQ pass) skip the
+// weight-gradient GEMMs entirely instead of computing and discarding
+// them.
+type InputGradOnly interface {
+	BackwardInput(grad *mat.Matrix) *mat.Matrix
+}
+
+// BackwardInput propagates the output gradient to the network input
+// without accumulating any parameter gradient: layers implementing
+// InputGradOnly use their parameter-free path, and parameter-less
+// layers fall back to Backward (which touches no parameters). The
+// returned gradient is bit-identical to Backward's; accumulated
+// parameter gradients are left exactly as they were.
+func (n *Network) BackwardInput(grad *mat.Matrix) *mat.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		if l, ok := n.Layers[i].(InputGradOnly); ok {
+			grad = l.BackwardInput(grad)
+		} else {
+			grad = n.Layers[i].Backward(grad)
+		}
 	}
-	return ps
+	return grad
+}
+
+// Params returns every learnable parameter in layer order. The slice is
+// computed once and cached; callers must not append to it or reorder it.
+func (n *Network) Params() []*Param {
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
+	}
+	return n.params
 }
 
 // ZeroGrad clears all parameter gradients.

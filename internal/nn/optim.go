@@ -9,6 +9,18 @@ type Optimizer interface {
 	Step()
 }
 
+// decayExempt reports whether a parameter is excluded from L2 weight
+// decay: bias rows and BatchNorm affine parameters are not weights —
+// shrinking gamma/beta toward zero distorts the learned normalization
+// instead of regularizing capacity.
+func decayExempt(p *Param) bool {
+	switch p.Name {
+	case "b", "beta", "gamma":
+		return true
+	}
+	return false
+}
+
 // SGD is stochastic gradient descent with optional classical momentum and
 // L2 weight decay.
 type SGD struct {
@@ -33,9 +45,13 @@ func NewSGD(net *Network, lr, momentum float64) *SGD {
 // Step implements Optimizer.
 func (o *SGD) Step() {
 	for i, p := range o.params {
+		wd := o.WeightDecay
+		if decayExempt(p) {
+			wd = 0
+		}
 		v := o.velocity[i]
 		for j := range p.Value.Data {
-			g := p.Grad.Data[j] + o.WeightDecay*p.Value.Data[j]
+			g := p.Grad.Data[j] + wd*p.Value.Data[j]
 			v[j] = o.Momentum*v[j] - o.LR*g
 			p.Value.Data[j] += v[j]
 		}
@@ -90,9 +106,13 @@ func (o *Adam) Step() {
 	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
 	for i, p := range o.params {
+		wd := o.WeightDecay
+		if decayExempt(p) {
+			wd = 0
+		}
 		mi, vi := o.m[i], o.v[i]
 		for j := range p.Value.Data {
-			g := p.Grad.Data[j] + o.WeightDecay*p.Value.Data[j]
+			g := p.Grad.Data[j] + wd*p.Value.Data[j]
 			mi[j] = o.Beta1*mi[j] + (1-o.Beta1)*g
 			vi[j] = o.Beta2*vi[j] + (1-o.Beta2)*g*g
 			mhat := mi[j] / bc1

@@ -9,11 +9,17 @@ import (
 
 // parallelDense is the critic's first stage from Table 5 ("Parallel Full
 // Connection 128+128"): the state and action halves of the input each pass
-// through their own dense head and the results are concatenated.
+// through their own dense head and the results are concatenated. Like the
+// nn layers it pools its split/concat buffers, so the steady state
+// allocates nothing; returned matrices are owned by the layer until its
+// next call of the same kind.
 type parallelDense struct {
 	stateDim, actionDim int
 	stateHead           *nn.Dense
 	actionHead          *nn.Dense
+
+	s, a, cat   *mat.Matrix // Forward scratch
+	gs, ga, din *mat.Matrix // Backward scratch
 }
 
 func newParallelDense(stateDim, actionDim, width int) *parallelDense {
@@ -30,22 +36,22 @@ func newParallelDense(stateDim, actionDim, width int) *parallelDense {
 // vector followed by the action vector.
 func (p *parallelDense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	n := x.Rows
-	s := mat.New(n, p.stateDim)
-	a := mat.New(n, p.actionDim)
+	p.s = mat.Reuse(p.s, n, p.stateDim)
+	p.a = mat.Reuse(p.a, n, p.actionDim)
 	for i := 0; i < n; i++ {
 		row := x.Row(i)
-		copy(s.Row(i), row[:p.stateDim])
-		copy(a.Row(i), row[p.stateDim:])
+		copy(p.s.Row(i), row[:p.stateDim])
+		copy(p.a.Row(i), row[p.stateDim:])
 	}
-	fs := p.stateHead.Forward(s, train)
-	fa := p.actionHead.Forward(a, train)
-	out := mat.New(n, fs.Cols+fa.Cols)
+	fs := p.stateHead.Forward(p.s, train)
+	fa := p.actionHead.Forward(p.a, train)
+	p.cat = mat.Reuse(p.cat, n, fs.Cols+fa.Cols)
 	for i := 0; i < n; i++ {
-		row := out.Row(i)
+		row := p.cat.Row(i)
 		copy(row[:fs.Cols], fs.Row(i))
 		copy(row[fs.Cols:], fa.Row(i))
 	}
-	return out
+	return p.cat
 }
 
 // Backward implements nn.Layer, returning the gradient with respect to the
@@ -53,22 +59,45 @@ func (p *parallelDense) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 func (p *parallelDense) Backward(grad *mat.Matrix) *mat.Matrix {
 	n := grad.Rows
 	sw := p.stateHead.Out
-	gs := mat.New(n, sw)
-	ga := mat.New(n, grad.Cols-sw)
+	p.gs = mat.Reuse(p.gs, n, sw)
+	p.ga = mat.Reuse(p.ga, n, grad.Cols-sw)
 	for i := 0; i < n; i++ {
 		row := grad.Row(i)
-		copy(gs.Row(i), row[:sw])
-		copy(ga.Row(i), row[sw:])
+		copy(p.gs.Row(i), row[:sw])
+		copy(p.ga.Row(i), row[sw:])
 	}
-	ds := p.stateHead.Backward(gs)
-	da := p.actionHead.Backward(ga)
-	out := mat.New(n, p.stateDim+p.actionDim)
+	ds := p.stateHead.Backward(p.gs)
+	da := p.actionHead.Backward(p.ga)
+	p.din = mat.Reuse(p.din, n, p.stateDim+p.actionDim)
 	for i := 0; i < n; i++ {
-		row := out.Row(i)
+		row := p.din.Row(i)
 		copy(row[:p.stateDim], ds.Row(i))
 		copy(row[p.stateDim:], da.Row(i))
 	}
-	return out
+	return p.din
+}
+
+// BackwardInput implements nn.InputGradOnly: the same input gradient as
+// Backward with the heads' weight-gradient GEMMs skipped.
+func (p *parallelDense) BackwardInput(grad *mat.Matrix) *mat.Matrix {
+	n := grad.Rows
+	sw := p.stateHead.Out
+	p.gs = mat.Reuse(p.gs, n, sw)
+	p.ga = mat.Reuse(p.ga, n, grad.Cols-sw)
+	for i := 0; i < n; i++ {
+		row := grad.Row(i)
+		copy(p.gs.Row(i), row[:sw])
+		copy(p.ga.Row(i), row[sw:])
+	}
+	ds := p.stateHead.BackwardInput(p.gs)
+	da := p.actionHead.BackwardInput(p.ga)
+	p.din = mat.Reuse(p.din, n, p.stateDim+p.actionDim)
+	for i := 0; i < n; i++ {
+		row := p.din.Row(i)
+		copy(row[:p.stateDim], ds.Row(i))
+		copy(row[p.stateDim:], da.Row(i))
+	}
+	return p.din
 }
 
 // Params implements nn.Layer.
@@ -81,6 +110,9 @@ func (p *parallelDense) Params() []*nn.Param {
 type critic struct {
 	network             *nn.Network
 	stateDim, actionDim int
+
+	x               *mat.Matrix // forward concat scratch
+	dState, dAction *mat.Matrix // backward split scratch
 }
 
 // newCritic assembles the Table 5 critic: parallel heads, leaky ReLU,
@@ -109,31 +141,46 @@ func newCritic(cfg Config, rng *rand.Rand) *critic {
 
 func (c *critic) net() *nn.Network { return c.network }
 
+// forward scores a batch of (state, action) pairs. The returned Q column
+// is a network-owned buffer: it is overwritten by this critic's next
+// forward, so callers must finish reading it (or copy) before then.
 func (c *critic) forward(states, actions *mat.Matrix, train bool) *mat.Matrix {
 	n := states.Rows
-	x := mat.New(n, c.stateDim+c.actionDim)
+	c.x = mat.Reuse(c.x, n, c.stateDim+c.actionDim)
 	for i := 0; i < n; i++ {
-		row := x.Row(i)
+		row := c.x.Row(i)
 		copy(row[:c.stateDim], states.Row(i))
 		copy(row[c.stateDim:], actions.Row(i))
 	}
-	return c.network.Forward(x, train)
+	return c.network.Forward(c.x, train)
 }
 
 // backward propagates grad through the critic and splits the input
 // gradient into its state and action parts. The action part is the
-// ∇_a Q(s, a) term of the deterministic policy gradient.
+// ∇_a Q(s, a) term of the deterministic policy gradient. Both returned
+// matrices are scratch, valid until the next backward call.
 func (c *critic) backward(grad *mat.Matrix) (dState, dAction *mat.Matrix) {
-	dx := c.network.Backward(grad)
+	return c.splitInputGrad(c.network.Backward(grad))
+}
+
+// backwardInput is backward without accumulating any critic parameter
+// gradient — the actor update only needs ∇_a Q, so the critic's
+// weight-gradient GEMMs are skipped entirely rather than computed and
+// zeroed.
+func (c *critic) backwardInput(grad *mat.Matrix) (dState, dAction *mat.Matrix) {
+	return c.splitInputGrad(c.network.BackwardInput(grad))
+}
+
+func (c *critic) splitInputGrad(dx *mat.Matrix) (dState, dAction *mat.Matrix) {
 	n := dx.Rows
-	dState = mat.New(n, c.stateDim)
-	dAction = mat.New(n, c.actionDim)
+	c.dState = mat.Reuse(c.dState, n, c.stateDim)
+	c.dAction = mat.Reuse(c.dAction, n, c.actionDim)
 	for i := 0; i < n; i++ {
 		row := dx.Row(i)
-		copy(dState.Row(i), row[:c.stateDim])
-		copy(dAction.Row(i), row[c.stateDim:])
+		copy(c.dState.Row(i), row[:c.stateDim])
+		copy(c.dAction.Row(i), row[c.stateDim:])
 	}
-	return dState, dAction
+	return c.dState, c.dAction
 }
 
 func (c *critic) initUniform(rng *rand.Rand, a float64) { c.network.InitUniform(rng, a) }

@@ -145,6 +145,14 @@ type Agent struct {
 
 	trainSteps     int
 	skippedBatches int
+
+	// TrainStepInfo scratch, recycled across updates so a steady-state
+	// gradient step allocates almost nothing (see BENCH_hotpath.json).
+	states, actions, next *mat.Matrix
+	target, grad, ones    *mat.Matrix
+	smoothEps             []float64
+	tdErrors              []float64
+	targetDone            chan struct{}
 }
 
 // New builds a DDPG agent from cfg.
@@ -190,6 +198,7 @@ func New(cfg Config) *Agent {
 		a.Memory = rl.NewUniformMemory(cfg.MemoryCapacity)
 	}
 	a.Noise = rl.NewOUNoise(cfg.NoiseSigma)
+	a.targetDone = make(chan struct{})
 	return a
 }
 
@@ -394,22 +403,21 @@ func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 	n := a.cfg.BatchSize
 	batch, indices, weights := a.Memory.Sample(a.rng, n)
 
-	states := mat.New(n, a.cfg.StateDim)
-	actions := mat.New(n, a.cfg.ActionDim)
-	next := mat.New(n, a.cfg.StateDim)
+	a.states = mat.Reuse(a.states, n, a.cfg.StateDim)
+	a.actions = mat.Reuse(a.actions, n, a.cfg.ActionDim)
+	a.next = mat.Reuse(a.next, n, a.cfg.StateDim)
+	states, actions, next := a.states, a.actions, a.next
 	for i, t := range batch {
 		copy(states.Row(i), t.State)
 		copy(actions.Row(i), t.Action)
 		copy(next.Row(i), t.NextState)
 	}
 
-	// Step 2-4 of Algorithm 1: y_i = r + γ·Q'(s', µ'(s')). The target
-	// action is smoothed with small clipped noise (Fujimoto et al. 2018):
-	// it regularizes the bootstrapped value against the critic's sharp
-	// extrapolation errors, which otherwise drag the actor into
-	// action-space corners.
-	nextActions := a.actorTarget.Forward(next, false)
-	for i := range nextActions.Data {
+	// The target-action smoothing noise is pre-drawn here so the agent's
+	// rng consumption order (Sample → smoothing → dropout masks) is the
+	// same whether or not the target pass below overlaps the online one.
+	a.smoothEps = mat.ReuseVec(a.smoothEps, n*a.cfg.ActionDim)
+	for i := range a.smoothEps {
 		eps := 0.05 * a.rng.NormFloat64()
 		if eps > 0.1 {
 			eps = 0.1
@@ -417,23 +425,48 @@ func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 		if eps < -0.1 {
 			eps = -0.1
 		}
-		nextActions.Data[i] = mat.Clamp(nextActions.Data[i]+eps, 0, 1)
+		a.smoothEps[i] = eps
 	}
-	nextQ := a.critTarget.forward(next, nextActions, false)
-	target := mat.New(n, 1)
-	for i, t := range batch {
-		y := t.Reward
-		if !t.Done {
-			y += a.cfg.Gamma * nextQ.Data[i]
+
+	// Step 2-4 of Algorithm 1: y_i = r + γ·Q'(s', µ'(s')). The target
+	// action is smoothed with small clipped noise (Fujimoto et al. 2018):
+	// it regularizes the bootstrapped value against the critic's sharp
+	// extrapolation errors, which otherwise drag the actor into
+	// action-space corners.
+	//
+	// The whole target-side computation runs in a goroutine overlapping
+	// the online critic's train-mode forward below: the two touch
+	// disjoint networks and scratch buffers, the target side draws no
+	// randomness (Infer skips dropout; the smoothing noise is pre-drawn),
+	// and the channel join orders every write before the first read — so
+	// the overlap is bit-for-bit identical to the sequential schedule.
+	a.target = mat.Reuse(a.target, n, 1)
+	target := a.target
+	go func() {
+		nextActions := a.actorTarget.Infer(next)
+		for i := range nextActions.Data {
+			nextActions.Data[i] = mat.Clamp(nextActions.Data[i]+a.smoothEps[i], 0, 1)
 		}
-		target.Data[i] = y
-	}
+		nextQ := a.critTarget.forward(next, nextActions, false)
+		for i, t := range batch {
+			y := t.Reward
+			if !t.Done {
+				y += a.cfg.Gamma * nextQ.Data[i]
+			}
+			target.Data[i] = y
+		}
+		a.targetDone <- struct{}{}
+	}()
 
 	// Step 5-6: critic regression toward y with importance weights.
 	a.critic.net().ZeroGrad()
 	q := a.critic.forward(states, actions, true)
-	grad := mat.New(n, 1)
-	tdErrors := make([]float64, n)
+	<-a.targetDone
+
+	a.grad = mat.Reuse(a.grad, n, 1)
+	grad := a.grad
+	a.tdErrors = mat.ReuseVec(a.tdErrors, n)
+	tdErrors := a.tdErrors
 	var loss, absQ float64
 	for i := 0; i < n; i++ {
 		d := q.Data[i] - target.Data[i]
@@ -484,10 +517,10 @@ func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 	// (train-mode) pass only refreshes BatchNorm running statistics; the
 	// gradient pass runs in evaluation mode so the update applies to the
 	// exact function that Act deploys (batch-vs-running-stats mismatch
-	// otherwise biases the learned policy).
-	a.actor.Forward(states.Clone(), true)
+	// otherwise biases the learned policy). Neither pass mutates states,
+	// so both share the batch buffer.
+	a.actor.Forward(states, true)
 	a.actor.ZeroGrad()
-	a.critic.net().ZeroGrad()
 	mu := a.actor.Forward(states, false)
 	qPi := a.critic.forward(states, mu, false)
 	var actorLoss, saturated float64
@@ -501,10 +534,13 @@ func (a *Agent) TrainStepInfo() (StepInfo, bool) {
 	}
 	actorLoss /= float64(n)
 	saturated /= float64(n * a.cfg.ActionDim)
-	ones := mat.New(n, 1)
+	a.ones = mat.Reuse(a.ones, n, 1)
+	ones := a.ones
 	ones.Fill(-1.0 / float64(n)) // minimize −Q
-	_, dAction := a.critic.backward(ones)
-	a.critic.net().ZeroGrad() // critic grads from this pass are discarded
+	// backwardInput leaves the critic's parameter gradients untouched
+	// (they are already zero after its optimizer step), so nothing needs
+	// discarding afterwards.
+	_, dAction := a.critic.backwardInput(ones)
 	if a.cfg.BCWeight > 0 && a.bcTarget != nil {
 		// Self-imitation: add the gradient of
 		// BCWeight·‖µ(s) − a_best‖²/n to the action gradient.

@@ -30,3 +30,17 @@ go test -race -short -shuffle=on -timeout 20m ./...
 
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkMemoryAddSample|BenchmarkActBatched' -benchtime=1x -cpu 4 .
+
+echo "== hot-path bench smoke =="
+# A short-benchtime benchjson emission into a scratch file, validated by
+# its own -check mode, plus a -check of the tracked BENCH_hotpath.json:
+# proves the whole make-bench pipeline (measure -> JSON schema -> check)
+# still works without paying for a full measurement. The scratch numbers
+# are noisy by design and are discarded.
+hotpath_tmp="$(mktemp /tmp/bench_hotpath.XXXXXX.json)"
+trap 'rm -f "$hotpath_tmp"' EXIT
+go run ./cmd/benchjson -quick -out "$hotpath_tmp"
+go run ./cmd/benchjson -check "$hotpath_tmp"
+if [ -f BENCH_hotpath.json ]; then
+    go run ./cmd/benchjson -check BENCH_hotpath.json
+fi
