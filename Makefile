@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke
+.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke drift-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ serve-smoke:
 # ("Divergence-injection recipe").
 divergence-smoke:
 	$(GO) test -count=1 -timeout 120s -run 'TestDivergence' ./internal/core/ -v
+
+# drift-smoke runs the dynamic-serving scenario: a seeded time-varying
+# timeline whose flash crowd must trigger at least one drift-detected
+# re-tune, with zero unreverted guardrail violations. See EXPERIMENTS.md
+# ("Dynamic-workload recipe").
+drift-smoke:
+	$(GO) test -count=1 -timeout 120s -run 'TestDriftSmoke' ./internal/core/ -v
 
 # bench runs the replay-contention and batched-inference microbenchmarks,
 # then the hot-path kernel/train-step benchmarks, and refreshes the

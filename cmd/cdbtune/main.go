@@ -3,6 +3,7 @@
 //
 //	cdbtune train -workload sysbench-rw -instance CDB-A -episodes 40 -model model.bin
 //	cdbtune tune  -workload tpcc -instance CDB-C -model model.bin [-steps 5]
+//	cdbtune tune  -workload sysbench-rw -model model.bin -timeline diurnal24 [-hours 24]
 //	cdbtune serve -addr 127.0.0.1:8080 -registry registry
 //	cdbtune submit -workload sysbench-rw -wait
 //	cdbtune info
@@ -64,11 +65,14 @@ func usage() {
                 [-checkpoint train.ckpt] [-checkpoint-every 5] [-resume] [-chaos]
                 [-max-grad-norm 5] [-heal-budget 3] [-deadline 0] [-no-supervisor]
   cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf] [-chaos]
+                [-timeline diurnal24|flashcrowd] [-hours 0] [-timescale 60] [-drift-threshold 0.02] [-observe-sec 30]
   cdbtune knobs [-engine cdb-mysql] [-all]
   cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A]
   cdbtune serve  [-addr 127.0.0.1:8080] [-registry registry] [-workers 2] [-queue 16]
                  [-match-radius 0.1] [-max-episodes 8] [-fine-tune-episodes 2] [-max-models 64]
+                 [-timeline <name>] [-serve-hours 0] [-timescale 0] [-drift-threshold 0]
   cdbtune submit [-addr http://127.0.0.1:8080] -workload <name> [-instance CDB-A] [-wait]
+                 [-timeline <name>|none] [-serve-hours 0]
   cdbtune status [-addr http://127.0.0.1:8080] [job-id]
   cdbtune models [-addr http://127.0.0.1:8080] [-promote id] [-delete id]
   cdbtune info`)
@@ -236,6 +240,11 @@ func cmdTune(args []string) error {
 	export := fs.String("export", "", "write the recommended configuration to this file (my.cnf syntax)")
 	seed := fs.Int64("seed", 42, "random seed")
 	withChaos := fs.Bool("chaos", false, "inject a seeded standard fault mix into the tuned instance")
+	timeline := fs.String("timeline", "", "serve a time-varying workload timeline (diurnal24, flashcrowd) with drift-aware re-tuning instead of a one-shot tune")
+	hours := fs.Float64("hours", 0, "simulated hours to serve the timeline (0 = one full cycle)")
+	timescale := fs.Float64("timescale", 0, "timeline compression: simulated seconds per virtual second (0 = timeline default, 60)")
+	driftThreshold := fs.Float64("drift-threshold", 0, "EWMA fingerprint distance that triggers a re-tune (0 = calibrated default)")
+	observeSec := fs.Float64("observe-sec", 0, "virtual seconds per drift-monitor observation window (0 = default)")
 	fs.Parse(args)
 
 	w, err := workload.ByName(*wname)
@@ -266,6 +275,17 @@ func cmdTune(args []string) error {
 		target = chaosMix(*seed).Wrap(target)
 	}
 	e := env.New(target, cat, w)
+	if *timeline != "" {
+		tl, err := workload.TimelineByName(*timeline, w)
+		if err != nil {
+			return err
+		}
+		if *timescale > 0 {
+			tl.TimeScale = *timescale
+		}
+		e.Timeline = tl
+		return runDynamic(tuner, e, *steps, *hours, *driftThreshold, *observeSec)
+	}
 	fmt.Printf("online tuning: %s on %s, %d steps\n", w.Name, inst.Name, *steps)
 	// The guardrail reverts to the best-known-good configuration after
 	// repeated failures and steers recommendations away from knob regions
@@ -312,6 +332,83 @@ func cmdTune(args []string) error {
 		fmt.Printf("configuration written to %s\n", *export)
 	}
 	return nil
+}
+
+// runDynamic is the -timeline flavor of cmdTune: instead of a one-shot
+// online tune it serves the timeline for a window of simulated hours,
+// streaming drift/re-tune/revert events as they happen and closing with
+// a per-phase throughput summary and the safety accounting.
+func runDynamic(tuner *core.Tuner, e *env.Env, steps int, hours, threshold, observeSec float64) error {
+	tl := e.Timeline
+	horizon := hours
+	if horizon <= 0 {
+		horizon = tl.TotalHours()
+	}
+	fmt.Printf("dynamic serving: timeline %s (%.0fh cycle at %.0fx compression), %.1f simulated hours\n",
+		tl.Name, tl.TotalHours(), tl.Scale(), horizon)
+	// Per-phase throughput accumulation for the closing summary.
+	type phaseAgg struct {
+		name    string
+		sum     float64
+		maxEwma float64
+		n       int
+	}
+	var order []string
+	agg := map[string]*phaseAgg{}
+	rep, err := tuner.ServeDynamic(e, core.DynamicOptions{
+		HorizonHours: hours,
+		ObserveSec:   observeSec,
+		Drift:        core.DriftConfig{Threshold: threshold},
+		ReTuneSteps:  steps,
+		FineTune:     true,
+		OnSample: func(s core.DynamicSample) {
+			a := agg[s.Phase]
+			if a == nil {
+				a = &phaseAgg{name: s.Phase}
+				agg[s.Phase] = a
+				order = append(order, s.Phase)
+			}
+			a.sum += s.Ext.Throughput
+			if s.EWMA > a.maxEwma {
+				a.maxEwma = s.EWMA
+			}
+			a.n++
+		},
+		OnEvent: func(ev core.DynamicEvent) {
+			fmt.Printf("  %s\n", ev)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("served %.1f simulated hours (%.1f virtual minutes): %d samples, %d drifts, %d re-tunes, %d reverts, %d crashes\n",
+		rep.Hours, rep.Seconds/60, len(rep.Samples), rep.Drifts, len(rep.Retunes), rep.Reverts, rep.Crashes)
+	if len(order) > 0 {
+		fmt.Println("per-phase mean throughput:")
+		for _, name := range order {
+			a := agg[name]
+			fmt.Printf("  %-14s %10.1f txn/sec  (%d windows, peak drift ewma %.4f)\n",
+				a.name, a.sum/float64(a.n), a.n, a.maxEwma)
+		}
+	}
+	for _, rt := range rep.Retunes {
+		fmt.Printf("re-tune at h%05.2f [%s]: %.1f → %.1f txn/sec (%+.1f%%), seed %s, %.1f virtual minutes\n",
+			rt.Hour, rt.Phase, rt.Stale.Throughput, rt.Tuned.Throughput,
+			(rt.Tuned.Throughput/rt.Stale.Throughput-1)*100, dashIfEmpty(rt.Seed), rt.Seconds/60)
+	}
+	if rep.Unreverted > 0 {
+		return fmt.Errorf("dynamic window closed with %d unreverted guardrail violation(s)", rep.Unreverted)
+	}
+	fmt.Printf("final: %.1f txn/sec, %.1f ms (99th); zero unreverted guardrail violations\n",
+		rep.Final.Throughput, rep.Final.Latency99)
+	return nil
+}
+
+func dashIfEmpty(s string) string {
+	if s == "" {
+		return "in-place"
+	}
+	return s
 }
 
 // cmdBenchmark stress-tests a configuration file (the my.cnf syntax the

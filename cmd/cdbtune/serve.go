@@ -32,6 +32,10 @@ func cmdServe(args []string) error {
 	fineTune := fs.Int("fine-tune-episodes", 2, "fine-tune episode cap for warm-started sessions")
 	steps := fs.Int("steps", 5, "online tuning steps per request")
 	seed := fs.Int64("seed", 1, "random seed")
+	timeline := fs.String("timeline", "", "default timeline for dynamic serving after each tune (empty = static jobs)")
+	serveHours := fs.Float64("serve-hours", 0, "default simulated hours per dynamic serving window (0 = one timeline cycle)")
+	timescale := fs.Float64("timescale", 0, "timeline compression override: simulated seconds per virtual second (0 = timeline default)")
+	driftThreshold := fs.Float64("drift-threshold", 0, "EWMA fingerprint distance that triggers a re-tune (0 = calibrated default)")
 	fs.Parse(args)
 
 	reg, err := registry.Open(*regDir, registry.WithMaxEntries(*maxEntries))
@@ -47,6 +51,10 @@ func cmdServe(args []string) error {
 		MaxFineTuneEpisodes: *fineTune,
 		MatchRadius:         *matchRadius,
 		Seed:                *seed,
+		Timeline:            *timeline,
+		ServeHours:          *serveHours,
+		TimeScale:           *timescale,
+		DriftThreshold:      *driftThreshold,
 	})
 	if err != nil {
 		return err
@@ -76,9 +84,14 @@ func cmdSubmit(args []string) error {
 	iname := fs.String("instance", "CDB-A", "instance name (Table 1)")
 	seed := fs.Int64("seed", 0, "user-instance seed (0 = server-derived)")
 	wait := fs.Bool("wait", true, "follow the progress stream until the session finishes")
+	timeline := fs.String("timeline", "", "serve this timeline dynamically after tuning ('none' opts out of a server default)")
+	serveHours := fs.Float64("serve-hours", 0, "simulated hours for the dynamic serving window (0 = one timeline cycle)")
 	fs.Parse(args)
 
-	body, _ := json.Marshal(server.JobRequest{Workload: *wname, Instance: *iname, Seed: *seed})
+	body, _ := json.Marshal(server.JobRequest{
+		Workload: *wname, Instance: *iname, Seed: *seed,
+		Timeline: *timeline, ServeHours: *serveHours,
+	})
 	resp, err := http.Post(strings.TrimRight(*addr, "/")+"/api/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -149,6 +162,9 @@ func printJob(st server.JobStatus) {
 	}
 	if st.BestThroughput > 0 {
 		fmt.Printf("  best=%.1f tx/s (%+.1f%%)", st.BestThroughput, st.Improvement*100)
+	}
+	if st.Timeline != "" {
+		fmt.Printf("  timeline=%s drifts=%d retunes=%d reverts=%d", st.Timeline, st.Drifts, st.Retunes, st.Reverts)
 	}
 	if st.Error != "" {
 		fmt.Printf("  error=%s", st.Error)

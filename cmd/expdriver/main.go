@@ -5,7 +5,7 @@
 //
 // Experiments: fig1ab fig1c fig1d table1 table2 fig5 fig6 fig7 fig8 table3
 // fig9 fig10 fig11 fig12 fig14 fig15 table6 fig16to18 timing qdqn
-// ablation-replay ablation-action telemetry serving all
+// ablation-replay ablation-action telemetry serving timeline all
 package main
 
 import (
@@ -49,7 +49,7 @@ func main() {
 			"fig5", "fig6", "fig7", "fig8", "fig9", "table3", "fig10", "fig11",
 			"fig12", "fig14", "fig15", "table6", "fig16to18", "qdqn",
 			"ablation-replay", "ablation-action", "findings", "ycsb-variants",
-			"telemetry", "serving"}
+			"telemetry", "serving", "timeline"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -219,6 +219,18 @@ func run(id string, b expr.Budget) error {
 		}
 	case "serving":
 		return printTables(expr.ServingTelemetry(b))
+	case "timeline":
+		ts, fig, err := expr.TimelineTelemetry(b)
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			printTable(t)
+		}
+		printFig(fig)
+		if outputFormat == "text" {
+			fmt.Println(fig.Plot(72, 14))
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q (run with no args for the list)", id)
 	}
@@ -238,6 +250,7 @@ experiments:
   findings ycsb-variants                    §5.2.3 findings + extensions
   telemetry                                 parallel-training telemetry stream
   serving                                   multi-tenant serving telemetry (warm starts, queue waits)
+  timeline                                  24h dynamic-workload day with drift-aware re-tuning
   all                                       everything above
 `)
 }

@@ -1,8 +1,3 @@
-// Package bestconfig implements the BestConfig baseline [55]: the
-// divide-and-diverge sampling (DDS) plus recursive-bound-and-search (RBS)
-// strategy. BestConfig keeps no model across requests — every tuning
-// request restarts the search from scratch, which is exactly the
-// limitation §5.1.2 measures (50 steps ≈ 250 minutes per request).
 package bestconfig
 
 import (

@@ -1,0 +1,9 @@
+// Package controller implements the distributed-cloud-platform controller
+// of the paper's Figure 2: the component that mediates between the client,
+// the CDB instances and the tuning system. It handles the two request
+// kinds the paper describes — a user's tuning request (§2.1.2: capture
+// ~150 s of the user's workload, replay it as a stress test, run the
+// 5-step online tuning, and deploy only after acquiring the DBA's or
+// user's license, §2.2.3) and a DBA's training request (§2.2: offline
+// training against the workload generator).
+package controller

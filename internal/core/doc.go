@@ -71,6 +71,46 @@
 // in the memory pool; replay sampling is random precisely so that order
 // does not matter (§2.2.4).
 //
+// # Drift detection and dynamic serving
+//
+// ServeDynamic keeps a tuned instance healthy under a time-varying
+// workload (env.Env with a workload.Timeline): short observation
+// windows stream the normalized 63-metric state into a DriftDetector,
+// which tracks the EWMA of the RMS fingerprint distance from a
+// reference state captured right after the last (re-)tune — the same
+// distance metric internal/registry uses for nearest-model lookup
+// (re-implemented here because registry already imports core). When the
+// smoothed distance crosses DriftConfig.Threshold the loop runs an
+// in-place guarded re-tune, optionally warm-seeded from a registry
+// model via the DynamicOptions.WarmSeed callback.
+//
+// Threshold semantics: distances are over [0,1]-normalized metrics, so
+// they are comparable across workloads and hardware. Against the
+// simulator the same-workload noise floor is ~0.002 RMS and benign
+// diurnal wobble (±15% load) stays under ~0.005, while real phase
+// changes — a 2–3× burst, a write-heavy batch window, an overnight
+// trough — measure 0.03–0.15. DefaultDriftThreshold (0.02) therefore
+// fires on phase changes within 2–3 observation windows (EWMA α = 0.5)
+// and never on noise; raise it toward 0.05 to re-tune only on severe
+// shifts, lower it toward 0.01 to chase smaller mix changes at the cost
+// of more re-tune churn. Warmup and Cooldown stop the detector from
+// firing off a half-filled EWMA or immediately after its own re-tune.
+//
+// Interaction with the Guardrail and Supervisor: every re-tune runs
+// through OnlineTuneCtx under one Guardrail that persists across the
+// whole serving window, so near-crash regions screened during one burst
+// still veto recommendations hours later, and K consecutive failures
+// inside any re-tune revert to the window's best-known-good
+// configuration. Crashes at the steady serving configuration (outside a
+// re-tune) recover to defaults and rebase the detector — the revert of
+// last resort — and DynamicReport.Unreverted counts the violations that
+// could not be recovered (zero is the safety bar). The learner-health
+// Supervisor is orthogonal: it guards gradient updates during offline
+// training and fine-tuning re-tunes (FineTune = true), while the drift
+// detector guards the serving configuration; a Supervisor heal rolls
+// back model weights, a guardrail revert rolls back the database
+// config.
+//
 // # Buffer ownership under the pooled hot path
 //
 // The nn layers reuse their output matrices across passes (see the

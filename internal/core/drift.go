@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Drift-detector defaults. The threshold is calibrated against the
+// simulator: between repeated measurements of the same workload the
+// normalized 63-metric state moves by an RMS distance well under 0.01
+// (measurement noise), while a 2–3× load change or a read/write mix
+// shift moves it by several times that. See the package doc for how to
+// pick a threshold for a new deployment.
+const (
+	// DefaultDriftThreshold is the EWMA registry-distance that declares
+	// workload drift.
+	DefaultDriftThreshold = 0.02
+	// DefaultDriftAlpha is the EWMA smoothing factor: high enough to
+	// react within 2–3 observation windows, low enough that one noisy
+	// sample cannot fire the detector alone.
+	DefaultDriftAlpha = 0.5
+	// DefaultDriftWarmup and DefaultDriftCooldown are the observation
+	// counts the detector stays quiet after a rebase: warmup lets the
+	// EWMA fill before it is trusted; cooldown additionally spaces
+	// consecutive re-tunes so one cannot trigger off its own wake.
+	DefaultDriftWarmup   = 2
+	DefaultDriftCooldown = 2
+)
+
+// DriftConfig tunes the workload-drift detector.
+type DriftConfig struct {
+	// Threshold is the smoothed fingerprint distance (RMS Euclidean over
+	// the normalized metric state, the same distance the model registry
+	// uses for nearest-neighbor lookup) that declares drift. 0 means
+	// DefaultDriftThreshold.
+	Threshold float64
+	// Alpha is the EWMA smoothing factor in (0,1]; 0 means
+	// DefaultDriftAlpha. 1 disables smoothing (raw distances).
+	Alpha float64
+	// Warmup is how many observations after a Rebase the detector
+	// refuses to fire; 0 means DefaultDriftWarmup. Negative disables the
+	// warmup entirely.
+	Warmup int
+	// Cooldown is the minimum number of observations between two drift
+	// firings; 0 means DefaultDriftCooldown, negative disables.
+	Cooldown int
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultDriftThreshold
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultDriftAlpha
+	}
+	if c.Warmup == 0 {
+		c.Warmup = DefaultDriftWarmup
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = DefaultDriftCooldown
+	}
+	return c
+}
+
+// DriftSample is one detector observation.
+type DriftSample struct {
+	// Distance is the raw fingerprint distance of this observation from
+	// the reference state; EWMA is its smoothed value.
+	Distance float64
+	EWMA     float64
+	// Drifted reports that the smoothed distance crossed the threshold
+	// (outside warmup/cooldown) on this observation.
+	Drifted bool
+}
+
+// DriftDetector watches a stream of normalized metric states for
+// divergence from a reference fingerprint — the signal that the workload
+// a serving configuration was tuned for is no longer the workload the
+// instance is running. It is a plain accumulator with no locking; the
+// dynamic serving loop drives it from one goroutine.
+type DriftDetector struct {
+	cfg       DriftConfig
+	ref       []float64
+	ewma      float64
+	seen      int // observations since the last Rebase
+	sinceFire int // observations since the last drift firing (-1 = never)
+}
+
+// NewDriftDetector builds a detector with cfg's zero values defaulted.
+func NewDriftDetector(cfg DriftConfig) *DriftDetector {
+	return &DriftDetector{cfg: cfg.withDefaults(), sinceFire: -1}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (d *DriftDetector) Config() DriftConfig { return d.cfg }
+
+// Rebase sets the reference fingerprint to state — the normalized metric
+// vector measured right after (re-)tuning — and clears the smoothed
+// distance and warmup counters.
+func (d *DriftDetector) Rebase(state []float64) {
+	d.ref = append(d.ref[:0], state...)
+	d.ewma = 0
+	d.seen = 0
+	d.sinceFire = -1
+}
+
+// Observe folds one normalized metric state into the detector and
+// reports the resulting sample. Observing before any Rebase adopts the
+// state as the reference.
+func (d *DriftDetector) Observe(state []float64) DriftSample {
+	if d.ref == nil {
+		d.Rebase(state)
+		return DriftSample{}
+	}
+	dist := rmsDistance(d.ref, state)
+	d.seen++
+	if d.seen == 1 {
+		d.ewma = dist
+	} else {
+		d.ewma = d.cfg.Alpha*dist + (1-d.cfg.Alpha)*d.ewma
+	}
+	s := DriftSample{Distance: dist, EWMA: d.ewma}
+	if d.sinceFire >= 0 {
+		d.sinceFire++
+	}
+	warm := d.cfg.Warmup <= 0 || d.seen > d.cfg.Warmup
+	cool := d.sinceFire < 0 || d.cfg.Cooldown <= 0 || d.sinceFire >= d.cfg.Cooldown
+	if warm && cool && d.ewma > d.cfg.Threshold {
+		s.Drifted = true
+		d.sinceFire = 0
+	}
+	return s
+}
+
+// rmsDistance is the RMS Euclidean distance between equal-length vectors
+// — the same metric internal/registry uses over its fingerprints. It is
+// re-implemented here because registry depends on core (warm-started
+// tuners), so core cannot import it back.
+func rmsDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("core: drift distance over mismatched vectors (%d vs %d)", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a)))
+}

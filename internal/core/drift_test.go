@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// synthetic fingerprints: flat vectors at a given level.
+func flat(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func TestDriftDetectorStepChange(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{Threshold: 0.05, Alpha: 0.5, Warmup: 2, Cooldown: 2})
+	ref := flat(63, 0.4)
+	d.Rebase(ref)
+
+	// Quiet stream: tiny jitter never fires.
+	for i := 0; i < 10; i++ {
+		jit := flat(63, 0.4+0.002*float64(i%2*2-1))
+		if s := d.Observe(jit); s.Drifted {
+			t.Fatalf("observation %d: drifted on jitter (ewma %v)", i, s.EWMA)
+		}
+	}
+
+	// Step change: fingerprint jumps by 0.2 RMS. EWMA at α=0.5 reaches
+	// the 0.05 threshold on the first shifted observation past warmup.
+	var fired int
+	var firedAt int
+	for i := 0; i < 6; i++ {
+		s := d.Observe(flat(63, 0.6))
+		if math.Abs(s.Distance-0.2) > 1e-9 {
+			t.Fatalf("distance = %v, want 0.2", s.Distance)
+		}
+		if s.Drifted {
+			if fired == 0 {
+				firedAt = i
+			}
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("step change never fired the detector")
+	}
+	if firedAt != 0 {
+		t.Errorf("first firing at shifted observation %d, want 0 (warmup already served)", firedAt)
+	}
+	// Cooldown spaces repeat firings: 6 shifted observations with
+	// cooldown 2 can fire at most 3 times.
+	if fired > 3 {
+		t.Errorf("fired %d times in 6 observations with cooldown 2", fired)
+	}
+}
+
+func TestDriftDetectorWarmupAndRebase(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{Threshold: 0.05, Alpha: 1, Warmup: 3, Cooldown: 1})
+	d.Rebase(flat(10, 0.1))
+	// Even a huge divergence stays quiet through the warmup window.
+	for i := 0; i < 3; i++ {
+		if s := d.Observe(flat(10, 0.9)); s.Drifted {
+			t.Fatalf("fired during warmup at observation %d", i)
+		}
+	}
+	if s := d.Observe(flat(10, 0.9)); !s.Drifted {
+		t.Fatal("did not fire after warmup")
+	}
+	// Rebase adopts the new fingerprint: the same stream is quiet again.
+	d.Rebase(flat(10, 0.9))
+	for i := 0; i < 6; i++ {
+		if s := d.Observe(flat(10, 0.9)); s.Drifted {
+			t.Fatalf("fired after rebase at observation %d", i)
+		}
+	}
+}
+
+func TestDriftDetectorDefaultsAndFirstObserve(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{})
+	cfg := d.Config()
+	if cfg.Threshold != DefaultDriftThreshold || cfg.Alpha != DefaultDriftAlpha ||
+		cfg.Warmup != DefaultDriftWarmup || cfg.Cooldown != DefaultDriftCooldown {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	// First Observe without a Rebase adopts the state as reference.
+	if s := d.Observe(flat(5, 0.7)); s.Drifted || s.Distance != 0 {
+		t.Fatalf("first observe = %+v, want zero sample", s)
+	}
+	if s := d.Observe(flat(5, 0.7)); s.Distance != 0 {
+		t.Fatalf("identical state distance = %v", s.Distance)
+	}
+}
+
+func TestRMSDistanceMatchesRegistryMetric(t *testing.T) {
+	a := []float64{0, 0.5, 1}
+	b := []float64{0.3, 0.5, 0.6}
+	want := math.Sqrt((0.09 + 0 + 0.16) / 3)
+	if got := rmsDistance(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rmsDistance = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	rmsDistance(a, []float64{1})
+}

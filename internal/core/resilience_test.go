@@ -42,8 +42,8 @@ func TestWorkerLostRespawns(t *testing.T) {
 	const episodes = 6
 	var stats []EpisodeStats
 	rep, err := tn.OfflineTrainOpts(chaosFactory(cat, w, 500, in), TrainOptions{
-		Episodes: episodes,
-		Workers:  2,
+		Episodes:  episodes,
+		Workers:   2,
 		OnEpisode: func(s EpisodeStats) { stats = append(stats, s) },
 	})
 	if err != nil {

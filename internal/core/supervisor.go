@@ -165,20 +165,20 @@ type Supervisor struct {
 	snap      *ddpg.WeightSnapshot
 	snapshots int
 
-	steps        int // observed updates (lifetime)
-	sinceHeal    int // observed updates since start or last heal (warmup)
-	healthy      int // consecutive healthy updates (snapshot cadence)
-	consecNF     int // consecutive non-finite (skipped) batches
-	heals        int
-	lrScale      float64
-	emaQ         float64
-	emaGrad      float64
-	emaSat       float64
-	satSeen      bool
-	emaInit      bool
-	lastMaxW     float64
-	skippedSeen  int // skipped batches observed through StepInfo
-	diag         *Diagnosis
+	steps       int // observed updates (lifetime)
+	sinceHeal   int // observed updates since start or last heal (warmup)
+	healthy     int // consecutive healthy updates (snapshot cadence)
+	consecNF    int // consecutive non-finite (skipped) batches
+	heals       int
+	lrScale     float64
+	emaQ        float64
+	emaGrad     float64
+	emaSat      float64
+	satSeen     bool
+	emaInit     bool
+	lastMaxW    float64
+	skippedSeen int // skipped batches observed through StepInfo
+	diag        *Diagnosis
 }
 
 // newSupervisor builds a supervisor for one training run and takes the

@@ -76,6 +76,19 @@ type EpisodeStats struct {
 	SkippedBatches int
 	MeanAbsQ       float64
 	CriticGradNorm float64
+
+	// Dynamic-serving fields, set only on records emitted by
+	// ServeDynamic (one per drift-triggered re-tune): Phase and Hour
+	// locate the triggering drift on the workload timeline, DriftEWMA is
+	// the smoothed fingerprint distance that fired the detector, and
+	// Drifts/Retunes/Reverts are the serving window's cumulative
+	// counters at emission. Phase == "" on offline-training records.
+	Phase     string
+	Hour      float64
+	DriftEWMA float64
+	Drifts    int
+	Retunes   int
+	Reverts   int
 }
 
 // String renders the record as a compact single log line.
@@ -90,6 +103,10 @@ func (s EpisodeStats) String() string {
 	}
 	if s.Lost {
 		line += "  LOST"
+	}
+	if s.Phase != "" {
+		line += fmt.Sprintf("  drift h%05.2f [%s] ewma %.4f (%d drifts, %d retunes, %d reverts)",
+			s.Hour, s.Phase, s.DriftEWMA, s.Drifts, s.Retunes, s.Reverts)
 	}
 	return line
 }

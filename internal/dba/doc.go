@@ -1,0 +1,8 @@
+// Package dba encodes the expert rule-of-thumb tuning the paper's three
+// Tencent DBAs apply (§5). The rules capture standard MySQL lore — buffer
+// pool at ~75 % of RAM, moderate redo log growth, IO threads raised with
+// the workload, durable flush settings kept — and deliberately stop at the
+// major knobs: a DBA does not hand-tune two hundred minor parameters, which
+// is exactly the gap §5.2 shows CDBTune exploiting (largest on write-heavy
+// workloads, where the conservative durability rules cost the most).
+package dba

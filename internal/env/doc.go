@@ -1,0 +1,29 @@
+// Package env wraps a simulated database instance, a tunable knob subset
+// and a workload into the tuning environment every tuner (CDBTune, DBA,
+// OtterTune, BestConfig) acts on. It also keeps the virtual wall clock
+// that reproduces the paper's §5.1.1 time accounting: each evaluation
+// charges the stress-test, metrics-collection and deployment times, plus
+// the two-minute restart when a restart-class knob changed.
+//
+// The environment is hardened against the failure modes of measuring a
+// live cloud database: transient stress-test failures are retried with
+// exponential backoff (charged to the clock), non-finite metric vectors
+// are sanitized before they reach an agent, and every fault is counted in
+// a FaultReport so callers can surface retry/fault telemetry. The
+// internal/chaos package injects those failures deterministically for
+// tests and resilience experiments.
+//
+// # Time-varying workloads
+//
+// Setting Env.Timeline makes the measured workload a function of the
+// virtual clock: each stress test runs the timeline's effective workload
+// at the simulated hour the clock maps to (workload.Timeline.HourAt),
+// sampled once at the start of the measurement window and held for its
+// duration. The stationary W field remains the base profile and is what
+// a nil-Timeline environment measures, so every existing tuner is
+// unaffected. Because the timeline is driven purely by the clock,
+// everything that charges virtual time — stress tests, deploys,
+// restarts, retry backoffs, injected stalls — also advances the
+// workload, which is exactly the cost model dynamic tuning needs: a
+// slow re-tune burns simulated hours of a changing day.
+package env

@@ -1,17 +1,3 @@
-// Package env wraps a simulated database instance, a tunable knob subset
-// and a workload into the tuning environment every tuner (CDBTune, DBA,
-// OtterTune, BestConfig) acts on. It also keeps the virtual wall clock
-// that reproduces the paper's §5.1.1 time accounting: each evaluation
-// charges the stress-test, metrics-collection and deployment times, plus
-// the two-minute restart when a restart-class knob changed.
-//
-// The environment is hardened against the failure modes of measuring a
-// live cloud database: transient stress-test failures are retried with
-// exponential backoff (charged to the clock), non-finite metric vectors
-// are sanitized before they reach an agent, and every fault is counted in
-// a FaultReport so callers can surface retry/fault telemetry. The
-// internal/chaos package injects those failures deterministically for
-// tests and resilience experiments.
 package env
 
 import (
@@ -124,6 +110,11 @@ type Env struct {
 	Cat *knobs.Catalog // the tunable subset exposed to the tuner
 	W   workload.Workload
 
+	// Timeline, when non-nil, makes the measured workload time-varying:
+	// each measurement runs Timeline.At(Hour()) instead of the stationary
+	// W (which stays the base profile). See the package doc.
+	Timeline *workload.Timeline
+
 	// DurationSec is the stress-test length per evaluation; the paper
 	// replays ~150 s of workload (§2.1.2).
 	DurationSec float64
@@ -190,6 +181,34 @@ func (e *Env) Steps() int { return e.steps }
 
 // Faults reports the measurement faults absorbed so far.
 func (e *Env) Faults() FaultReport { return e.faults }
+
+// Hour reports the simulated timeline hour the virtual clock currently
+// maps to (0 when no timeline is set).
+func (e *Env) Hour() float64 {
+	if e.Timeline == nil {
+		return 0
+	}
+	return e.Timeline.HourAt(e.Clock.Seconds())
+}
+
+// PhaseName reports the timeline segment active right now ("" when no
+// timeline is set).
+func (e *Env) PhaseName() string {
+	if e.Timeline == nil {
+		return ""
+	}
+	return e.Timeline.SegmentAt(e.Hour()).Name
+}
+
+// CurrentWorkload is the workload a measurement starting now would run:
+// the timeline's effective workload at the current simulated hour, or
+// the stationary W without a timeline.
+func (e *Env) CurrentWorkload() workload.Workload {
+	if e.Timeline == nil {
+		return e.W
+	}
+	return e.Timeline.At(e.Hour())
+}
 
 // Default returns the normalized default configuration for this
 // environment's hardware.
@@ -261,7 +280,10 @@ func (e *Env) measure() (simdb.Result, error) {
 		if err := e.ctxErr(); err != nil {
 			return simdb.Result{}, err
 		}
-		res, err := e.DB.RunWorkload(e.W, e.DurationSec)
+		// The workload is sampled at the start of each measurement window
+		// and held for its duration; retries re-sample, since their
+		// backoff has advanced the clock (and so the timeline).
+		res, err := e.DB.RunWorkload(e.CurrentWorkload(), e.DurationSec)
 		e.Clock.Charge(e.DurationSec + simdb.MetricsCollectSec)
 		if s, ok := e.DB.(Staller); ok {
 			if extra := s.TakeStallSeconds(); extra > 0 {

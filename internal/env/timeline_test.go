@@ -1,0 +1,63 @@
+package env
+
+import (
+	"math"
+	"testing"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+func TestTimelineDrivesMeasuredWorkload(t *testing.T) {
+	db := simdb.New(knobs.EngineCDB, simdb.CDBA, 1)
+	e := New(db, db.Catalog(), workload.SysbenchRW())
+	e.Timeline = workload.FlashCrowd(e.W)
+	e.DurationSec = simdb.ObserveSec
+
+	if e.PhaseName() != "calm" {
+		t.Fatalf("initial phase = %q, want calm", e.PhaseName())
+	}
+	calm, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance the clock into the burst phase and confirm the effective
+	// workload tracked the timeline. The measurement above already spent
+	// virtual time, so charge relative to the hour we are at now.
+	e.Clock.Charge((1.5 - e.Hour()) * 3600 / e.Timeline.Scale())
+	if got := e.PhaseName(); got != "burst" {
+		t.Fatalf("phase after charge = %q, want burst", got)
+	}
+	cw := e.CurrentWorkload()
+	if cw.Threads != 3*e.W.Threads {
+		t.Errorf("burst Threads = %d, want %d", cw.Threads, 3*e.W.Threads)
+	}
+	if math.Abs(e.Hour()-1.5) > 1e-9 {
+		t.Errorf("Hour = %v, want 1.5", e.Hour())
+	}
+	burst, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3× concurrency with a much larger hot set must not look like the
+	// calm phase: latency rises under pressure.
+	if burst.Ext.Latency99 <= calm.Ext.Latency99 {
+		t.Errorf("burst latency %v not above calm latency %v", burst.Ext.Latency99, calm.Ext.Latency99)
+	}
+}
+
+func TestNilTimelineIsStationary(t *testing.T) {
+	e := newEnv(t)
+	if e.Hour() != 0 || e.PhaseName() != "" {
+		t.Fatalf("stationary env reported Hour=%v Phase=%q", e.Hour(), e.PhaseName())
+	}
+	if got := e.CurrentWorkload(); got != e.W {
+		t.Fatalf("CurrentWorkload = %+v, want base W", got)
+	}
+	e.Clock.Charge(1e6)
+	if got := e.CurrentWorkload(); got != e.W {
+		t.Fatalf("CurrentWorkload after charge = %+v, want base W", got)
+	}
+}

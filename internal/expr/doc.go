@@ -1,0 +1,9 @@
+// Package expr is the experiment harness: one constructor per table and
+// figure in the paper's evaluation (§5 and Appendix C), each returning the
+// same rows/series the paper reports. cmd/expdriver prints them;
+// bench_test.go regenerates them under `go test -bench`.
+//
+// Absolute numbers come from the simulator substrate and are not expected
+// to match the paper's Tencent testbed; EXPERIMENTS.md records, per
+// experiment, the paper's shape next to the measured shape.
+package expr

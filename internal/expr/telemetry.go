@@ -112,7 +112,7 @@ func TrainingTelemetry(b Budget, workers int) ([]Table, error) {
 
 	cnt := in.Counters()
 	resil := Table{
-		Title: "Resilience summary (seeded fault injection vs. hardened-loop accounting)",
+		Title:  "Resilience summary (seeded fault injection vs. hardened-loop accounting)",
 		Header: []string{"counter", "training", "online tune"},
 		Rows: [][]string{
 			{"injected transients", fmt.Sprintf("%d", cnt.Transients), fmt.Sprintf("%d", tuneIn.Counters().Transients)},

@@ -1,0 +1,4 @@
+// Package gp implements Gaussian-process regression with a squared
+// exponential kernel, the model OtterTune [4] uses to map configurations
+// to performance. Inputs are expected in normalized [0,1]^d space.
+package gp

@@ -1,0 +1,17 @@
+// Package knobs defines the tunable configuration-knob catalogs for the
+// database engines the paper evaluates: 266 knobs for Tencent CDB (MySQL),
+// the same catalog for local MySQL, 232 for MongoDB and 169 for Postgres
+// (§5, Appendix C.3).
+//
+// Each knob carries a semantic Role so the simulator can model the effect
+// of, say, the buffer pool without caring whether the knob is MySQL's
+// innodb_buffer_pool_size or Postgres' shared_buffers. Knobs whose
+// individual effect the paper does not describe carry RoleAux and are given
+// small procedurally generated nonlinear response surfaces by the
+// simulator, which is what makes the knob space genuinely 266-dimensional
+// (see DESIGN.md §1).
+//
+// Agents act in normalized [0,1]^K space; Catalog.Denormalize converts a
+// normalized vector into actual knob values for a concrete hardware
+// instance (memory- and disk-scaled knobs widen with the instance).
+package knobs

@@ -1,0 +1,5 @@
+// Package lasso implements L1-regularized linear regression via cyclic
+// coordinate descent. OtterTune [4] ranks knob importance with Lasso
+// paths; internal/ottertune uses this package for the Figure 7 knob
+// ordering.
+package lasso

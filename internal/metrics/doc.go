@@ -1,0 +1,6 @@
+// Package metrics defines the 63 internal metrics CDBTune uses as the RL
+// state (§2.1.1): the statistics "show status" exposes, split into 14
+// state values (gauges, averaged over the collection window) and 49
+// cumulative values (counters, differenced over the window), exactly the
+// processing the paper's metrics collector performs (§2.2.2).
+package metrics

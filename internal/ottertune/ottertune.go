@@ -1,10 +1,3 @@
-// Package ottertune reimplements the OtterTune baseline [4] the paper
-// compares against: a pipelined learning model with (1) Lasso-based knob
-// ranking, (2) workload mapping by internal-metric distance against a
-// repository of historical tuning sessions, and (3) Gaussian-process
-// regression with expected-improvement search to recommend the next
-// configuration. A deep-learning variant (Figure 1's "OtterTune with deep
-// learning") swaps the GP for a feed-forward network.
 package ottertune
 
 import (

@@ -1,0 +1,26 @@
+// Package registry implements the model collection behind the paper's
+// serving story (§5, "when a new tuning request arrives"): trained agents
+// persisted on disk and keyed by a workload fingerprint, so a new tuning
+// request can be matched against previously trained models and fine-tune
+// the closest one instead of training from scratch.
+//
+// Each entry is one file (<id>.model) holding the entry metadata plus the
+// serialized agent, written atomically (nn.WriteAtomic: temp file, fsync,
+// rename, directory fsync) and framed with the same CRC32 integrity
+// footer checkpoints use, so a torn or bit-flipped entry is detected and
+// skipped loudly rather than served. Repeated fine-tunes of the same
+// model update the entry in place and bump its version instead of
+// duplicating it; when the collection outgrows MaxEntries, the
+// least-recently-updated unpinned entry is evicted (Promote pins an entry
+// against eviction).
+//
+// Fingerprints are built from the normalized metric state at the default
+// configuration (Fingerprint). The dynamic serving loop also matches on
+// fingerprints built from the *live* state mid-drift; those approximate
+// the canonical default-config fingerprint — the serving configuration
+// skews some metrics — but stay in the same normalized space, and the
+// NearestWithin radius bounds how wrong an approximate match can be
+// before warm-seeding is skipped.
+//
+// All methods are safe for concurrent use by multiple serving sessions.
+package registry

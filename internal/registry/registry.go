@@ -1,20 +1,3 @@
-// Package registry implements the model collection behind the paper's
-// serving story (§5, "when a new tuning request arrives"): trained agents
-// persisted on disk and keyed by a workload fingerprint, so a new tuning
-// request can be matched against previously trained models and fine-tune
-// the closest one instead of training from scratch.
-//
-// Each entry is one file (<id>.model) holding the entry metadata plus the
-// serialized agent, written atomically (nn.WriteAtomic: temp file, fsync,
-// rename, directory fsync) and framed with the same CRC32 integrity
-// footer checkpoints use, so a torn or bit-flipped entry is detected and
-// skipped loudly rather than served. Repeated fine-tunes of the same
-// model update the entry in place and bump its version instead of
-// duplicating it; when the collection outgrows MaxEntries, the
-// least-recently-updated unpinned entry is evicted (Promote pins an entry
-// against eviction).
-//
-// All methods are safe for concurrent use by multiple serving sessions.
 package registry
 
 import (
@@ -302,6 +285,19 @@ func (r *Registry) Nearest(fp []float64) (Match, bool) {
 		return Match{Meta: meta, Model: model, Distance: c.d}, true
 	}
 	return Match{}, false
+}
+
+// NearestWithin is Nearest restricted to a match radius: lookups whose
+// best candidate sits farther than radius return ok = false, so callers
+// warm-seeding a re-tune can fall back to their current weights instead
+// of adopting a model trained for an unrelated workload. A radius ≤ 0
+// means unrestricted.
+func (r *Registry) NearestWithin(fp []float64, radius float64) (Match, bool) {
+	m, ok := r.Nearest(fp)
+	if !ok || (radius > 0 && m.Distance > radius) {
+		return Match{}, false
+	}
+	return m, true
 }
 
 // nearTie reports whether two distances are within 1% (relative) of each

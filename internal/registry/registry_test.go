@@ -271,3 +271,29 @@ func TestPutValidation(t *testing.T) {
 		t.Fatal("missing fingerprint must be rejected")
 	}
 }
+
+func TestNearestWithinRadius(t *testing.T) {
+	r := quietOpen(t, t.TempDir())
+	a, err := r.Put(Meta{Workload: "a", Fingerprint: fp(0.2)}, fakeModel("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact fingerprint: inside any radius.
+	if m, ok := r.NearestWithin(fp(0.2), 0.05); !ok || m.Meta.ID != a.ID {
+		t.Fatalf("NearestWithin exact = %v/%v, want %s", m.Meta.ID, ok, a.ID)
+	}
+	// A distant query must be rejected by a tight radius but pass
+	// unrestricted.
+	far := fp(50)
+	if _, ok := r.NearestWithin(far, 0.05); ok {
+		t.Fatal("NearestWithin matched beyond its radius")
+	}
+	if m, ok := r.NearestWithin(far, 0); !ok || m.Meta.ID != a.ID {
+		t.Fatalf("unrestricted NearestWithin = %v/%v, want %s", m.Meta.ID, ok, a.ID)
+	}
+	// Empty registry: never a match.
+	r2 := quietOpen(t, t.TempDir())
+	if _, ok := r2.NearestWithin(fp(0.2), 0); ok {
+		t.Fatal("NearestWithin matched in an empty registry")
+	}
+}

@@ -1,0 +1,8 @@
+// Package reward implements CDBTune's reward function (§4.2, Eq. 4-7) and
+// the three alternatives it is compared against in Appendix C.1.1.
+//
+// The reward encodes a DBA's judgement: performance is compared both to
+// the initial settings (is the tuning trend right?) and to the previous
+// step (is this step an improvement?). Throughput and latency rewards are
+// combined with user-weighted coefficients CT and CL, CT + CL = 1.
+package reward

@@ -87,6 +87,21 @@ type Config struct {
 	GuardK      int
 	GuardRadius float64
 
+	// Timeline, when non-empty, appends a dynamic serving window to every
+	// session (a per-request JobRequest.Timeline overrides it): after the
+	// tuned model is registered, the session keeps serving the named
+	// workload timeline (workload.TimelineByName) with the drift detector
+	// armed, re-tuning in place whenever the workload fingerprint
+	// diverges. ServeHours bounds the window in simulated hours (0 = one
+	// timeline cycle), TimeScale overrides the timeline's compression
+	// (simulated seconds per virtual second, 0 = the timeline's own), and
+	// DriftThreshold overrides the detector threshold (0 = calibrated
+	// default).
+	Timeline       string
+	ServeHours     float64
+	TimeScale      float64
+	DriftThreshold float64
+
 	// Catalog is the tunable knob subset (default: the full CDB catalog).
 	Catalog *knobs.Catalog
 	// TunerConfig builds each session's tuner configuration (default
@@ -168,6 +183,12 @@ type JobRequest struct {
 	Instance string `json:"instance,omitempty"`
 	// Seed seeds the user instance's simulator (0 = derived).
 	Seed int64 `json:"seed,omitempty"`
+	// Timeline names a workload timeline to keep serving after the tune
+	// ("" = Config.Timeline; "none" suppresses a config-level default).
+	Timeline string `json:"timeline,omitempty"`
+	// ServeHours bounds the dynamic window in simulated hours (0 =
+	// Config.ServeHours, then one timeline cycle).
+	ServeHours float64 `json:"serve_hours,omitempty"`
 }
 
 // JobStatus is a session's externally visible state.
@@ -199,6 +220,14 @@ type JobStatus struct {
 	Improvement    float64 `json:"improvement"`
 	Approved       bool    `json:"approved"`
 	BestThroughput float64 `json:"best_throughput"`
+
+	// Dynamic-serving counters, present when the session served a
+	// workload timeline after tuning: drift detections, drift-triggered
+	// re-tunes, and guardrail/crash reverts during the window.
+	Timeline string `json:"timeline,omitempty"`
+	Drifts   int    `json:"drifts,omitempty"`
+	Retunes  int    `json:"retunes,omitempty"`
+	Reverts  int    `json:"reverts,omitempty"`
 
 	QueueWaitMs float64 `json:"queue_wait_ms"`
 	Error       string  `json:"error,omitempty"`
@@ -257,6 +286,10 @@ type session struct {
 	improvement   float64
 	approved      bool
 	bestTput      float64
+	timeline      string
+	drifts        int
+	retunes       int
+	reverts       int
 	queueWait     time.Duration
 	errMsg        string
 	events        []Event
@@ -341,6 +374,20 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 			return JobStatus{}, fmt.Errorf("server: unknown instance %q", req.Instance)
 		}
 	}
+	// Resolve the dynamic serving window up front so an unknown timeline
+	// is rejected at submission, not hours into the session.
+	tlName := req.Timeline
+	if tlName == "" {
+		tlName = m.cfg.Timeline
+	}
+	if tlName == "none" {
+		tlName = ""
+	}
+	if tlName != "" {
+		if _, err := workload.TimelineByName(tlName, w); err != nil {
+			return JobStatus{}, fmt.Errorf("server: %w", err)
+		}
+	}
 
 	m.mu.Lock()
 	if m.closed {
@@ -355,6 +402,7 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 		baseSeed:  m.cfg.Seed + int64(m.nextID)*1_000_003,
 		submitted: time.Now(),
 		state:     StateQueued,
+		timeline:  tlName,
 		notify:    make(chan struct{}),
 	}
 	m.nextID++
@@ -482,6 +530,8 @@ func (m *Manager) statusLocked(s *session) JobStatus {
 		Episodes: s.episodes, EpisodesSaved: s.episodesSaved,
 		ModelID: s.modelID, Improvement: s.improvement,
 		Approved: s.approved, BestThroughput: s.bestTput,
+		Timeline: s.timeline,
+		Drifts:   s.drifts, Retunes: s.retunes, Reverts: s.reverts,
 		QueueWaitMs: float64(s.queueWait) / float64(time.Millisecond),
 		Error:       s.errMsg,
 	}
@@ -690,7 +740,122 @@ func (m *Manager) serve(ctx context.Context, s *session) error {
 	s.modelID = stored.ID
 	m.eventLocked(s, "registry", "model %s v%d stored (%d cumulative episodes)", stored.ID, stored.Version, stored.Episodes)
 	m.mu.Unlock()
+
+	if s.timeline == "" {
+		return nil
+	}
+	return m.serveDynamic(ctx, s, tn, userDB, stored)
+}
+
+// serveDynamic keeps the tuned session alive under a time-varying
+// workload: the drift detector watches the streaming fingerprint, each
+// drift triggers an in-place guarded re-tune warm-seeded from the
+// registry's nearest model (skipping the session's own entry), and every
+// drift/re-tune/revert lands in the session's NDJSON event stream. The
+// fine-tuned model is written back to the registry when the window ends.
+func (m *Manager) serveDynamic(ctx context.Context, s *session, tn *core.Tuner, userDB env.Database, stored registry.Meta) error {
+	cfg := m.cfg
+	tl, err := workload.TimelineByName(s.timeline, s.w)
+	if err != nil {
+		return fmt.Errorf("dynamic window: %w", err)
+	}
+	if cfg.TimeScale > 0 {
+		tl.TimeScale = cfg.TimeScale
+	}
+	e := env.New(userDB, cfg.Catalog, s.w)
+	e.Timeline = tl
+	hours := s.req.ServeHours
+	if hours <= 0 {
+		hours = cfg.ServeHours
+	}
+	m.event(s, "dynamic", "serving timeline %s for %.0fh (drift threshold %.3f)",
+		tl.Name, nonZero(hours, tl.TotalHours()), nonZero(cfg.DriftThreshold, core.DefaultDriftThreshold))
+
+	guardK, guardR := cfg.GuardK, cfg.GuardRadius
+	if guardK <= 0 {
+		guardK = 3
+	}
+	if guardR <= 0 {
+		guardR = 0.05
+	}
+	rep, derr := tn.ServeDynamic(e, core.DynamicOptions{
+		HorizonHours: hours,
+		Drift:        core.DriftConfig{Threshold: cfg.DriftThreshold},
+		Guard:        core.NewGuardrail(guardK, guardR),
+		FineTune:     true,
+		Ctx:          ctx,
+		WarmSeed: func(state []float64, w workload.Workload) (string, bool) {
+			fp := registry.Fingerprint(state, w, s.inst.HW)
+			mt, ok := m.reg.NearestWithin(fp, cfg.MatchRadius)
+			if !ok || mt.Meta.ID == stored.ID {
+				// No model closer than the radius, or the nearest is this
+				// session's own entry — keep re-tuning with the weights
+				// already loaded.
+				return "", false
+			}
+			if lerr := tn.Load(bytes.NewReader(mt.Model)); lerr != nil {
+				m.event(s, "drift", "warm seed %s failed to load (%v); re-tuning in place", mt.Meta.ID, lerr)
+				return "", false
+			}
+			return mt.Meta.ID, true
+		},
+		OnEvent: func(ev core.DynamicEvent) {
+			m.mu.Lock()
+			switch ev.Kind {
+			case "drift":
+				s.drifts++
+			case "retune":
+				s.retunes++
+			case "revert":
+				s.reverts++
+			}
+			m.eventLocked(s, ev.Kind, "%s", ev.String())
+			m.mu.Unlock()
+		},
+	})
+	// Partial accounting is valid even when the window errored; surface
+	// it before deciding the session's fate.
+	m.mu.Lock()
+	if rep.Final.Throughput > s.bestTput {
+		s.bestTput = rep.Final.Throughput
+	}
+	m.eventLocked(s, "dynamic", "window closed: %.1fh served, %d drifts, %d retunes, %d reverts, %d crashes, mean %.1f tx/s",
+		rep.Hours, rep.Drifts, len(rep.Retunes), rep.Reverts, rep.Crashes, rep.MeanThroughput())
+	m.mu.Unlock()
+	if derr != nil {
+		return fmt.Errorf("dynamic window: %w", derr)
+	}
+
+	// Registry fine-tune write-back: the drift re-tunes updated the
+	// model; persist the new version in place.
+	if len(rep.Retunes) > 0 {
+		var buf bytes.Buffer
+		if err := tn.Save(&buf); err != nil {
+			return fmt.Errorf("serializing re-tuned model: %w", err)
+		}
+		meta := registry.Meta{
+			ID: stored.ID, Workload: s.w.Name, Instance: s.inst.Name,
+			Fingerprint: stored.Fingerprint,
+			Episodes:    stored.Episodes + len(rep.Retunes),
+		}
+		meta.BestThroughput = stored.BestThroughput
+		if rep.Final.Throughput > meta.BestThroughput {
+			meta.BestThroughput = rep.Final.Throughput
+		}
+		upd, err := m.reg.Put(meta, buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("re-registering fine-tuned model: %w", err)
+		}
+		m.event(s, "registry", "model %s v%d updated from %d drift re-tunes", upd.ID, upd.Version, len(rep.Retunes))
+	}
 	return nil
+}
+
+func nonZero(v, fallback float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return fallback
 }
 
 // train runs chunked offline training until the greedy policy's probed

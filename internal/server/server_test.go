@@ -400,3 +400,96 @@ func TestManagerValidation(t *testing.T) {
 		t.Fatal("unknown job must not resolve")
 	}
 }
+
+// TestDynamicServingJob submits a job with a timeline: after the tune the
+// session must serve the flash-crowd window, detect at least one drift,
+// re-tune in place, and surface the counters in both the job status and
+// the NDJSON event stream.
+func TestDynamicServingJob(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	_, base := startServer(t, cfg)
+
+	body, _ := json.Marshal(JobRequest{
+		Workload: "sysbench-rw", Instance: "CDB-A",
+		Timeline: "flashcrowd", ServeHours: 6,
+	})
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	final := waitJob(t, base, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job state %s (%s)", final.State, final.Error)
+	}
+	if final.Timeline != "flashcrowd" {
+		t.Errorf("status timeline = %q", final.Timeline)
+	}
+	if final.Drifts < 1 || final.Retunes < 1 {
+		t.Fatalf("drifts %d, retunes %d — want ≥ 1 each", final.Drifts, final.Retunes)
+	}
+
+	// The event stream carries the drift/retune stages.
+	eresp, err := http.Get(base + "/api/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	data, err := io.ReadAll(eresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		stages[ev.Stage]++
+	}
+	for _, want := range []string{"dynamic", "drift", "retune"} {
+		if stages[want] == 0 {
+			t.Errorf("event stream has no %q stage (got %v)", want, stages)
+		}
+	}
+}
+
+// TestSubmitRejectsUnknownTimeline pins the fail-fast validation.
+func TestSubmitRejectsUnknownTimeline(t *testing.T) {
+	cfg := testConfig(t)
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Submit(JobRequest{Workload: "sysbench-rw", Timeline: "bogus"}); err == nil {
+		t.Fatal("unknown timeline accepted at submit")
+	}
+	// "none" suppresses a config-level default timeline.
+	cfg2 := testConfig(t)
+	cfg2.Timeline = "flashcrowd"
+	m2, err := NewManager(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	st, err := m2.Submit(JobRequest{Workload: "sysbench-rw", Timeline: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Timeline != "" {
+		t.Fatalf("timeline = %q, want suppressed", st.Timeline)
+	}
+}

@@ -36,6 +36,11 @@ const (
 	DeploySec         = 16.68
 	RestartSec        = 120
 	SamplePeriodSec   = 5 // external/internal metric sampling cadence
+
+	// ObserveSec is the short observation window the dynamic-serving loop
+	// uses between re-tunes: long enough for a handful of metric samples,
+	// cheap enough to poll a timeline many times per simulated day.
+	ObserveSec = 30
 )
 
 // DB is one simulated database instance.

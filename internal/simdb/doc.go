@@ -1,0 +1,20 @@
+// Package simdb simulates the cloud database instances the paper tunes.
+//
+// We have no Tencent CDB fleet, so this package is the substitute substrate
+// (see DESIGN.md §1): a knob-driven performance model exposing exactly the
+// surface the tuners consume — apply a configuration, run a stress test,
+// read back the 63 internal metrics ("show status") and the two external
+// metrics (throughput, 99th-percentile latency). The model reproduces the
+// qualitative structure the paper reports: saturating buffer-pool returns
+// with a swap cliff, redo-log checkpoint pressure with a crash when the log
+// group outgrows the disk (§5.2.3), inverted-U IO-thread and concurrency
+// responses, flush-durability tradeoffs, and a 266-dimensional nonlinear
+// minor-knob surface with pairwise interactions (Figure 1d).
+//
+// The model is stateless in the workload: every RunWorkload evaluates the
+// profile it is handed, so a time-varying caller (env.Env with a
+// workload.Timeline) drives load dynamics simply by passing a different
+// effective workload per measurement window — concurrency, read/write mix
+// and working-set size all flow through the same cost model that shapes
+// the stationary benchmarks.
+package simdb

@@ -1,0 +1,38 @@
+// Package workload models the six benchmark workloads the paper evaluates
+// (§5: Sysbench read-only / write-only / read-write, TPC-C, TPC-H, YCSB)
+// plus the user-workload replay mechanism of the workload generator
+// (§2.2.1). The tuners never see SQL; what matters to the performance
+// model is each workload's operational profile: read/write mix, scan and
+// sort intensity, working-set size, access skew and client concurrency —
+// the dimensions along which the paper's benchmarks actually differ.
+//
+// # Timelines
+//
+// A Timeline makes a profile time-varying: an ordered list of Segments
+// (steady, diurnal sinusoid, batch window, burst spike, ramp), each
+// spanning a number of simulated hours and modulating the base
+// workload's request rate (client concurrency), read/write mix
+// (additive ReadDelta) and working-set size (WorkingSetScale).
+// Timeline.At(hour) materializes the instantaneous effective Workload;
+// the result always satisfies Validate — threads stay ≥ 1, the mix is
+// clamped to [0,1], and the working set is clamped to the data size.
+// Within one segment the modifiers are deterministic functions of the
+// hour, so two runs over the same timeline see the same load curve.
+//
+// # Virtual-clock charging
+//
+// Timelines live in simulated time, but tuning sessions are budgeted in
+// virtual seconds on env.Clock (measurements charge StressTestSec,
+// deploys charge DeploySec + RestartSec, and so on — see internal/simdb).
+// TimeScale bridges the two: one virtual clock-second advances the
+// timeline by TimeScale simulated seconds. The default (DefaultTimeScale
+// = 60) compresses a simulated hour into a virtual minute, so a 24-hour
+// tenant day plays out across ~24 virtual minutes of charged
+// measurements, and a guarded re-tune of a few steps consumes a couple
+// of simulated hours — long enough that reacting late visibly costs
+// throughput, which is the dynamic-tuning trade-off the experiments
+// surface. The timeline itself never advances the clock; it is a pure
+// function from clock time (HourAt) to effective workload, so whoever
+// owns the env (core.ServeDynamic, the server) controls pacing solely by
+// spending virtual time.
+package workload

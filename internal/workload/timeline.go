@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SegmentKind names the load shape a timeline segment applies over its
+// span of simulated hours.
+type SegmentKind int
+
+// Segment kinds.
+const (
+	// Steady holds the segment's Rate multiplier constant.
+	Steady SegmentKind = iota
+	// Diurnal modulates Rate with a sinusoid: Rate·(1 + Amplitude·sin),
+	// one full period every PeriodHours, starting at the mean.
+	Diurnal
+	// Batch is a steady window intended for bulk/ETL load: typically a
+	// write-heavier mix (negative ReadDelta) and a larger working set.
+	Batch
+	// Burst is a steady window at an elevated Rate — a flash crowd.
+	Burst
+	// Ramp interpolates the multiplier linearly from Rate to RateTo
+	// across the segment.
+	Ramp
+)
+
+// String returns the lowercase kind name.
+func (k SegmentKind) String() string {
+	switch k {
+	case Steady:
+		return "steady"
+	case Diurnal:
+		return "diurnal"
+	case Batch:
+		return "batch"
+	case Burst:
+		return "burst"
+	case Ramp:
+		return "ramp"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Segment is one phase of a Timeline: a load shape held for Hours
+// simulated hours, plus optional modifiers on the base workload's mix
+// and working set.
+type Segment struct {
+	Name  string
+	Kind  SegmentKind
+	Hours float64
+
+	// Rate is the request-rate multiplier applied to the base workload's
+	// client concurrency (Threads). Zero means 1 (inherit base load).
+	Rate float64
+	// RateTo is the multiplier at the end of a Ramp segment; ignored for
+	// other kinds.
+	RateTo float64
+	// Amplitude is the relative swing of a Diurnal sinusoid around Rate
+	// (0.4 ⇒ ±40%). Ignored for other kinds.
+	Amplitude float64
+	// PeriodHours is the sinusoid period of a Diurnal segment; zero
+	// defaults to the segment length.
+	PeriodHours float64
+
+	// ReadDelta shifts the base ReadFraction additively (clamped to
+	// [0,1]). Zero inherits the base mix; use a negative delta for
+	// write-heavier phases. An additive delta keeps the zero value
+	// meaning "unchanged", so plain segments need no boilerplate.
+	ReadDelta float64
+	// WorkingSetScale multiplies the base WorkingSetGB (clamped to
+	// DataSizeGB). Zero means 1.
+	WorkingSetScale float64
+}
+
+// rateAt returns the request-rate multiplier at offset h hours into the
+// segment (0 ≤ h < s.Hours).
+func (s Segment) rateAt(h float64) float64 {
+	base := s.Rate
+	if base == 0 {
+		base = 1
+	}
+	switch s.Kind {
+	case Ramp:
+		to := s.RateTo
+		if to == 0 {
+			to = base
+		}
+		if s.Hours <= 0 {
+			return to
+		}
+		return base + (to-base)*(h/s.Hours)
+	case Diurnal:
+		period := s.PeriodHours
+		if period <= 0 {
+			period = s.Hours
+		}
+		if period <= 0 {
+			return base
+		}
+		return base * (1 + s.Amplitude*math.Sin(2*math.Pi*h/period))
+	default:
+		return base
+	}
+}
+
+// Timeline composes segments into a time-varying workload over simulated
+// hours. The virtual clock (env.Clock, in simulated seconds) maps onto
+// the timeline through TimeScale: one clock second advances the timeline
+// by TimeScale simulated seconds, so a full day can play out within a
+// tuning session's virtual-time budget.
+type Timeline struct {
+	Name string
+	// Base is the stationary profile the segments modulate.
+	Base Workload
+	// TimeScale is simulated timeline-seconds per virtual clock-second.
+	// Zero means 60 (one virtual minute per simulated hour... i.e. a
+	// 24-hour day compresses into 24 virtual minutes).
+	TimeScale float64
+	// Repeat wraps the timeline after TotalHours instead of holding the
+	// last segment forever.
+	Repeat   bool
+	Segments []Segment
+}
+
+// DefaultTimeScale is the compression used when Timeline.TimeScale is
+// zero: 60 simulated seconds per virtual second, i.e. one simulated hour
+// per virtual minute.
+const DefaultTimeScale = 60
+
+// Validate reports whether the timeline is internally consistent: a
+// valid base workload, at least one segment, positive segment lengths,
+// non-negative rates, and modifiers that keep every instantaneous
+// effective workload valid.
+func (t *Timeline) Validate() error {
+	if err := t.Base.Validate(); err != nil {
+		return fmt.Errorf("timeline %s: base: %w", t.Name, err)
+	}
+	if len(t.Segments) == 0 {
+		return fmt.Errorf("timeline %s: no segments", t.Name)
+	}
+	if t.TimeScale < 0 {
+		return fmt.Errorf("timeline %s: negative TimeScale %v", t.Name, t.TimeScale)
+	}
+	for i, s := range t.Segments {
+		if s.Hours <= 0 {
+			return fmt.Errorf("timeline %s: segment %d (%s): non-positive Hours %v", t.Name, i, s.Name, s.Hours)
+		}
+		if s.Rate < 0 || s.RateTo < 0 {
+			return fmt.Errorf("timeline %s: segment %d (%s): negative rate", t.Name, i, s.Name)
+		}
+		if s.Kind == Diurnal && (s.Amplitude < 0 || s.Amplitude > 1) {
+			return fmt.Errorf("timeline %s: segment %d (%s): Amplitude %v out of [0,1]", t.Name, i, s.Name, s.Amplitude)
+		}
+		if s.WorkingSetScale < 0 {
+			return fmt.Errorf("timeline %s: segment %d (%s): negative WorkingSetScale", t.Name, i, s.Name)
+		}
+	}
+	return nil
+}
+
+// TotalHours is the sum of all segment lengths.
+func (t *Timeline) TotalHours() float64 {
+	var h float64
+	for _, s := range t.Segments {
+		h += s.Hours
+	}
+	return h
+}
+
+// Scale returns the effective TimeScale (DefaultTimeScale when unset).
+func (t *Timeline) Scale() float64 {
+	if t.TimeScale > 0 {
+		return t.TimeScale
+	}
+	return DefaultTimeScale
+}
+
+// HourAt converts virtual clock seconds into simulated timeline hours.
+func (t *Timeline) HourAt(clockSec float64) float64 {
+	return clockSec * t.Scale() / 3600
+}
+
+// locate resolves a simulated hour to a segment and the offset into it.
+// Past the end, a repeating timeline wraps; otherwise the last segment
+// holds at its final instant.
+func (t *Timeline) locate(hour float64) (Segment, float64) {
+	total := t.TotalHours()
+	if total <= 0 || len(t.Segments) == 0 {
+		return Segment{Kind: Steady, Hours: 1}, 0
+	}
+	if hour < 0 {
+		hour = 0
+	}
+	if hour >= total {
+		if t.Repeat {
+			hour = math.Mod(hour, total)
+		} else {
+			last := t.Segments[len(t.Segments)-1]
+			return last, last.Hours
+		}
+	}
+	for _, s := range t.Segments {
+		if hour < s.Hours {
+			return s, hour
+		}
+		hour -= s.Hours
+	}
+	last := t.Segments[len(t.Segments)-1]
+	return last, last.Hours
+}
+
+// SegmentAt returns the segment active at the given simulated hour.
+func (t *Timeline) SegmentAt(hour float64) Segment {
+	s, _ := t.locate(hour)
+	return s
+}
+
+// LoadAt returns the instantaneous request-rate multiplier at the given
+// simulated hour — the compressed load curve the experiments plot.
+func (t *Timeline) LoadAt(hour float64) float64 {
+	s, off := t.locate(hour)
+	return s.rateAt(off)
+}
+
+// At materializes the effective workload at the given simulated hour:
+// the base profile with the active segment's rate multiplier applied to
+// client concurrency, its ReadDelta applied to the read/write mix, and
+// its WorkingSetScale applied to the hot-set size (clamped to the data
+// size). The result always satisfies Validate.
+func (t *Timeline) At(hour float64) Workload {
+	s, off := t.locate(hour)
+	w := t.Base
+	if s.Name != "" {
+		w.Name = t.Base.Name + "@" + s.Name
+	}
+	rate := s.rateAt(off)
+	thr := int(math.Round(float64(t.Base.Threads) * rate))
+	if thr < 1 {
+		thr = 1
+	}
+	w.Threads = thr
+	w.ReadFraction = clamp01(t.Base.ReadFraction + s.ReadDelta)
+	scale := s.WorkingSetScale
+	if scale == 0 {
+		scale = 1
+	}
+	ws := t.Base.WorkingSetGB * scale
+	if ws > t.Base.DataSizeGB {
+		ws = t.Base.DataSizeGB
+	}
+	if ws <= 0 {
+		ws = t.Base.WorkingSetGB
+	}
+	w.WorkingSetGB = ws
+	return w
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Diurnal24 builds a compressed 24-hour tenant day over the given base
+// workload: an overnight trough, a morning ramp, daytime diurnal
+// wobble, a write-heavy batch window, an evening flash crowd, and a
+// wind-down — the canonical dynamic-serving scenario of the experiments.
+// The timeline repeats, so serving windows longer than a day keep
+// cycling.
+func Diurnal24(base Workload) *Timeline {
+	return &Timeline{
+		Name: "diurnal24",
+		Base: base,
+		// Default compression: 24 simulated hours in 24 virtual minutes.
+		TimeScale: DefaultTimeScale,
+		Repeat:    true,
+		Segments: []Segment{
+			{Name: "night", Kind: Steady, Hours: 6, Rate: 0.35},
+			{Name: "morning-ramp", Kind: Ramp, Hours: 3, Rate: 0.35, RateTo: 1.0},
+			{Name: "daytime", Kind: Diurnal, Hours: 8, Rate: 1.0, Amplitude: 0.15, PeriodHours: 8},
+			{Name: "batch-window", Kind: Batch, Hours: 2, Rate: 0.9, ReadDelta: -0.45, WorkingSetScale: 1.6},
+			{Name: "evening-burst", Kind: Burst, Hours: 2, Rate: 2.2, WorkingSetScale: 1.3},
+			{Name: "wind-down", Kind: Ramp, Hours: 3, Rate: 1.0, RateTo: 0.35},
+		},
+	}
+}
+
+// FlashCrowd builds a short three-phase timeline — steady, a hard burst
+// at 3× load with a larger hot set, steady again — used by the drift
+// smoke test and quick demos.
+func FlashCrowd(base Workload) *Timeline {
+	return &Timeline{
+		Name:      "flashcrowd",
+		Base:      base,
+		TimeScale: DefaultTimeScale,
+		Repeat:    true,
+		Segments: []Segment{
+			{Name: "calm", Kind: Steady, Hours: 1, Rate: 1.0},
+			{Name: "burst", Kind: Burst, Hours: 2, Rate: 3.0, WorkingSetScale: 1.8},
+			{Name: "recovery", Kind: Steady, Hours: 1, Rate: 1.0},
+		},
+	}
+}
+
+// Timelines lists the named timeline builders available to the CLI.
+func Timelines() []string { return []string{"diurnal24", "flashcrowd"} }
+
+// TimelineByName resolves a named timeline over the given base workload.
+func TimelineByName(name string, base Workload) (*Timeline, error) {
+	switch name {
+	case "diurnal24":
+		return Diurnal24(base), nil
+	case "flashcrowd":
+		return FlashCrowd(base), nil
+	}
+	return nil, fmt.Errorf("workload: unknown timeline %q (have %s)", name, strings.Join(Timelines(), ", "))
+}

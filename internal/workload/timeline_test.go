@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimelineValidateBuilders(t *testing.T) {
+	for _, name := range Timelines() {
+		tl, err := TimelineByName(name, SysbenchRW())
+		if err != nil {
+			t.Fatalf("TimelineByName(%q): %v", name, err)
+		}
+		if err := tl.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", name, err)
+		}
+		// Every instantaneous workload across the whole span must be valid.
+		total := tl.TotalHours()
+		for h := 0.0; h < total; h += total / 97 {
+			if err := tl.At(h).Validate(); err != nil {
+				t.Errorf("%s: At(%v) invalid: %v", name, h, err)
+			}
+		}
+	}
+	if _, err := TimelineByName("nope", SysbenchRW()); err == nil {
+		t.Error("TimelineByName accepted unknown name")
+	}
+}
+
+func TestTimelinePhaseBoundaries(t *testing.T) {
+	tl := Diurnal24(TPCC())
+	if got := tl.TotalHours(); got != 24 {
+		t.Fatalf("TotalHours = %v, want 24", got)
+	}
+	cases := []struct {
+		hour float64
+		seg  string
+	}{
+		{0, "night"},
+		{5.999, "night"},
+		{6, "morning-ramp"},
+		{8.999, "morning-ramp"},
+		{9, "daytime"},
+		{16.999, "daytime"},
+		{17, "batch-window"},
+		{19, "evening-burst"},
+		{20.999, "evening-burst"},
+		{21, "wind-down"},
+		{23.999, "wind-down"},
+		{24, "night"}, // Repeat wraps
+		{24 + 19.5, "evening-burst"},
+	}
+	for _, c := range cases {
+		if got := tl.SegmentAt(c.hour).Name; got != c.seg {
+			t.Errorf("SegmentAt(%v) = %q, want %q", c.hour, got, c.seg)
+		}
+	}
+}
+
+func TestTimelineDeterministicAndShapes(t *testing.T) {
+	tl := Diurnal24(SysbenchRW())
+	base := tl.Base
+
+	// Determinism: same hour, same effective workload.
+	for _, h := range []float64{0, 7.5, 13.2, 17.5, 19.9, 22.1} {
+		a, b := tl.At(h), tl.At(h)
+		if a != b {
+			t.Fatalf("At(%v) not deterministic: %+v vs %+v", h, a, b)
+		}
+	}
+
+	// Night trough: 0.35× threads, base mix untouched.
+	night := tl.At(3)
+	if want := int(math.Round(float64(base.Threads) * 0.35)); night.Threads != want {
+		t.Errorf("night Threads = %d, want %d", night.Threads, want)
+	}
+	if night.ReadFraction != base.ReadFraction {
+		t.Errorf("night ReadFraction = %v, want base %v", night.ReadFraction, base.ReadFraction)
+	}
+
+	// Ramp interpolates: mid-morning sits strictly between trough and peak.
+	ramp := tl.LoadAt(7.5) // halfway through the 3h 0.35→1.0 ramp
+	if math.Abs(ramp-(0.35+1.0)/2) > 1e-9 {
+		t.Errorf("mid-ramp load = %v, want %v", ramp, (0.35+1.0)/2)
+	}
+
+	// Batch window: write-heavier mix, bigger working set, clamped to data.
+	batch := tl.At(17.5)
+	if batch.ReadFraction >= base.ReadFraction {
+		t.Errorf("batch ReadFraction %v not below base %v", batch.ReadFraction, base.ReadFraction)
+	}
+	if batch.WorkingSetGB <= base.WorkingSetGB || batch.WorkingSetGB > base.DataSizeGB+1e-9 {
+		t.Errorf("batch WorkingSetGB = %v (base %v, data %v)", batch.WorkingSetGB, base.WorkingSetGB, base.DataSizeGB)
+	}
+
+	// Burst: >2× the threads.
+	burst := tl.At(19.5)
+	if burst.Threads <= 2*base.Threads {
+		t.Errorf("burst Threads = %d, want > %d", burst.Threads, 2*base.Threads)
+	}
+
+	// Diurnal segment oscillates around its mean within ±Amplitude.
+	for h := 9.0; h < 17; h += 0.25 {
+		l := tl.LoadAt(h)
+		if l < 1.0-0.15-1e-9 || l > 1.0+0.15+1e-9 {
+			t.Errorf("daytime load at %v = %v outside [0.85, 1.15]", h, l)
+		}
+	}
+	// Non-repeating timeline holds its last segment past the end.
+	fixed := *tl
+	fixed.Repeat = false
+	endLoad := fixed.LoadAt(500)
+	if math.Abs(endLoad-0.35) > 1e-9 {
+		t.Errorf("held final load = %v, want 0.35", endLoad)
+	}
+}
+
+func TestTimelineTimeScale(t *testing.T) {
+	tl := FlashCrowd(YCSB())
+	if tl.Scale() != DefaultTimeScale {
+		t.Fatalf("Scale = %v, want default %v", tl.Scale(), DefaultTimeScale)
+	}
+	// At 60× compression, 60 virtual seconds = 1 simulated hour.
+	if got := tl.HourAt(60); math.Abs(got-1) > 1e-12 {
+		t.Errorf("HourAt(60) = %v, want 1", got)
+	}
+	tl.TimeScale = 360 // 10 virtual seconds per simulated hour
+	if got := tl.HourAt(10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("HourAt(10) @360x = %v, want 1", got)
+	}
+	// The clock-to-segment mapping respects the scale: 15 virtual
+	// seconds at 360× is 1.5 simulated hours — inside the burst.
+	if got := tl.SegmentAt(tl.HourAt(15)).Name; got != "burst" {
+		t.Errorf("segment at 15 vsec @360x = %q, want burst", got)
+	}
+}
+
+func TestTimelineValidateRejects(t *testing.T) {
+	base := SysbenchRW()
+	bad := []*Timeline{
+		{Name: "empty", Base: base},
+		{Name: "zerohours", Base: base, Segments: []Segment{{Hours: 0}}},
+		{Name: "negrate", Base: base, Segments: []Segment{{Hours: 1, Rate: -1}}},
+		{Name: "amp", Base: base, Segments: []Segment{{Kind: Diurnal, Hours: 1, Amplitude: 1.5}}},
+		{Name: "badbase", Base: Workload{Name: "x"}, Segments: []Segment{{Hours: 1}}},
+	}
+	for _, tl := range bad {
+		if err := tl.Validate(); err == nil {
+			t.Errorf("timeline %s: Validate accepted invalid spec", tl.Name)
+		}
+	}
+}

@@ -1,10 +1,3 @@
-// Package workload models the six benchmark workloads the paper evaluates
-// (§5: Sysbench read-only / write-only / read-write, TPC-C, TPC-H, YCSB)
-// plus the user-workload replay mechanism of the workload generator
-// (§2.2.1). The tuners never see SQL; what matters to the performance
-// model is each workload's operational profile: read/write mix, scan and
-// sort intensity, working-set size, access skew and client concurrency —
-// the dimensions along which the paper's benchmarks actually differ.
 package workload
 
 import "fmt"

@@ -10,6 +10,17 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== package docs =="
+# Every internal package keeps its package-level contract in a doc.go, so
+# the documented invariants (buffer ownership, concurrency, timeline
+# semantics, drift thresholds) have one canonical home.
+for d in internal/*/ internal/rl/ddpg/; do
+    if [ ! -f "${d}doc.go" ]; then
+        echo "missing ${d}doc.go" >&2
+        exit 1
+    fi
+done
+
 echo "== go vet =="
 go vet ./...
 
@@ -24,6 +35,9 @@ go test -count=1 -timeout 120s -run 'TestDivergence' ./internal/core/
 
 echo "== serve smoke =="
 go test -count=1 -timeout 120s -run 'TestServeSmoke' ./internal/server/
+
+echo "== drift smoke =="
+go test -count=1 -timeout 120s -run 'TestDriftSmoke' ./internal/core/
 
 echo "== go test -race (short) =="
 go test -race -short -shuffle=on -timeout 20m ./...
