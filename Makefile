@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke drift-smoke
+.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke drift-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,15 @@ chaos-smoke:
 # EXPERIMENTS.md ("Serving walkthrough").
 serve-smoke:
 	$(GO) test -count=1 -timeout 120s -run 'TestServeSmoke' ./internal/server/ -v
+
+# fleet-smoke runs the multi-process robustness scenario end to end: a
+# 3-process fleet over one lease-replicated registry, 50 concurrent
+# tenants, one process SIGKILLed mid-run and another's lease renewals
+# stalled past the TTL. It must finish with zero lost jobs, at least one
+# recorded failover via lease steal, a bounded submit-to-deploy p99, and
+# a CRC-clean registry. See README ("Fleet serving") and DESIGN.md.
+fleet-smoke:
+	$(GO) run ./cmd/loadgen
 
 # divergence-smoke runs the learner-health supervisor scenarios: a seeded
 # critic divergence that must heal and converge, an exhausted heal budget

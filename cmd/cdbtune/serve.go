@@ -200,7 +200,7 @@ func cmdStatus(args []string) error {
 		printJob(st)
 	}
 	var mt server.Metrics
-	if err := getInto(base+"/metrics", &mt); err != nil {
+	if err := getInto(base+"/metrics.json", &mt); err != nil {
 		return err
 	}
 	fmt.Printf("service: %d submitted, %d rejected, %d done, %d failed, %d canceled; %d active, %d queued\n",

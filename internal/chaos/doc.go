@@ -15,4 +15,11 @@
 // of which episode issues it. Probability draws consume one shared seeded
 // rng, so a serial run replays identically for a given seed; concurrent
 // workers interleave draws nondeterministically (like real outages do).
+//
+// Above the measurement path, FleetPlan schedules process-level faults —
+// SIGKILLing a serve process, stalling its lease renewals past the TTL —
+// against a multi-process fleet. The plan owns only the timing; the
+// harness (internal/fleet tests, cmd/loadgen) supplies the arm that
+// delivers each fault, so one schedule drives both in-process nodes and
+// real child processes.
 package chaos

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fleet-level fault kinds: killing a serve process outright (SIGKILL —
+// no drain, no lease release) and stalling a process's lease renewals
+// past the TTL (alive but apparently dead).
+const (
+	FleetKill  = "kill"
+	FleetStall = "stall"
+)
+
+// FleetEvent is one scheduled process-level fault.
+type FleetEvent struct {
+	// At is the fault's offset from Run's start.
+	At time.Duration
+	// Kind is FleetKill or FleetStall.
+	Kind string
+	// Node indexes the target process in the harness's fleet.
+	Node int
+	// Stall is the renewal-stall duration (FleetStall only).
+	Stall time.Duration
+}
+
+// FleetPlan is a deterministic schedule of process-level faults — the
+// fleet-scale counterpart of the measurement-path Injector. The harness
+// supplies the arm that actually kills or stalls a process; the plan
+// only owns the timing, so the same schedule drives in-process nodes in
+// tests and real processes under cmd/loadgen.
+type FleetPlan struct {
+	Events []FleetEvent
+
+	mu    sync.Mutex
+	fired int
+}
+
+// Run fires each event at its offset by calling arm, in At order,
+// stopping early when ctx ends. It blocks until the last event fired (or
+// ctx ended); run it in a goroutine alongside the load. Fired returns
+// how many events have fired so far.
+func (p *FleetPlan) Run(ctx context.Context, arm func(FleetEvent)) {
+	evs := append([]FleetEvent(nil), p.Events...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	start := time.Now()
+	for _, ev := range evs {
+		wait := ev.At - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		arm(ev)
+		p.mu.Lock()
+		p.fired++
+		p.mu.Unlock()
+	}
+}
+
+// Fired reports how many events have fired.
+func (p *FleetPlan) Fired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}

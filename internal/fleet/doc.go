@@ -1,0 +1,27 @@
+// Package fleet turns the single-process tuning service into a
+// crash-tolerant multi-process fleet sharing one on-disk directory: a
+// lease-replicated model registry (registry.Shared), per-member lease
+// files advertising each process's HTTP address, a durable job journal
+// keyed by client idempotency keys, and consistent-hash session routing
+// with bounded-retry forwarding between processes.
+//
+// A submission (POST /fleet/jobs on any node) hashes its idempotency key
+// onto a ring built from the live member set; the owning node admits it,
+// journals an accepted record, and runs the ordinary tuning pipeline. If
+// the owner is unreachable the forwarder walks the candidate chain and
+// finally admits locally, so no single peer is load-bearing. Every
+// terminal session state is journaled, which makes retries and re-runs
+// of a key converge on one record.
+//
+// Failure handling is built from the same lease primitive the registry
+// uses. A member that stops renewing — crashed, or stalled past the
+// TTL — expires out of the live set; each peer sweeps once per TTL for
+// dead members with non-terminal journal records, and adoption is
+// serialized by stealing the dead member's own lease (an epoch bump, the
+// observable failover). The winner re-submits those jobs into its own
+// pipeline and rewrites their records; duplicate completions caused by a
+// member that was merely slow are resolved last-writer-wins in the
+// journal, which idempotency keys make safe. cmd/loadgen drives a
+// three-process fleet through exactly these faults and asserts zero lost
+// jobs and bounded submit-to-deploy latency.
+package fleet

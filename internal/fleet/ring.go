@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per member — enough to spread
+// a handful of processes evenly without making ring rebuilds expensive.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring mapping session keys to fleet members.
+// Each member owns DefaultVnodes points on a 64-bit circle; a key routes
+// to the first point clockwise from its own hash, so adding or removing
+// one member only remaps the keys that landed on its points.
+type Ring struct {
+	points []uint64
+	owner  map[uint64]string
+}
+
+// NewRing builds a ring over the given member IDs (order irrelevant,
+// duplicates collapse). An empty member list yields an empty ring.
+func NewRing(members []string) *Ring {
+	r := &Ring{owner: make(map[uint64]string, len(members)*DefaultVnodes)}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		for v := 0; v < DefaultVnodes; v++ {
+			h := hash64(fmt.Sprintf("%s#%d", m, v))
+			// On the (vanishingly rare) collision the lexically smaller
+			// member wins, on every process identically.
+			if prev, ok := r.owner[h]; ok && prev <= m {
+				continue
+			}
+			r.owner[h] = m
+			r.points = append(r.points, h)
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i] < r.points[j] })
+	return r
+}
+
+// Len reports the number of distinct members on the ring.
+func (r *Ring) Len() int {
+	seen := make(map[string]bool)
+	for _, m := range r.owner {
+		seen[m] = true
+	}
+	return len(seen)
+}
+
+// Owner maps a key to its member, false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	c := r.Candidates(key, 1)
+	if len(c) == 0 {
+		return "", false
+	}
+	return c[0], true
+}
+
+// Candidates returns up to n distinct members in ring order starting at
+// the key's owner — the forwarding fallback chain when the owner is
+// unreachable.
+func (r *Ring) Candidates(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	var out []string
+	seen := make(map[string]bool)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		m := r.owner[r.points[(i+k)%len(r.points)]]
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// hash64 is FNV-1a with a 64-bit avalanche finalizer: raw FNV keeps
+// sequential keys ("task-1", "task-2", ...) on nearby circle points,
+// which defeats the spread the ring exists for.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

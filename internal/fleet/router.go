@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Router forwarding defaults: per-attempt timeout, bounded retries with
+// exponential backoff and full jitter.
+const (
+	DefaultForwardTimeout = 5 * time.Second
+	DefaultForwardRetries = 3
+	DefaultBackoffBase    = 50 * time.Millisecond
+)
+
+// Router issues inter-process forwards with bounded retry, timeout and
+// jittered exponential backoff. It retries transport errors and 502/503
+// (the peer is mid-drain or mid-restart); any other response — including
+// a 429 — is the peer's answer, not the network's, and comes straight
+// back.
+type Router struct {
+	client  *http.Client
+	retries int
+	backoff time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRouter builds a router; zero arguments take the defaults.
+func NewRouter(timeout time.Duration, retries int) *Router {
+	if timeout <= 0 {
+		timeout = DefaultForwardTimeout
+	}
+	if retries <= 0 {
+		retries = DefaultForwardRetries
+	}
+	return &Router{
+		client:  &http.Client{Timeout: timeout},
+		retries: retries,
+		backoff: DefaultBackoffBase,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Post sends body to url, retrying up to the retry budget. The returned
+// response's body is fully read and returned as bytes so the connection
+// is always reclaimed.
+func (rt *Router) Post(url string, body []byte) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < rt.retries; attempt++ {
+		if attempt > 0 {
+			rt.sleep(attempt)
+		}
+		resp, err := rt.client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+			lastErr = fmt.Errorf("fleet: %s answered %d", url, resp.StatusCode)
+			continue
+		}
+		return resp.StatusCode, data, nil
+	}
+	return 0, nil, fmt.Errorf("fleet: %d attempts to %s failed: %w", rt.retries, url, lastErr)
+}
+
+// Get fetches url with the same retry budget.
+func (rt *Router) Get(url string) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < rt.retries; attempt++ {
+		if attempt > 0 {
+			rt.sleep(attempt)
+		}
+		resp, err := rt.client.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+			lastErr = fmt.Errorf("fleet: %s answered %d", url, resp.StatusCode)
+			continue
+		}
+		return resp.StatusCode, data, nil
+	}
+	return 0, nil, fmt.Errorf("fleet: %d attempts to %s failed: %w", rt.retries, url, lastErr)
+}
+
+// sleep backs off before retry attempt n: full jitter over
+// backoff * 2^(n-1).
+func (rt *Router) sleep(n int) {
+	max := rt.backoff << (n - 1)
+	rt.mu.Lock()
+	d := time.Duration(rt.rng.Int63n(int64(max) + 1))
+	rt.mu.Unlock()
+	time.Sleep(d)
+}

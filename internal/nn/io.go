@@ -42,13 +42,13 @@ func WriteAtomic(path string, write func(io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return SyncDir(dir)
 }
 
-// syncDir fsyncs a directory so a rename recorded in it survives a crash.
-// Filesystems that refuse directory fsync (some network mounts) degrade to
-// the pre-fsync durability rather than failing the write.
-func syncDir(dir string) error {
+// SyncDir fsyncs a directory so a rename or create recorded in it survives
+// a crash. Filesystems that refuse directory fsync (some network mounts)
+// degrade to the pre-fsync durability rather than failing the write.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

@@ -23,4 +23,21 @@
 // before warm-seeding is skipped.
 //
 // All methods are safe for concurrent use by multiple serving sessions.
+//
+// # Multi-process sharing
+//
+// Shared layers file-lease coordination and a write-ahead change log over
+// the same directory so N serve processes share one registry. Mutations
+// (Put/Promote/Delete and the evictions they trigger) run under the
+// registry write lease — a lease file (registry.lease) holding
+// owner/epoch/expiry, acquired by fsync'd exclusive create, renewed by
+// atomic replace, and stolen (epoch bump) after one TTL of silence — and
+// append a CRC-framed record to registry.wal *before* the entry file is
+// written. Readers replay the log (Refresh) before lookups; a record
+// whose entry file has not caught up with the recorded post-state
+// (version for puts, pin for promotions) is retried on later refreshes,
+// so a reader never serves a torn view and a promotion is never lost. A
+// torn final log frame — a writer crashed mid-append — is skipped until
+// complete. The Store interface abstracts over *Registry (one process)
+// and *Shared (a fleet) for the serving layer.
 package registry

@@ -1,0 +1,326 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cdbtune/internal/nn"
+)
+
+// DefaultLeaseTTL is the lease lifetime when NewLease is not told
+// otherwise. Holders renew well inside it; a lease not renewed within its
+// TTL is up for stealing.
+const DefaultLeaseTTL = 2 * time.Second
+
+// ErrLeaseLost reports that a renewal found the lease expired or owned by
+// someone else: the holder must stop mutating shared state and re-acquire
+// (which bumps the epoch) before continuing.
+var ErrLeaseLost = errors.New("registry: lease lost")
+
+// LeaseInfo is the on-disk lease record: who holds it, the fencing epoch
+// (bumped on every ownership change, including a steal), when it expires,
+// and an opaque holder payload (the fleet stores the member's address
+// here).
+type LeaseInfo struct {
+	Owner        string `json:"owner"`
+	Epoch        int64  `json:"epoch"`
+	ExpiryUnixMs int64  `json:"expiry_unix_ms"`
+	Data         string `json:"data,omitempty"`
+}
+
+// ExpiredAt reports whether the lease is free game at time t: released
+// (blank owner) or past its expiry.
+func (li LeaseInfo) ExpiredAt(t time.Time) bool {
+	return li.Owner == "" || t.UnixMilli() > li.ExpiryUnixMs
+}
+
+// Lease is one process's handle on a file lease. Multiple processes (or
+// goroutines) open handles on the same path; at most one holds it at a
+// time. Every on-disk transition is fsync'd and atomic: the first acquire
+// is an exclusive create, renewals and steals replace the file through the
+// atomic-write helper, and steals additionally serialize through an
+// exclusive-create steal lock so two stealers cannot both win. A crashed
+// holder is healed by expiry: once the TTL passes without a renewal, any
+// handle may steal the lease, bumping the epoch so the old holder's writes
+// are fenceable.
+type Lease struct {
+	path  string
+	owner string
+	ttl   time.Duration
+
+	// now is the clock; tests and chaos injection override it.
+	now func() time.Time
+
+	mu     sync.Mutex
+	held   bool
+	epoch  int64
+	data   string
+	steals int
+}
+
+// NewLease builds a handle on the lease at path for the named owner. A
+// ttl <= 0 means DefaultLeaseTTL. Nothing touches the disk until
+// TryAcquire.
+func NewLease(path, owner string, ttl time.Duration) *Lease {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &Lease{path: path, owner: owner, ttl: ttl, now: time.Now}
+}
+
+// SetClock overrides the lease clock (tests, chaos stalls).
+func (l *Lease) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// SetData attaches an opaque payload written into the lease record on the
+// next acquire/renew (the fleet stores the member's serving address).
+func (l *Lease) SetData(data string) {
+	l.mu.Lock()
+	l.data = data
+	l.mu.Unlock()
+}
+
+// Owner reports the handle's owner name.
+func (l *Lease) Owner() string { return l.owner }
+
+// TTL reports the lease lifetime.
+func (l *Lease) TTL() time.Duration { return l.ttl }
+
+// Held reports whether this handle believes it holds the lease. The
+// belief is only as fresh as the last acquire/renew; an expired holder
+// learns the truth on its next Renew.
+func (l *Lease) Held() bool {
+	l.mu.Lock()
+	h := l.held
+	l.mu.Unlock()
+	return h
+}
+
+// Epoch reports the last epoch this handle held (0 before any acquire).
+func (l *Lease) Epoch() int64 {
+	l.mu.Lock()
+	e := l.epoch
+	l.mu.Unlock()
+	return e
+}
+
+// Steals reports how many times this handle took the lease from a
+// different (expired) owner — the failover counter.
+func (l *Lease) Steals() int {
+	l.mu.Lock()
+	s := l.steals
+	l.mu.Unlock()
+	return s
+}
+
+// TryAcquire attempts to take the lease: a fresh file is created
+// exclusively, an expired or released one is stolen (epoch bump), a live
+// one owned by someone else is left alone (false, nil). A handle that
+// already holds the lease renews it instead.
+func (l *Lease) TryAcquire() (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+
+	if l.held {
+		if err := l.renewLocked(now); err == nil {
+			return true, nil
+		}
+		// Renewal failed (expired or stolen): fall through and compete for
+		// the lease like any other handle.
+	}
+
+	info, exists, err := ReadLeaseFile(l.path)
+	if err != nil {
+		// An unreadable lease file is treated as expired: steal it (the
+		// steal lock serializes racers) rather than deadlocking the fleet.
+		return l.stealLocked(LeaseInfo{Epoch: info.Epoch}, now)
+	}
+	if !exists {
+		ok, err := l.createLocked(now)
+		if ok || err != nil {
+			return ok, err
+		}
+		// Lost the create race; re-read and fall through.
+		if info, exists, err = ReadLeaseFile(l.path); err != nil || !exists {
+			return false, err
+		}
+	}
+	if !info.ExpiredAt(now) && info.Owner != l.owner {
+		return false, nil // live, someone else's
+	}
+	return l.stealLocked(info, now)
+}
+
+// Renew extends a held lease by one TTL. It re-reads the file first: a
+// lease that expired or was stolen returns ErrLeaseLost and drops the
+// held flag, so a stalled holder cannot fence in after a steal.
+func (l *Lease) Renew() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.renewLocked(l.now())
+}
+
+func (l *Lease) renewLocked(now time.Time) error {
+	if !l.held {
+		return ErrLeaseLost
+	}
+	info, exists, err := ReadLeaseFile(l.path)
+	if err != nil {
+		return err
+	}
+	if !exists || info.Owner != l.owner || info.Epoch != l.epoch || info.ExpiredAt(now) {
+		// Stolen, released elsewhere, or expired: too late to renew — the
+		// next TryAcquire goes through the steal path and bumps the epoch.
+		l.held = false
+		return ErrLeaseLost
+	}
+	return l.writeLocked(LeaseInfo{
+		Owner: l.owner, Epoch: l.epoch,
+		ExpiryUnixMs: now.Add(l.ttl).UnixMilli(), Data: l.data,
+	})
+}
+
+// Release gives the lease up: the record is tombstoned (blank owner, same
+// epoch) rather than removed, so the epoch stays monotone across
+// ownership changes. Releasing a lease this handle does not hold is a
+// no-op.
+func (l *Lease) Release() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.held {
+		return nil
+	}
+	l.held = false
+	info, exists, err := ReadLeaseFile(l.path)
+	if err != nil || !exists || info.Owner != l.owner || info.Epoch != l.epoch {
+		return nil // already stolen or gone; nothing to tombstone
+	}
+	return l.writeLocked(LeaseInfo{Epoch: l.epoch})
+}
+
+// createLocked acquires a lease that has never existed via exclusive
+// create — two racing handles cannot both win O_EXCL.
+func (l *Lease) createLocked(now time.Time) (bool, error) {
+	info := LeaseInfo{
+		Owner: l.owner, Epoch: 1,
+		ExpiryUnixMs: now.Add(l.ttl).UnixMilli(), Data: l.data,
+	}
+	payload, err := json.Marshal(info)
+	if err != nil {
+		return false, err
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("registry: lease create: %w", err)
+	}
+	_, werr := f.Write(payload)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if werr != nil {
+		f.Close()
+		os.Remove(l.path)
+		return false, fmt.Errorf("registry: lease create: %w", werr)
+	}
+	if err := f.Close(); err != nil {
+		return false, err
+	}
+	if err := nn.SyncDir(filepath.Dir(l.path)); err != nil {
+		return false, err
+	}
+	l.held, l.epoch = true, info.Epoch
+	return true, nil
+}
+
+// stealLocked takes an expired/released/unreadable lease, serializing
+// racing stealers through an exclusive-create steal lock. The epoch is
+// bumped past the old record's, fencing the previous holder.
+func (l *Lease) stealLocked(old LeaseInfo, now time.Time) (bool, error) {
+	lockPath := l.path + ".steal"
+	f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			// A stealer that crashed mid-steal must not wedge the lease
+			// forever: a steal lock older than one TTL is itself stale.
+			if st, serr := os.Stat(lockPath); serr == nil && now.Sub(st.ModTime()) > l.ttl {
+				os.Remove(lockPath)
+			}
+			return false, nil
+		}
+		return false, fmt.Errorf("registry: lease steal lock: %w", err)
+	}
+	f.Close()
+	defer os.Remove(lockPath)
+
+	// Re-check under the steal lock: a renewal or competing steal may have
+	// landed between our read and the lock.
+	cur, exists, err := ReadLeaseFile(l.path)
+	if err == nil && exists {
+		if !cur.ExpiredAt(now) && cur.Owner != l.owner {
+			return false, nil
+		}
+		old = cur
+	}
+	info := LeaseInfo{
+		Owner: l.owner, Epoch: old.Epoch + 1,
+		ExpiryUnixMs: now.Add(l.ttl).UnixMilli(), Data: l.data,
+	}
+	if err := l.writeLocked(info); err != nil {
+		return false, err
+	}
+	if old.Owner != "" && old.Owner != l.owner {
+		l.steals++
+	}
+	l.held, l.epoch = true, info.Epoch
+	return true, nil
+}
+
+// writeLocked replaces the lease record through the fsync'd atomic-write
+// helper: a crash never leaves a torn lease, and the rename is durable
+// before the call returns.
+func (l *Lease) writeLocked(info LeaseInfo) error {
+	payload, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	return nn.WriteAtomic(l.path, func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	})
+}
+
+// Read reports the current on-disk lease record without touching it.
+// exists is false when no lease file is present.
+func (l *Lease) Read() (info LeaseInfo, exists bool, err error) {
+	return ReadLeaseFile(l.path)
+}
+
+// ReadLeaseFile parses the lease record at path. A missing file is
+// (zero, false, nil); an unreadable or unparsable one is an error.
+func ReadLeaseFile(path string) (LeaseInfo, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return LeaseInfo{}, false, nil
+		}
+		return LeaseInfo{}, false, err
+	}
+	var info LeaseInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return LeaseInfo{}, true, fmt.Errorf("registry: lease %s: %w", filepath.Base(path), err)
+	}
+	return info, true, nil
+}

@@ -75,7 +75,32 @@ type Registry struct {
 	seq     int64
 	nextID  int
 	logf    func(format string, args ...any)
+
+	// changeHook, when set, is called with every mutation *before* it
+	// touches the entry files — the write-ahead point Shared uses to append
+	// the change log. A hook error aborts the mutation.
+	changeHook func(Change) error
 }
+
+// Store is the registry surface the serving layer depends on. Both the
+// in-process *Registry and the lease-replicated *Shared implement it, so
+// a single-process server and a fleet node run the same Manager code.
+type Store interface {
+	Put(meta Meta, model []byte) (Meta, error)
+	Get(id string) (Meta, []byte, error)
+	Nearest(fp []float64) (Match, bool)
+	NearestWithin(fp []float64, radius float64) (Match, bool)
+	List() []Meta
+	Corrupt() map[string]string
+	Len() int
+	Promote(id string) error
+	Delete(id string) error
+}
+
+var (
+	_ Store = (*Registry)(nil)
+	_ Store = (*Shared)(nil)
+)
 
 // Option customizes Open.
 type Option func(*Registry)
@@ -199,6 +224,9 @@ func (r *Registry) Put(meta Meta, model []byte) (Meta, error) {
 		if meta.ScratchEpisodes == 0 {
 			meta.ScratchEpisodes = prev.ScratchEpisodes
 		}
+		// A fine-tune write-back must not silently unpin a promoted
+		// model; the pin survives updates (only Delete removes it).
+		meta.Pinned = meta.Pinned || prev.Pinned
 	} else {
 		// Caller-chosen ID for a fresh entry.
 		if meta.Version == 0 {
@@ -209,6 +237,9 @@ func (r *Registry) Put(meta Meta, model []byte) (Meta, error) {
 	meta.UpdatedUnix = now
 	r.seq++
 	meta.Seq = r.seq
+	if err := r.noteChangeLocked(Change{Op: OpPut, ID: meta.ID, Version: meta.Version, Pinned: meta.Pinned}); err != nil {
+		return Meta{}, err
+	}
 	if err := r.writeLocked(meta, model); err != nil {
 		return Meta{}, err
 	}
@@ -331,6 +362,9 @@ func (r *Registry) Promote(id string) error {
 	}
 	meta.Pinned = true
 	meta.UpdatedUnix = time.Now().Unix()
+	if err := r.noteChangeLocked(Change{Op: OpPromote, ID: id, Version: meta.Version, Pinned: true}); err != nil {
+		return err
+	}
 	if err := r.writeLocked(meta, model); err != nil {
 		return err
 	}
@@ -345,6 +379,9 @@ func (r *Registry) Delete(id string) error {
 	defer r.mu.Unlock()
 	if _, ok := r.entries[id]; !ok {
 		return fmt.Errorf("registry: no entry %q", id)
+	}
+	if err := r.noteChangeLocked(Change{Op: OpDelete, ID: id}); err != nil {
+		return err
 	}
 	if err := os.Remove(r.path(id)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("registry: delete %q: %w", id, err)
@@ -372,12 +409,101 @@ func (r *Registry) evictLocked() {
 			r.logf("registry: %d entries all pinned, over the %d bound; not evicting", len(r.entries), r.max)
 			return
 		}
+		if err := r.noteChangeLocked(Change{Op: OpEvict, ID: victim}); err != nil {
+			r.logf("registry: eviction of %s not logged (%v); keeping the entry", victim, err)
+			return
+		}
 		if err := os.Remove(r.path(victim)); err != nil && !os.IsNotExist(err) {
 			r.logf("registry: evicting %s: %v", victim, err)
 		}
 		delete(r.entries, victim)
 		r.logf("registry: evicted %s (collection over %d entries)", victim, r.max)
 	}
+}
+
+// noteChangeLocked runs the change hook (when installed) ahead of a
+// mutation's disk writes; callers hold r.mu.
+func (r *Registry) noteChangeLocked(ch Change) error {
+	if r.changeHook == nil {
+		return nil
+	}
+	return r.changeHook(ch)
+}
+
+// setChangeHook installs the write-ahead mutation hook (see Shared).
+func (r *Registry) setChangeHook(hook func(Change) error) {
+	r.mu.Lock()
+	r.changeHook = hook
+	r.mu.Unlock()
+}
+
+// ReloadEntry re-reads one entry file into the index — how a process
+// picks up another process's write to the shared directory. A vanished
+// file drops the entry from the index (not an error: deletes and evicts
+// look like this from a follower); a corrupt one is skipped loudly.
+func (r *Registry) ReloadEntry(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	blob, err := readEntry(r.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			delete(r.entries, id)
+			return nil
+		}
+		r.noteCorrupt(id+".model", err)
+		delete(r.entries, id)
+		return fmt.Errorf("registry: reload %q: %w", id, err)
+	}
+	r.entries[id] = blob.Meta
+	delete(r.corrupt, id+".model")
+	if blob.Meta.Seq > r.seq {
+		r.seq = blob.Meta.Seq
+	}
+	var n int
+	if _, err := fmt.Sscanf(blob.Meta.ID, "m%d", &n); err == nil && n >= r.nextID {
+		r.nextID = n + 1
+	}
+	return nil
+}
+
+// Forget drops an entry from the in-memory index without touching its
+// file — applying another process's delete or evict.
+func (r *Registry) Forget(id string) {
+	r.mu.Lock()
+	delete(r.entries, id)
+	r.mu.Unlock()
+}
+
+// Peek returns an entry's indexed metadata without re-reading its file.
+func (r *Registry) Peek(id string) (Meta, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.entries[id]
+	if !ok {
+		return Meta{}, false
+	}
+	return cloneMeta(m), true
+}
+
+// Verify re-reads every entry file under the registry directory and
+// checks its CRC frame, independent of the in-memory index — the
+// post-chaos validation the fleet harness runs. It reports the number of
+// healthy entries and the corrupt files (base name → reason).
+func (r *Registry) Verify() (healthy int, corrupt map[string]string) {
+	corrupt = make(map[string]string)
+	files, err := filepath.Glob(filepath.Join(r.dir, "*.model"))
+	if err != nil {
+		corrupt["(glob)"] = err.Error()
+		return 0, corrupt
+	}
+	for _, f := range files {
+		if _, err := readEntry(f); err != nil {
+			corrupt[filepath.Base(f)] = err.Error()
+			continue
+		}
+		healthy++
+	}
+	return healthy, corrupt
 }
 
 func (r *Registry) path(id string) string {

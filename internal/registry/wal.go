@@ -1,0 +1,171 @@
+package registry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// Change operations recorded in the registry change log.
+const (
+	OpPut     = "put"
+	OpPromote = "promote"
+	OpDelete  = "delete"
+	OpEvict   = "evict"
+)
+
+// walMagic tags every change-log frame.
+var walMagic = [4]byte{'w', 'c', 'h', 'g'}
+
+// Change is one registry mutation in the write-ahead change log. Version
+// and Pinned carry the expected post-state for puts and promotions, so a
+// follower that replays the record before the entry file lands can tell
+// it is still looking at the old bytes and retry — no lost promotion, no
+// torn read served as current.
+type Change struct {
+	Seq     int64  `json:"seq"`
+	Op      string `json:"op"`
+	ID      string `json:"id"`
+	Version int    `json:"version,omitempty"`
+	Pinned  bool   `json:"pinned,omitempty"`
+	// Epoch is the writer's registry-lease epoch at append time.
+	Epoch  int64 `json:"epoch,omitempty"`
+	UnixMs int64 `json:"unix_ms"`
+}
+
+// ChangeLog is an append-only, CRC-framed log of registry mutations
+// shared by every process serving one registry directory. Appends happen
+// under the registry write lease and are fsync'd; Tail reads whatever
+// other writers appended since the last call. A torn final frame (a
+// writer crashed mid-append) is tolerated: Tail stops in front of it and
+// re-reads it once it is complete.
+type ChangeLog struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	off     int64 // read position: everything before off has been returned by Tail
+	lastSeq int64
+}
+
+// OpenChangeLog opens (creating if needed) the change log at path. The
+// read position starts at zero: the first Tail returns the full history.
+func OpenChangeLog(path string) (*ChangeLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("registry: change log: %w", err)
+	}
+	return &ChangeLog{path: path, f: f}, nil
+}
+
+// Close releases the log's file handle.
+func (c *ChangeLog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}
+
+// LastSeq reports the highest sequence number seen (read or written).
+func (c *ChangeLog) LastSeq() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq
+}
+
+// Tail returns the records appended since the previous Tail (or since
+// Open). A torn final frame is not an error: it stays unread until the
+// writer finishes it. A corrupt frame body is an error — the records
+// before it are still returned, and the read position stops in front of
+// the damage so the problem stays visible.
+func (c *ChangeLog) Tail() ([]Change, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tailLocked()
+}
+
+func (c *ChangeLog) tailLocked() ([]Change, error) {
+	st, err := c.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("registry: change log: %w", err)
+	}
+	if st.Size() <= c.off {
+		return nil, nil
+	}
+	buf := make([]byte, st.Size()-c.off)
+	if _, err := c.f.ReadAt(buf, c.off); err != nil {
+		return nil, fmt.Errorf("registry: change log read: %w", err)
+	}
+	var out []Change
+	pos := 0
+	for pos < len(buf) {
+		// Frame: magic(4) | payload len (uint32 LE) | payload | crc32(payload).
+		if len(buf)-pos < 8 {
+			break // torn header
+		}
+		if string(buf[pos:pos+4]) != string(walMagic[:]) {
+			return out, fmt.Errorf("registry: change log: bad frame magic at offset %d", c.off+int64(pos))
+		}
+		n := int(binary.LittleEndian.Uint32(buf[pos+4 : pos+8]))
+		if n <= 0 || n > 1<<20 {
+			return out, fmt.Errorf("registry: change log: implausible frame length %d at offset %d", n, c.off+int64(pos))
+		}
+		if len(buf)-pos < 8+n+4 {
+			break // torn payload: the writer is mid-append
+		}
+		payload := buf[pos+8 : pos+8+n]
+		want := binary.LittleEndian.Uint32(buf[pos+8+n : pos+8+n+4])
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return out, fmt.Errorf("registry: change log: frame CRC %08x != %08x at offset %d", got, want, c.off+int64(pos))
+		}
+		var ch Change
+		if err := json.Unmarshal(payload, &ch); err != nil {
+			return out, fmt.Errorf("registry: change log: frame decode at offset %d: %w", c.off+int64(pos), err)
+		}
+		pos += 8 + n + 4
+		c.off += int64(8 + n + 4)
+		if ch.Seq > c.lastSeq {
+			c.lastSeq = ch.Seq
+		}
+		out = append(out, ch)
+	}
+	return out, nil
+}
+
+// Append writes one record with the next sequence number and fsyncs it.
+// The caller must hold the registry write lease: Append first tails the
+// log to pick up sequence numbers from other (lease-serialized) writers,
+// then writes its frame at the end. The appended record — Seq and UnixMs
+// filled in — is returned. Records appended by this handle are consumed
+// locally (a later Tail does not return them): the writer already applied
+// the mutation it is logging.
+func (c *ChangeLog) Append(ch Change) (Change, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.tailLocked(); err != nil {
+		return Change{}, err
+	}
+	ch.Seq = c.lastSeq + 1
+	ch.UnixMs = time.Now().UnixMilli()
+	payload, err := json.Marshal(ch)
+	if err != nil {
+		return Change{}, err
+	}
+	frame := make([]byte, 0, 8+len(payload)+4)
+	frame = append(frame, walMagic[:]...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	if _, err := c.f.WriteAt(frame, c.off); err != nil {
+		return Change{}, fmt.Errorf("registry: change log append: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return Change{}, fmt.Errorf("registry: change log sync: %w", err)
+	}
+	c.off += int64(len(frame))
+	c.lastSeq = ch.Seq
+	return ch, nil
+}

@@ -1,14 +1,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
+
+// DrainTimeout bounds how long Close waits for in-flight HTTP exchanges
+// and queued sessions before cutting them off.
+const DrainTimeout = 10 * time.Second
 
 // Server is the HTTP front-end over a Manager: a JSON API for submitting
 // tuning requests, watching their progress and administering the model
@@ -18,11 +25,22 @@ type Server struct {
 	mux  *http.ServeMux
 	http *http.Server
 	ln   net.Listener
+
+	drainTimeout time.Duration
+
+	mu        sync.Mutex
+	promExtra func() []PromMetric
+	jitter    *rand.Rand
 }
 
 // NewServer wires the API routes over m.
 func NewServer(m *Manager) *Server {
-	s := &Server{m: m, mux: http.NewServeMux()}
+	s := &Server{
+		m:            m,
+		mux:          http.NewServeMux(),
+		drainTimeout: DrainTimeout,
+		jitter:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
@@ -32,12 +50,35 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("POST /api/v1/models/{id}/promote", s.handlePromote)
 	s.mux.HandleFunc("DELETE /api/v1/models/{id}", s.handleDeleteModel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetrics)
 	return s
 }
 
 // Handler exposes the routed mux (tests drive it via httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handle registers an extra route on the server's mux — the fleet layer
+// adds its routing/forwarding endpoints this way.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
+}
+
+// SetPromExtra installs a hook whose metrics are appended to the
+// Prometheus exposition — the fleet layer reports lease epoch, failover
+// count and journal depth through it.
+func (s *Server) SetPromExtra(fn func() []PromMetric) {
+	s.mu.Lock()
+	s.promExtra = fn
+	s.mu.Unlock()
+}
+
+// SetDrainTimeout overrides how long Close waits for a graceful drain.
+func (s *Server) SetDrainTimeout(d time.Duration) {
+	if d > 0 {
+		s.drainTimeout = d
+	}
+}
 
 // Start listens on addr (":0" picks a free port) and serves in the
 // background, returning the bound address.
@@ -52,11 +93,22 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and the manager's worker pool.
+// Close drains and stops the server: new submissions are rejected with
+// ErrDraining (503), in-flight HTTP exchanges and queued sessions get up
+// to DrainTimeout to finish (http.Server.Shutdown, not Close, so accepted
+// connections are not cut mid-response), then the manager's worker pool
+// is cancelled and joined.
 func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
+	defer cancel()
 	var err error
+	if s.m != nil {
+		err = s.m.Drain(ctx)
+	}
 	if s.http != nil {
-		err = s.http.Close()
+		if serr := s.http.Shutdown(ctx); serr != nil && err == nil {
+			err = serr
+		}
 	}
 	s.m.Close()
 	return err
@@ -82,16 +134,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.m.Submit(req)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantBusy):
 		// Admission control: shed load with an explicit retry hint rather
-		// than queueing unboundedly.
-		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSec))
+		// than queueing unboundedly. The hint is jittered so a herd of
+		// rejected clients does not re-arrive on the same second.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		// This process is going away; tell clients to fail over now rather
+		// than retry here.
+		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
 		writeJSON(w, http.StatusAccepted, st)
 	}
+}
+
+// retryAfter picks the jittered backoff hint for a 429:
+// RetryAfterSec + uniform[0, RetryAfterJitterSec].
+func (s *Server) retryAfter() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RetryAfterSec + s.jitter.Intn(RetryAfterJitterSec+1)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -204,4 +269,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.Metrics())
+}
+
+// handlePromMetrics serves the Prometheus text exposition: the manager's
+// service counters plus whatever the SetPromExtra hook contributes.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	extra := s.promExtra
+	s.mu.Unlock()
+	ms := s.m.PromMetrics()
+	if extra != nil {
+		ms = append(ms, extra()...)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = WritePromText(w, ms)
 }

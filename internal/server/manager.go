@@ -24,8 +24,22 @@ import (
 // capacity; the HTTP layer maps it to 429 with a Retry-After header.
 var ErrQueueFull = errors.New("server: admission queue full")
 
-// RetryAfterSec is the backoff the service suggests to a rejected client.
-const RetryAfterSec = 2
+// ErrTenantBusy rejects a submission when one tenant already has its full
+// per-tenant share of the queue — admission control that keeps a single
+// noisy tenant from starving the rest of the fleet's SLO.
+var ErrTenantBusy = errors.New("server: tenant at its pending-job limit")
+
+// ErrDraining rejects submissions while the manager drains for shutdown;
+// the HTTP layer maps it to 503 so clients fail over to another process.
+var ErrDraining = errors.New("server: draining")
+
+// RetryAfterSec is the base backoff the service suggests to a rejected
+// client; RetryAfterJitterSec is the jitter spread added on top so a
+// synchronized client herd does not re-arrive on the same second.
+const (
+	RetryAfterSec       = 2
+	RetryAfterJitterSec = 3
+)
 
 // Job states.
 const (
@@ -45,13 +59,27 @@ const (
 // Config assembles a Manager. The zero value (plus a Registry) serves the
 // full CDB knob catalog against the simulator with the paper's protocol.
 type Config struct {
-	// Registry is the model collection behind warm starts. Required.
-	Registry *registry.Registry
+	// Registry is the model collection behind warm starts. Required. A
+	// *registry.Registry serves one process; a *registry.Shared serves a
+	// fleet out of one lease-replicated directory.
+	Registry registry.Store
 
 	// Workers is the session worker-pool size (default 2); QueueDepth the
 	// admission queue bound beyond which Submit rejects (default 16).
 	Workers    int
 	QueueDepth int
+
+	// MaxPerTenant bounds one tenant's pending (queued + running) jobs;
+	// beyond it Submit rejects with ErrTenantBusy (0 = no per-tenant cap).
+	MaxPerTenant int
+
+	// IDPrefix namespaces job IDs ("node1" → "node1-job-0000") so IDs stay
+	// unique across a fleet of processes.
+	IDPrefix string
+
+	// OnJobDone, when set, is called (without the manager lock) with every
+	// session's terminal status — the fleet journal hook.
+	OnJobDone func(JobStatus)
 
 	// OnlineSteps is the per-request recommendation budget (paper: 5).
 	OnlineSteps int
@@ -177,6 +205,9 @@ func (c *Config) fillDefaults() error {
 
 // JobRequest is one user tuning request.
 type JobRequest struct {
+	// Tenant identifies the requesting tenant for per-tenant admission
+	// control and fleet routing ("" = the anonymous tenant).
+	Tenant string `json:"tenant,omitempty"`
 	// Workload names a standard workload profile (workload.ByName).
 	Workload string `json:"workload"`
 	// Instance names a Table 1 instance (default CDB-A).
@@ -194,6 +225,7 @@ type JobRequest struct {
 // JobStatus is a session's externally visible state.
 type JobStatus struct {
 	ID       string `json:"id"`
+	Tenant   string `json:"tenant,omitempty"`
 	Workload string `json:"workload"`
 	Instance string `json:"instance"`
 	State    string `json:"state"`
@@ -260,14 +292,20 @@ type Metrics struct {
 	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
 	QueueWaitP95Ms float64 `json:"queue_wait_p95_ms"`
 
+	// Submit-to-deploy latency over completed sessions: the queue SLO the
+	// fleet harness asserts on.
+	SubmitToDeployP50Ms float64 `json:"submit_to_deploy_p50_ms"`
+	SubmitToDeployP99Ms float64 `json:"submit_to_deploy_p99_ms"`
+
 	RegistryEntries int `json:"registry_entries"`
 	RegistryCorrupt int `json:"registry_corrupt"`
 }
 
 // session is one tuning request moving through the pipeline.
 type session struct {
-	id  string
-	req JobRequest
+	id     string
+	tenant string
+	req    JobRequest
 
 	w        workload.Workload
 	inst     simdb.Instance
@@ -302,7 +340,7 @@ type session struct {
 // draining an admission queue of tuning sessions.
 type Manager struct {
 	cfg Config
-	reg *registry.Registry
+	reg registry.Store
 
 	queue chan *session
 	wg    sync.WaitGroup
@@ -310,17 +348,19 @@ type Manager struct {
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 
-	mu     sync.Mutex
-	closed bool
-	jobs   map[string]*session
-	order  []string
-	nextID int
-	active int
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	jobs     map[string]*session
+	order    []string
+	nextID   int
+	active   int
+	pending  map[string]int // tenant → queued + running jobs
 
 	submitted, rejected, completed, failed, canceled int
 	warmHits, warmMisses                             int
 	episodesTrained, episodesSaved                   int
-	waitsMs                                          []float64
+	waitsMs, deployMs                                []float64
 }
 
 // NewManager validates cfg, fills defaults and starts the worker pool.
@@ -336,6 +376,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		jobs:       make(map[string]*session),
+		pending:    make(map[string]int),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -394,8 +435,23 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 		m.mu.Unlock()
 		return JobStatus{}, errors.New("server: manager closed")
 	}
+	if m.draining {
+		m.rejected++
+		m.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	if m.cfg.MaxPerTenant > 0 && m.pending[req.Tenant] >= m.cfg.MaxPerTenant {
+		m.rejected++
+		m.mu.Unlock()
+		return JobStatus{}, ErrTenantBusy
+	}
+	id := fmt.Sprintf("job-%04d", m.nextID)
+	if m.cfg.IDPrefix != "" {
+		id = m.cfg.IDPrefix + "-" + id
+	}
 	s := &session{
-		id:        fmt.Sprintf("job-%04d", m.nextID),
+		id:        id,
+		tenant:    req.Tenant,
 		req:       req,
 		w:         w,
 		inst:      inst,
@@ -415,6 +471,7 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 		return JobStatus{}, ErrQueueFull
 	}
 	m.submitted++
+	m.pending[s.tenant]++
 	m.jobs[s.id] = s
 	m.order = append(m.order, s.id)
 	m.eventLocked(s, "queued", "request queued (workload %s, instance %s)", w.Name, inst.Name)
@@ -498,33 +555,70 @@ func (m *Manager) Metrics() Metrics {
 		WarmHits: m.warmHits, WarmMisses: m.warmMisses,
 		EpisodesTrained: m.episodesTrained, EpisodesSaved: m.episodesSaved,
 		QueueWaitP50Ms: p50, QueueWaitP95Ms: p95,
-		RegistryEntries: m.reg.Len(), RegistryCorrupt: len(m.reg.Corrupt()),
+		SubmitToDeployP50Ms: percentile(m.deployMs, 0.50),
+		SubmitToDeployP99Ms: percentile(m.deployMs, 0.99),
+		RegistryEntries:     m.reg.Len(), RegistryCorrupt: len(m.reg.Corrupt()),
 	}
+}
+
+// Drain stops admitting new sessions (Submit returns ErrDraining) and
+// waits for every queued and running session to reach a terminal state,
+// or for ctx to expire. It does not cancel work — pair with Cancel or a
+// deadline when sessions must be cut short.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		m.mu.Lock()
+		idle := m.active == 0 && len(m.queue) == 0
+		m.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
 }
 
 // Workers reports the worker-pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
 // Registry exposes the model collection behind the serving layer.
-func (m *Manager) Registry() *registry.Registry { return m.reg }
+func (m *Manager) Registry() registry.Store { return m.reg }
 
 func percentiles(samples []float64) (p50, p95 float64) {
+	return percentile(samples, 0.50), percentile(samples, 0.95)
+}
+
+// percentile reports the q-quantile (nearest-rank on the sorted copy) of
+// samples, 0 when empty.
+func percentile(samples []float64, q float64) float64 {
 	if len(samples) == 0 {
-		return 0, 0
+		return 0
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(s)-1))
-		return s[i]
-	}
-	return at(0.50), at(0.95)
+	i := int(q * float64(len(s)-1))
+	return s[i]
 }
 
 // statusLocked renders a session snapshot; callers hold m.mu.
 func (m *Manager) statusLocked(s *session) JobStatus {
 	return JobStatus{
-		ID: s.id, Workload: s.w.Name, Instance: s.inst.Name,
+		ID: s.id, Tenant: s.tenant, Workload: s.w.Name, Instance: s.inst.Name,
 		State: s.state, Path: s.path,
 		MatchID: s.matchID, MatchDistance: s.matchDistance,
 		Episodes: s.episodes, EpisodesSaved: s.episodesSaved,
@@ -566,14 +660,20 @@ func (m *Manager) worker() {
 	}
 }
 
-// finish transitions a session to its terminal state.
+// finish transitions a session to its terminal state, releases its
+// tenant's admission slot and fires the terminal-status hook.
 func (m *Manager) finish(s *session, state string, err error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s.state = state
 	switch state {
 	case StateDone:
 		m.completed++
+		// Submit-to-deploy latency: the full span the tenant waited for a
+		// deployed configuration.
+		m.deployMs = append(m.deployMs, float64(time.Since(s.submitted))/float64(time.Millisecond))
+		if len(m.deployMs) > 512 {
+			m.deployMs = m.deployMs[len(m.deployMs)-512:]
+		}
 	case StateFailed:
 		m.failed++
 	case StateCanceled:
@@ -586,6 +686,23 @@ func (m *Manager) finish(s *session, state string, err error) {
 		m.eventLocked(s, state, "session %s", state)
 	}
 	m.active--
+	m.releaseTenantLocked(s.tenant)
+	st := m.statusLocked(s)
+	done := m.cfg.OnJobDone
+	m.mu.Unlock()
+	if done != nil {
+		done(st)
+	}
+}
+
+// releaseTenantLocked frees one of a tenant's pending-job slots; callers
+// hold m.mu.
+func (m *Manager) releaseTenantLocked(tenant string) {
+	if m.pending[tenant] <= 1 {
+		delete(m.pending, tenant)
+	} else {
+		m.pending[tenant]--
+	}
 }
 
 // run executes one session end to end: fingerprint, registry match, warm
@@ -599,7 +716,13 @@ func (m *Manager) run(s *session) {
 		s.state = StateCanceled
 		m.canceled++
 		m.eventLocked(s, StateCanceled, "canceled before start")
+		m.releaseTenantLocked(s.tenant)
+		st := m.statusLocked(s)
+		done := m.cfg.OnJobDone
 		m.mu.Unlock()
+		if done != nil {
+			done(st)
+		}
 		return
 	}
 	s.state = StateRunning

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromMetric is one sample in the Prometheus text exposition behind
+// GET /metrics — hand-rolled (format version 0.0.4) so the service stays
+// dependency-free.
+type PromMetric struct {
+	// Name is the metric name (snake_case, conventionally prefixed
+	// "cdbtune_").
+	Name string
+	// Help is the one-line # HELP text.
+	Help string
+	// Type is "gauge" or "counter".
+	Type string
+	// Labels are optional label pairs rendered as {k="v",...} in sorted
+	// key order.
+	Labels map[string]string
+	Value  float64
+}
+
+// WritePromText renders metrics in the Prometheus text format. Samples
+// sharing a name are grouped under one # HELP/# TYPE header (the first
+// occurrence's help and type win).
+func WritePromText(w io.Writer, ms []PromMetric) error {
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			typ := m.Type
+			if typ == "" {
+				typ = "gauge"
+			}
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %g\n", m.Name, promLabels(m.Labels), m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// PromMetrics renders the service counters as Prometheus samples — the
+// manager-level slice of the /metrics exposition.
+func (m *Manager) PromMetrics() []PromMetric {
+	mt := m.Metrics()
+	draining := 0.0
+	if m.Draining() {
+		draining = 1
+	}
+	return []PromMetric{
+		{Name: "cdbtune_jobs_submitted_total", Help: "Tuning requests admitted.", Type: "counter", Value: float64(mt.Submitted)},
+		{Name: "cdbtune_jobs_rejected_total", Help: "Tuning requests rejected by admission control.", Type: "counter", Value: float64(mt.Rejected)},
+		{Name: "cdbtune_jobs_completed_total", Help: "Sessions finished successfully.", Type: "counter", Value: float64(mt.Completed)},
+		{Name: "cdbtune_jobs_failed_total", Help: "Sessions finished in error.", Type: "counter", Value: float64(mt.Failed)},
+		{Name: "cdbtune_jobs_canceled_total", Help: "Sessions canceled.", Type: "counter", Value: float64(mt.Canceled)},
+		{Name: "cdbtune_jobs_active", Help: "Sessions currently training or tuning.", Type: "gauge", Value: float64(mt.Active)},
+		{Name: "cdbtune_queue_depth", Help: "Sessions waiting in the admission queue.", Type: "gauge", Value: float64(mt.Queued)},
+		{Name: "cdbtune_draining", Help: "1 while the process drains for shutdown.", Type: "gauge", Value: draining},
+		{Name: "cdbtune_warm_hits_total", Help: "Sessions warm-started from a registry match.", Type: "counter", Value: float64(mt.WarmHits)},
+		{Name: "cdbtune_warm_misses_total", Help: "Sessions trained from scratch.", Type: "counter", Value: float64(mt.WarmMisses)},
+		{Name: "cdbtune_episodes_trained_total", Help: "Training episodes run across sessions.", Type: "counter", Value: float64(mt.EpisodesTrained)},
+		{Name: "cdbtune_episodes_saved_total", Help: "Training episodes avoided by warm starts.", Type: "counter", Value: float64(mt.EpisodesSaved)},
+		{Name: "cdbtune_queue_wait_ms", Help: "Queue wait quantiles in milliseconds.", Type: "gauge", Labels: map[string]string{"quantile": "0.5"}, Value: mt.QueueWaitP50Ms},
+		{Name: "cdbtune_queue_wait_ms", Labels: map[string]string{"quantile": "0.95"}, Value: mt.QueueWaitP95Ms},
+		{Name: "cdbtune_submit_to_deploy_ms", Help: "Submit-to-deploy latency quantiles in milliseconds.", Type: "gauge", Labels: map[string]string{"quantile": "0.5"}, Value: mt.SubmitToDeployP50Ms},
+		{Name: "cdbtune_submit_to_deploy_ms", Labels: map[string]string{"quantile": "0.99"}, Value: mt.SubmitToDeployP99Ms},
+		{Name: "cdbtune_registry_entries", Help: "Models in the registry.", Type: "gauge", Value: float64(mt.RegistryEntries)},
+		{Name: "cdbtune_registry_corrupt", Help: "Registry entries quarantined by CRC validation.", Type: "gauge", Value: float64(mt.RegistryCorrupt)},
+	}
+}

@@ -183,7 +183,7 @@ func TestServeSmoke(t *testing.T) {
 
 	// Service metrics reflect both paths.
 	var mt Metrics
-	getJSON(t, base+"/metrics", &mt)
+	getJSON(t, base+"/metrics.json", &mt)
 	if mt.WarmHits != 1 || mt.WarmMisses != 1 || mt.Completed != 2 {
 		t.Fatalf("metrics: %+v", mt)
 	}

@@ -21,6 +21,19 @@ for d in internal/*/ internal/rl/ddpg/; do
     fi
 done
 
+echo "== os.Rename lint =="
+# Atomic-write discipline: every durable file lands through nn.WriteAtomic
+# (temp file, fsync, rename, directory fsync) — the lease files, change
+# log, registry entries and fleet journal all depend on never observing a
+# torn file. A bare os.Rename anywhere else skips the fsyncs and breaks
+# that contract on crash.
+rename_hits="$(grep -rn 'os\.Rename' --include='*.go' . | grep -v '^\./internal/nn/io\.go:' || true)"
+if [ -n "$rename_hits" ]; then
+    echo "direct os.Rename outside the atomic-write helper (use nn.WriteAtomic):" >&2
+    echo "$rename_hits" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -38,6 +51,12 @@ go test -count=1 -timeout 120s -run 'TestServeSmoke' ./internal/server/
 
 echo "== drift smoke =="
 go test -count=1 -timeout 120s -run 'TestDriftSmoke' ./internal/core/
+
+echo "== fleet smoke =="
+# The multi-process robustness scenario: 3 serve processes, 50 tenants,
+# one SIGKILL and one lease stall mid-run; must end with zero lost jobs,
+# a recorded failover via lease steal, and a CRC-clean shared registry.
+go run ./cmd/loadgen
 
 echo "== go test -race (short) =="
 go test -race -short -shuffle=on -timeout 20m ./...
