@@ -424,3 +424,49 @@ func TestLeaseStallTriggersFailover(t *testing.T) {
 		t.Fatalf("n1 recorded no failover: %+v", st)
 	}
 }
+
+// TestJournalUpdateTerminalWins pins the stamp-back compare-and-swap: an
+// Update that finds a terminal record skips its write, so a slow failover
+// stamp can never regress a finished job back to accepted.
+func TestJournalUpdateTerminalWins(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := Record{Key: "k", Node: "n1", JobID: "a", State: server.StateDone, Improvement: 0.4}
+	if err := j.Put(done); err != nil {
+		t.Fatal(err)
+	}
+	err = j.Update("k", func(cur Record, found bool) (Record, bool) {
+		if !found || cur.Terminal() {
+			return cur, false
+		}
+		cur.JobID = "b"
+		return cur, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := j.Get("k")
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	if got.JobID != "a" || got.State != server.StateDone || got.Improvement != 0.4 {
+		t.Fatalf("terminal record was overwritten: %+v", got)
+	}
+
+	// A missing key is reported as found=false and may be created.
+	err = j.Update("fresh", func(cur Record, found bool) (Record, bool) {
+		if found {
+			t.Fatalf("phantom record: %+v", cur)
+		}
+		cur.Node, cur.State = "n1", StateAccepted
+		return cur, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := j.Get("fresh"); !ok || got.Node != "n1" || got.Key != "fresh" {
+		t.Fatalf("created record: ok=%v %+v", ok, got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"cdbtune/internal/nn"
@@ -48,11 +49,15 @@ func (r Record) Terminal() bool {
 // Journal is the fleet's durable job log: one atomically-written JSON
 // file per idempotency key, shared by every process through the fleet
 // directory. Writes go through nn.WriteAtomic (temp file, fsync, rename,
-// dir fsync) so a crash never leaves a torn record; concurrent writers of
-// one key are last-writer-wins, which is safe because re-runs of a key
-// are idempotent by contract.
+// dir fsync) so a crash never leaves a torn record; cross-process writers
+// of one key are last-writer-wins, which is safe because a record is only
+// mutated by the node named in it while that node is alive. Within one
+// process, mu serializes read-modify-write cycles (Update) against plain
+// Puts, so a session's terminal write and a failover stamp-back cannot
+// interleave into a lost state.
 type Journal struct {
 	dir string
+	mu  sync.Mutex
 }
 
 // OpenJournal creates the journal directory if needed.
@@ -79,6 +84,12 @@ func (j *Journal) path(key string) (string, error) {
 
 // Put writes (or overwrites) the key's record.
 func (j *Journal) Put(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.putLocked(rec)
+}
+
+func (j *Journal) putLocked(rec Record) error {
 	p, err := j.path(rec.Key)
 	if err != nil {
 		return err
@@ -87,6 +98,29 @@ func (j *Journal) Put(rec Record) error {
 	return nn.WriteAtomic(p, func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(rec)
 	})
+}
+
+// Update applies fn to the key's current record (zero-value Record with
+// the Key set when the key has never been journaled) and writes the
+// result, all under the journal's write lock — the compare-and-swap that
+// lets concurrent in-process writers of one key resolve by state instead
+// of by timing. fn returning false skips the write.
+func (j *Journal) Update(key string, fn func(cur Record, found bool) (Record, bool)) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cur, found, err := j.Get(key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		cur = Record{Key: key}
+	}
+	next, write := fn(cur, found)
+	if !write {
+		return nil
+	}
+	next.Key = key
+	return j.putLocked(next)
 }
 
 // Get reads one record; ok is false when the key has never been journaled.

@@ -86,7 +86,6 @@ type Node struct {
 	wg   sync.WaitGroup
 
 	mu        sync.Mutex
-	jobKeys   map[string]string // manager job ID → journal key
 	failovers int
 	requeued  int
 	forwarded int
@@ -132,7 +131,6 @@ func Start(cfg Config) (*Node, error) {
 		journal: journal,
 		router:  NewRouter(0, 0),
 		stop:    make(chan struct{}),
-		jobKeys: make(map[string]string),
 	}
 
 	n.logf = logf
@@ -218,22 +216,20 @@ func (n *Node) Stats() Stats {
 
 // onJobDone journals a session's terminal state under its idempotency
 // key — the write that tells the failover sweep this job needs no
-// adoption.
+// adoption. The key rides on the job status itself (JobRequest.IdemKey),
+// so a session that finishes the instant Submit returns is still
+// journaled: there is no side table to miss a racing write.
 func (n *Node) onJobDone(st server.JobStatus) {
-	n.mu.Lock()
-	key, ok := n.jobKeys[st.ID]
-	delete(n.jobKeys, st.ID)
-	n.mu.Unlock()
-	if !ok {
+	key := st.IdemKey
+	if key == "" {
 		return // a job submitted through the plain API, not the fleet
 	}
-	rec, found, err := n.journal.Get(key)
-	if err != nil || !found {
-		rec = Record{Key: key}
-	}
-	rec.Node, rec.JobID, rec.State = n.cfg.ID, st.ID, st.State
-	rec.Improvement, rec.ModelID, rec.Error = st.Improvement, st.ModelID, st.Error
-	if err := n.journal.Put(rec); err != nil {
+	err := n.journal.Update(key, func(rec Record, _ bool) (Record, bool) {
+		rec.Node, rec.JobID, rec.State = n.cfg.ID, st.ID, st.State
+		rec.Improvement, rec.ModelID, rec.Error = st.Improvement, st.ModelID, st.Error
+		return rec, true
+	})
+	if err != nil {
 		n.logf("fleet: %s: journaling %s terminal state: %v", n.cfg.ID, key, err)
 	}
 }
@@ -248,6 +244,9 @@ func (n *Node) submitLocal(req SubmitRequest) (Record, int, error) {
 	} else if ok && (rec.Terminal() || n.nodeAlive(rec.Node)) {
 		return rec, http.StatusOK, nil // duplicate submission: converge on the record
 	}
+	// The idempotency key travels on the job itself so the terminal-status
+	// hook can journal the outcome no matter how fast the session finishes.
+	req.Request.IdemKey = req.Key
 	st, err := n.mgr.Submit(req.Request)
 	if err != nil {
 		switch {
@@ -258,15 +257,21 @@ func (n *Node) submitLocal(req SubmitRequest) (Record, int, error) {
 		}
 		return Record{}, http.StatusBadRequest, err
 	}
-	n.mu.Lock()
-	n.jobKeys[st.ID] = req.Key
-	n.mu.Unlock()
 	rec := Record{
 		Key: req.Key, Node: n.cfg.ID, JobID: st.ID,
 		State: StateAccepted, Request: req.Request,
 	}
-	if err := n.journal.Put(rec); err != nil {
-		return Record{}, http.StatusInternalServerError, err
+	// A fast session may have journaled its terminal state already; the
+	// accepted record must lose to it, not overwrite it.
+	perr := n.journal.Update(req.Key, func(cur Record, found bool) (Record, bool) {
+		if found && cur.Terminal() {
+			rec = cur
+			return cur, false
+		}
+		return rec, true
+	})
+	if perr != nil {
+		return Record{}, http.StatusInternalServerError, perr
 	}
 	return rec, http.StatusAccepted, nil
 }
@@ -490,6 +495,7 @@ func (n *Node) requeue(recs []Record) {
 	for _, rec := range recs {
 		rec.Node, rec.JobID, rec.State = n.cfg.ID, "", StateAccepted
 		rec.Requeues++
+		rec.Request.IdemKey = rec.Key // records from older journals may predate the field
 		if err := n.journal.Put(rec); err != nil {
 			n.logf("fleet: %s: rewriting journal %s: %v", n.cfg.ID, rec.Key, err)
 			continue
@@ -500,16 +506,21 @@ func (n *Node) requeue(recs []Record) {
 			continue
 		}
 		n.mu.Lock()
-		n.jobKeys[st.ID] = rec.Key
 		n.requeued++
 		n.mu.Unlock()
-		// Stamp the live job ID so the next sweep sees a backed record;
-		// skip if the session already journaled its terminal state.
-		if cur, ok, _ := n.journal.Get(rec.Key); ok && !cur.Terminal() {
-			cur.JobID = st.ID
-			if err := n.journal.Put(cur); err != nil {
-				n.logf("fleet: %s: stamping journal %s: %v", n.cfg.ID, rec.Key, err)
+		// Stamp the live job ID so the next sweep sees a backed record.
+		// The compare-and-swap skips the write when the session already
+		// journaled its terminal state — a terminal record is never
+		// regressed to accepted by a slow stamp.
+		err = n.journal.Update(rec.Key, func(cur Record, found bool) (Record, bool) {
+			if !found || cur.Terminal() {
+				return cur, false
 			}
+			cur.JobID = st.ID
+			return cur, true
+		})
+		if err != nil {
+			n.logf("fleet: %s: stamping journal %s: %v", n.cfg.ID, rec.Key, err)
 		}
 	}
 }

@@ -37,7 +37,9 @@
 // whose entry file has not caught up with the recorded post-state
 // (version for puts, pin for promotions) is retried on later refreshes,
 // so a reader never serves a torn view and a promotion is never lost. A
-// torn final log frame — a writer crashed mid-append — is skipped until
-// complete. The Store interface abstracts over *Registry (one process)
+// torn final log frame — a writer crashed mid-append — is skipped by
+// readers until complete, and reclaimed (truncated) by the next
+// lease-holding appender so the dead bytes can never poison later
+// appends. The Store interface abstracts over *Registry (one process)
 // and *Shared (a fleet) for the serving layer.
 package registry

@@ -23,6 +23,12 @@ const DefaultLeaseTTL = 2 * time.Second
 // (which bumps the epoch) before continuing.
 var ErrLeaseLost = errors.New("registry: lease lost")
 
+// corruptEpochJump is added to the best-known epoch when the lease file is
+// unreadable at steal time: the corrupt record's epoch cannot be recovered,
+// so the replacement leaps far enough ahead that any epoch the damaged
+// file plausibly held stays fenced instead of regressing to 1.
+const corruptEpochJump = 1 << 20
+
 // LeaseInfo is the on-disk lease record: who holds it, the fencing epoch
 // (bumped on every ownership change, including a steal), when it expires,
 // and an opaque holder payload (the fleet stores the member's address
@@ -62,6 +68,10 @@ type Lease struct {
 	epoch  int64
 	data   string
 	steals int
+	// seenEpoch is the highest epoch this handle ever observed on disk —
+	// the local monotone floor used when a corrupt lease record forces a
+	// blind steal.
+	seenEpoch int64
 }
 
 // NewLease builds a handle on the lease at path for the named owner. A
@@ -139,7 +149,7 @@ func (l *Lease) TryAcquire() (bool, error) {
 		// the lease like any other handle.
 	}
 
-	info, exists, err := ReadLeaseFile(l.path)
+	info, exists, err := l.readLeaseLocked()
 	if err != nil {
 		// An unreadable lease file is treated as expired: steal it (the
 		// steal lock serializes racers) rather than deadlocking the fleet.
@@ -151,7 +161,7 @@ func (l *Lease) TryAcquire() (bool, error) {
 			return ok, err
 		}
 		// Lost the create race; re-read and fall through.
-		if info, exists, err = ReadLeaseFile(l.path); err != nil || !exists {
+		if info, exists, err = l.readLeaseLocked(); err != nil || !exists {
 			return false, err
 		}
 	}
@@ -174,7 +184,7 @@ func (l *Lease) renewLocked(now time.Time) error {
 	if !l.held {
 		return ErrLeaseLost
 	}
-	info, exists, err := ReadLeaseFile(l.path)
+	info, exists, err := l.readLeaseLocked()
 	if err != nil {
 		return err
 	}
@@ -201,7 +211,7 @@ func (l *Lease) Release() error {
 		return nil
 	}
 	l.held = false
-	info, exists, err := ReadLeaseFile(l.path)
+	info, exists, err := l.readLeaseLocked()
 	if err != nil || !exists || info.Owner != l.owner || info.Epoch != l.epoch {
 		return nil // already stolen or gone; nothing to tombstone
 	}
@@ -242,6 +252,9 @@ func (l *Lease) createLocked(now time.Time) (bool, error) {
 		return false, err
 	}
 	l.held, l.epoch = true, info.Epoch
+	if info.Epoch > l.seenEpoch {
+		l.seenEpoch = info.Epoch
+	}
 	return true, nil
 }
 
@@ -254,29 +267,59 @@ func (l *Lease) stealLocked(old LeaseInfo, now time.Time) (bool, error) {
 	if err != nil {
 		if os.IsExist(err) {
 			// A stealer that crashed mid-steal must not wedge the lease
-			// forever: a steal lock older than one TTL is itself stale.
-			if st, serr := os.Stat(lockPath); serr == nil && now.Sub(st.ModTime()) > l.ttl {
-				os.Remove(lockPath)
-			}
+			// forever; reap its lock (safely — never a live one) and let
+			// the next attempt claim the cleared path.
+			l.reapStaleStealLock(lockPath, now)
 			return false, nil
 		}
 		return false, fmt.Errorf("registry: lease steal lock: %w", err)
 	}
-	f.Close()
-	defer os.Remove(lockPath)
+	defer func() {
+		// Remove only a lock this handle still owns: a reaper that
+		// misjudged it as stale may have cleared the path, and a successor
+		// may hold a fresh lock there — deleting that one would reopen the
+		// double-steal race.
+		if l.ownsStealLock(f, lockPath) {
+			os.Remove(lockPath)
+		}
+		f.Close()
+	}()
 
 	// Re-check under the steal lock: a renewal or competing steal may have
 	// landed between our read and the lock.
-	cur, exists, err := ReadLeaseFile(l.path)
-	if err == nil && exists {
+	corrupt := false
+	cur, exists, rerr := l.readLeaseLocked()
+	switch {
+	case rerr != nil:
+		corrupt = true
+	case exists:
 		if !cur.ExpiredAt(now) && cur.Owner != l.owner {
 			return false, nil
 		}
 		old = cur
 	}
+
+	// The new epoch must stay monotone even when the current record is
+	// unreadable: floor it at the highest epoch this handle ever observed,
+	// and leap over anything a corrupt record may have held.
+	epoch := old.Epoch
+	if l.seenEpoch > epoch {
+		epoch = l.seenEpoch
+	}
+	if corrupt {
+		epoch += corruptEpochJump
+	}
 	info := LeaseInfo{
-		Owner: l.owner, Epoch: old.Epoch + 1,
+		Owner: l.owner, Epoch: epoch + 1,
 		ExpiryUnixMs: now.Add(l.ttl).UnixMilli(), Data: l.data,
+	}
+
+	// Final fencing gate: write the lease only while the lock path still
+	// names our inode. If a reaper wrongly renamed our lock away and a
+	// competitor claimed the path, exactly one of us passes this check —
+	// the one the path names.
+	if !l.ownsStealLock(f, lockPath) {
+		return false, nil
 	}
 	if err := l.writeLocked(info); err != nil {
 		return false, err
@@ -285,7 +328,63 @@ func (l *Lease) stealLocked(old LeaseInfo, now time.Time) (bool, error) {
 		l.steals++
 	}
 	l.held, l.epoch = true, info.Epoch
+	if info.Epoch > l.seenEpoch {
+		l.seenEpoch = info.Epoch
+	}
 	return true, nil
+}
+
+// ownsStealLock reports whether lockPath still names the lock file this
+// handle created (same inode) — false once a reaper cleared it or a
+// successor claimed the path.
+func (l *Lease) ownsStealLock(f *os.File, lockPath string) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	di, err := os.Stat(lockPath)
+	if err != nil {
+		return false
+	}
+	return os.SameFile(fi, di)
+}
+
+// reapStaleStealLock clears a steal lock abandoned by a stealer that
+// crashed mid-steal, without ever deleting a live competitor's lock out
+// from under it (the TOCTOU a blind stat-then-remove has). The stale lock
+// is claimed by rename — exactly one reaper wins — and re-verified on the
+// renamed inode, which only this owner can touch. If it turns out fresh
+// after all (cleared and re-created between our stat and the rename), it
+// is restored with a non-clobbering link; whoever's inode ends up at the
+// lock path wins its holder's ownsStealLock gate. The reaper itself never
+// proceeds to steal: it only clears the path, and a later TryAcquire
+// claims it through the normal exclusive create.
+func (l *Lease) reapStaleStealLock(lockPath string, now time.Time) {
+	st, err := os.Stat(lockPath)
+	if err != nil || now.Sub(st.ModTime()) <= l.ttl {
+		return
+	}
+	reaped := lockPath + ".reap-" + l.owner
+	if err := nn.Rename(lockPath, reaped); err != nil {
+		return // another reaper won, or the holder finished and removed it
+	}
+	if st, err := os.Stat(reaped); err == nil && now.Sub(st.ModTime()) <= l.ttl {
+		// Fresh after all: put it back. Link cannot clobber — if an even
+		// newer lock already took the path, its holder proceeds and the
+		// one we renamed is the loser by the ownsStealLock gate.
+		_ = os.Link(reaped, lockPath)
+	}
+	os.Remove(reaped)
+}
+
+// readLeaseLocked reads the lease file, recording the highest epoch this
+// handle has ever observed. Callers hold l.mu.
+func (l *Lease) readLeaseLocked() (LeaseInfo, bool, error) {
+	info, exists, err := ReadLeaseFile(l.path)
+	if err == nil && exists && info.Epoch > l.seenEpoch {
+		l.seenEpoch = info.Epoch
+	}
+	return info, exists, err
 }
 
 // writeLocked replaces the lease record through the fsync'd atomic-write

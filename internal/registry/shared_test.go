@@ -431,3 +431,158 @@ func TestEvictionVsFineTuneRace(t *testing.T) {
 		t.Fatalf("post-race verify: healthy=%d len=%d corrupt=%v", healthy, r.Len(), corrupt)
 	}
 }
+
+// TestChangeLogAppendReclaimsTornTail pins the crash-recovery fix: a
+// writer that died mid-append can leave a torn frame LONGER than the next
+// record. Append must truncate the dead tail before writing — overwriting
+// it in place would leave mid-frame garbage behind the new frame, and
+// every later append or replay would die on "bad frame magic".
+func TestChangeLogAppendReclaimsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.wal")
+	c, err := OpenChangeLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(Change{Op: OpPut, ID: "m0001", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A large frame, torn mid-payload: 200 dangling bytes, far longer than
+	// any of the small replacement frames below.
+	big := Change{Op: OpPut, ID: "m" + fmt.Sprintf("%0600d", 2), Version: 2}
+	if _, err := c.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(valid)+200], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := OpenChangeLog(path) // the recovering writer (new lease holder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Tail(); err != nil {
+		t.Fatalf("tail over torn frame: %v", err)
+	}
+	if _, err := w.Append(Change{Op: OpPut, ID: "m0002", Version: 1}); err != nil {
+		t.Fatalf("append over torn tail: %v", err)
+	}
+	if _, err := w.Append(Change{Op: OpPut, ID: "m0003", Version: 1}); err != nil {
+		t.Fatalf("append after reclaim: %v", err)
+	}
+
+	r, err := OpenChangeLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	records, err := r.Tail()
+	if err != nil {
+		t.Fatalf("replay after reclaim: %v", err)
+	}
+	if len(records) != 3 || records[0].ID != "m0001" || records[1].ID != "m0002" || records[2].ID != "m0003" {
+		t.Fatalf("replay: %+v", records)
+	}
+}
+
+// TestLeaseCorruptRecordEpochMonotone pins the fencing fix: stealing a
+// lease whose record is unreadable must never regress the epoch below
+// anything the damaged record may have held.
+func TestLeaseCorruptRecordEpochMonotone(t *testing.T) {
+	path := leasePath(t)
+	record := fmt.Sprintf(`{"owner":"n0","epoch":7,"expiry_unix_ms":%d}`,
+		time.Now().Add(time.Hour).UnixMilli())
+	if err := os.WriteFile(path, []byte(record), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLease(path, "n1", 100*time.Millisecond)
+	// The handle observes epoch 7 while the lease is live.
+	if ok, err := l.TryAcquire(); err != nil || ok {
+		t.Fatalf("live lease acquired: ok=%v err=%v", ok, err)
+	}
+	// The record is then corrupted (torn write, bit rot) and stolen.
+	if err := os.WriteFile(path, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := l.TryAcquire()
+	if err != nil || !ok {
+		t.Fatalf("steal of corrupt lease: ok=%v err=%v", ok, err)
+	}
+	if l.Epoch() <= 7 {
+		t.Fatalf("epoch %d after corrupt steal regresses below the observed 7", l.Epoch())
+	}
+
+	// A handle that never saw the healthy record still leaps far ahead
+	// instead of restarting near 1.
+	path2 := filepath.Join(t.TempDir(), "blind.lease")
+	if err := os.WriteFile(path2, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := NewLease(path2, "n2", 100*time.Millisecond)
+	if ok, err := l2.TryAcquire(); err != nil || !ok {
+		t.Fatalf("blind steal of corrupt lease: ok=%v err=%v", ok, err)
+	}
+	if l2.Epoch() <= corruptEpochJump {
+		t.Fatalf("blind corrupt steal epoch %d, want a leap past %d", l2.Epoch(), corruptEpochJump)
+	}
+}
+
+// TestStaleStealLockReaped pins the reaper: a steal lock abandoned by a
+// crashed stealer is cleared safely (claim by rename, never a blind
+// remove) and the lease becomes acquirable again, while a fresh lock — a
+// live competitor mid-steal — is left untouched.
+func TestStaleStealLockReaped(t *testing.T) {
+	path := leasePath(t)
+	record := fmt.Sprintf(`{"owner":"n0","epoch":3,"expiry_unix_ms":%d}`,
+		time.Now().Add(-time.Hour).UnixMilli())
+	if err := os.WriteFile(path, []byte(record), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lock := path + ".steal"
+	if err := os.WriteFile(lock, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	l := NewLease(path, "n1", 100*time.Millisecond)
+	// First attempt reaps the corpse; it must not steal through it.
+	if ok, err := l.TryAcquire(); err != nil || ok {
+		t.Fatalf("first attempt: ok=%v err=%v, want reap without acquire", ok, err)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatalf("stale steal lock not reaped: %v", err)
+	}
+	ok, err := l.TryAcquire()
+	if err != nil || !ok {
+		t.Fatalf("acquire after reap: ok=%v err=%v", ok, err)
+	}
+	if l.Epoch() != 4 || l.Steals() != 1 {
+		t.Fatalf("post-steal epoch=%d steals=%d, want 4/1", l.Epoch(), l.Steals())
+	}
+
+	// A fresh steal lock blocks without being deleted.
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lock, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := NewLease(path, "n2", 100*time.Millisecond).TryAcquire(); err != nil || ok {
+		t.Fatalf("acquired through a live competitor's steal lock: ok=%v err=%v", ok, err)
+	}
+	if _, err := os.Stat(lock); err != nil {
+		t.Fatalf("fresh steal lock was removed: %v", err)
+	}
+}

@@ -146,6 +146,19 @@ func (c *ChangeLog) Append(ch Change) (Change, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := c.tailLocked(); err != nil {
+		// Unparseable bytes at the write offset. The lease serializes
+		// writers, so nothing another live writer needs can sit past the
+		// consumed frames: the damage is a dead tail (a crashed writer's
+		// leftovers). Reclaim it rather than wedging every future append.
+		if terr := c.truncateTailLocked(); terr != nil {
+			return Change{}, terr
+		}
+	}
+	// A torn final frame (a writer crashed mid-append) also leaves bytes
+	// past the read position. Overwriting it in place would be wrong: a
+	// replacement frame shorter than the torn one leaves mid-frame garbage
+	// after it, poisoning every later read. Drop the tail first.
+	if err := c.truncateTailLocked(); err != nil {
 		return Change{}, err
 	}
 	ch.Seq = c.lastSeq + 1
@@ -168,4 +181,25 @@ func (c *ChangeLog) Append(ch Change) (Change, error) {
 	c.off += int64(len(frame))
 	c.lastSeq = ch.Seq
 	return ch, nil
+}
+
+// truncateTailLocked discards everything after the read position — torn
+// or garbage bytes a crashed writer left behind. Only the lease holder
+// (Append) calls it: readers must keep stopping in front of a torn frame
+// and wait for its writer, never destroy it. Callers hold c.mu.
+func (c *ChangeLog) truncateTailLocked() error {
+	st, err := c.f.Stat()
+	if err != nil {
+		return fmt.Errorf("registry: change log: %w", err)
+	}
+	if st.Size() <= c.off {
+		return nil
+	}
+	if err := c.f.Truncate(c.off); err != nil {
+		return fmt.Errorf("registry: change log truncate: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("registry: change log sync: %w", err)
+	}
+	return nil
 }

@@ -264,3 +264,32 @@ func TestPromMetricsEndpoint(t *testing.T) {
 		t.Fatalf("fresh metrics.json: %+v", mt)
 	}
 }
+
+// TestDrainWaitsForInFlightSessions pins the drain/worker handoff fix: a
+// session a worker has dequeued but not yet marked active is invisible to
+// active+len(queue), so Drain now tracks admitted-but-not-terminal work
+// and must not return while any of it is pending.
+func TestDrainWaitsForInFlightSessions(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := m.Submit(JobRequest{Workload: "sysbench-ro"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, st := range m.Jobs() {
+		if st.State != StateDone {
+			t.Fatalf("job %s is %q after Drain returned, want done", st.ID, st.State)
+		}
+	}
+}

@@ -208,6 +208,11 @@ type JobRequest struct {
 	// Tenant identifies the requesting tenant for per-tenant admission
 	// control and fleet routing ("" = the anonymous tenant).
 	Tenant string `json:"tenant,omitempty"`
+	// IdemKey is the fleet idempotency key this job was submitted under
+	// ("" for direct submissions). It rides on the job itself so the
+	// terminal-status hook can journal the outcome without a side table —
+	// a session may finish before any post-Submit bookkeeping runs.
+	IdemKey string `json:"idem_key,omitempty"`
 	// Workload names a standard workload profile (workload.ByName).
 	Workload string `json:"workload"`
 	// Instance names a Table 1 instance (default CDB-A).
@@ -226,6 +231,7 @@ type JobRequest struct {
 type JobStatus struct {
 	ID       string `json:"id"`
 	Tenant   string `json:"tenant,omitempty"`
+	IdemKey  string `json:"idem_key,omitempty"`
 	Workload string `json:"workload"`
 	Instance string `json:"instance"`
 	State    string `json:"state"`
@@ -355,6 +361,11 @@ type Manager struct {
 	order    []string
 	nextID   int
 	active   int
+	// inflight counts sessions admitted but not yet terminal. Unlike
+	// active+len(queue) it has no blind spot: a session a worker has
+	// dequeued but not yet started is still in flight, so Drain cannot
+	// return while one is about to run.
+	inflight int
 	pending  map[string]int // tenant → queued + running jobs
 
 	submitted, rejected, completed, failed, canceled int
@@ -471,6 +482,7 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 		return JobStatus{}, ErrQueueFull
 	}
 	m.submitted++
+	m.inflight++
 	m.pending[s.tenant]++
 	m.jobs[s.id] = s
 	m.order = append(m.order, s.id)
@@ -573,7 +585,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	defer tick.Stop()
 	for {
 		m.mu.Lock()
-		idle := m.active == 0 && len(m.queue) == 0
+		idle := m.inflight == 0
 		m.mu.Unlock()
 		if idle {
 			return nil
@@ -618,7 +630,8 @@ func percentile(samples []float64, q float64) float64 {
 // statusLocked renders a session snapshot; callers hold m.mu.
 func (m *Manager) statusLocked(s *session) JobStatus {
 	return JobStatus{
-		ID: s.id, Tenant: s.tenant, Workload: s.w.Name, Instance: s.inst.Name,
+		ID: s.id, Tenant: s.tenant, IdemKey: s.req.IdemKey,
+		Workload: s.w.Name, Instance: s.inst.Name,
 		State: s.state, Path: s.path,
 		MatchID: s.matchID, MatchDistance: s.matchDistance,
 		Episodes: s.episodes, EpisodesSaved: s.episodesSaved,
@@ -686,6 +699,7 @@ func (m *Manager) finish(s *session, state string, err error) {
 		m.eventLocked(s, state, "session %s", state)
 	}
 	m.active--
+	m.inflight--
 	m.releaseTenantLocked(s.tenant)
 	st := m.statusLocked(s)
 	done := m.cfg.OnJobDone
@@ -715,6 +729,7 @@ func (m *Manager) run(s *session) {
 	if s.canceled || m.rootCtx.Err() != nil {
 		s.state = StateCanceled
 		m.canceled++
+		m.inflight--
 		m.eventLocked(s, StateCanceled, "canceled before start")
 		m.releaseTenantLocked(s.tenant)
 		st := m.statusLocked(s)
