@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke drift-smoke fleet-smoke
+.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke drift-smoke fleet-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,17 @@ serve-smoke:
 # a CRC-clean registry. See README ("Fleet serving") and DESIGN.md.
 fleet-smoke:
 	$(GO) run ./cmd/loadgen
+
+# crash-smoke runs the bounded, seeded crash-consistency exploration: for
+# every durable-path workload (registry, change log, lease, fleet journal,
+# checkpoint), a simulated power cut before every mutating filesystem
+# operation, with strict (fsynced-only) and torn (seeded partial-tail)
+# disk images verified at each point. Zero invariant violations are
+# tolerated, and the sensitivity test proves the harness still catches a
+# deliberately re-introduced torn-tail bug. See DESIGN.md ("Durability
+# contract").
+crash-smoke:
+	$(GO) test -count=1 -timeout 120s -run 'TestCrashSmoke|TestHarnessCatchesTornTailBug' ./internal/crashtest/ -v
 
 # divergence-smoke runs the learner-health supervisor scenarios: a seeded
 # critic divergence that must heal and converge, an exhausted heal budget

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"cdbtune/internal/nn"
+	"cdbtune/internal/vfs"
 )
 
 // WriteAtomic writes a file atomically and durably (temp file + fsync +
@@ -62,6 +63,45 @@ type Checkpointer struct {
 	// Every is the number of completed episodes between checkpoints;
 	// values below 1 checkpoint after every episode.
 	Every int
+	// FS overrides the filesystem the checkpoint is written through (nil
+	// means the production passthrough) — the crash-consistency harness's
+	// injection seam.
+	FS vfs.FS
+}
+
+func (c *Checkpointer) fsys() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS
+}
+
+// WriteCheckpointPayload wraps payload in the checkpoint CRC frame and
+// writes it atomically (and durably) at path through fsys. It is the
+// exact disk path Checkpointer.save takes — exported so the
+// crash-consistency harness can drive it without assembling a Tuner.
+func WriteCheckpointPayload(fsys vfs.FS, path string, payload []byte) error {
+	return nn.WriteAtomicFS(fsys, path, func(w io.Writer) error {
+		return WriteFramed(w, payload, checkpointMagic)
+	})
+}
+
+// ReadCheckpointPayload reads and CRC-verifies the checkpoint file at
+// path through fsys, returning the payload with the frame stripped. A
+// missing file is (nil, false, nil); a damaged one is an error.
+func ReadCheckpointPayload(fsys vfs.FS, path string) ([]byte, bool, error) {
+	data, err := fsys.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	payload, err := ReadFramed(data, checkpointMagic, "core: checkpoint "+path)
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, true, nil
 }
 
 const checkpointVersion = 2
@@ -125,13 +165,11 @@ func (c *Checkpointer) save(t *Tuner, rep TrainReport) error {
 	}
 	blob.Iterations = t.Iterations()
 
-	return WriteAtomic(c.Path, func(w io.Writer) error {
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
-			return err
-		}
-		return WriteFramed(w, buf.Bytes(), checkpointMagic)
-	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return WriteCheckpointPayload(c.fsys(), c.Path, buf.Bytes())
 }
 
 // Load restores a checkpoint into t: agent weights, replay memory, noise
@@ -140,15 +178,8 @@ func (c *Checkpointer) save(t *Tuner, rep TrainReport) error {
 // was found (a missing file is not an error — the run simply starts
 // fresh).
 func (c *Checkpointer) Load(t *Tuner) (TrainReport, bool, error) {
-	data, err := os.ReadFile(c.Path)
-	if os.IsNotExist(err) {
-		return TrainReport{}, false, nil
-	}
-	if err != nil {
-		return TrainReport{}, false, err
-	}
-	payload, err := ReadFramed(data, checkpointMagic, "core: checkpoint "+c.Path)
-	if err != nil {
+	payload, found, err := ReadCheckpointPayload(c.fsys(), c.Path)
+	if err != nil || !found {
 		return TrainReport{}, false, err
 	}
 	var blob checkpointBlob

@@ -1,0 +1,202 @@
+package crashtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cdbtune/internal/vfs"
+)
+
+// Ack records the facts a workload has been promised are durable: a key
+// is Set only after the operation that made it durable returned success.
+// Post-crash verification asserts exactly these facts against the
+// surviving disk — anything the crash interrupted before its ack is
+// allowed to surface or vanish.
+type Ack struct {
+	mu    sync.Mutex
+	facts map[string]string
+}
+
+// NewAck returns an empty fact store.
+func NewAck() *Ack {
+	return &Ack{facts: make(map[string]string)}
+}
+
+// Set records (or overwrites) one acked fact.
+func (a *Ack) Set(key, val string) {
+	a.mu.Lock()
+	a.facts[key] = val
+	a.mu.Unlock()
+}
+
+// Get reports one fact.
+func (a *Ack) Get(key string) (string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, ok := a.facts[key]
+	return v, ok
+}
+
+// Del withdraws a fact — how a workload downgrades a guarantee before an
+// operation (eviction, delete) that legitimately destroys the state.
+func (a *Ack) Del(key string) {
+	a.mu.Lock()
+	delete(a.facts, key)
+	a.mu.Unlock()
+}
+
+// Keys returns the sorted fact keys with the given prefix.
+func (a *Ack) Keys(prefix string) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for k := range a.facts {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Workload is one scripted durable-path exercise. Run mutates a fresh
+// filesystem, acking facts as durable calls succeed; it returns early
+// (any error) when the armed power cut fires. Verify opens the post-crash
+// disk through the normal recovery paths and asserts the acked facts; an
+// error is a durability-contract violation.
+type Workload struct {
+	Name   string
+	Run    func(fsys *vfs.FaultFS, ack *Ack) error
+	Verify func(fsys *vfs.FaultFS, ack *Ack) error
+}
+
+// Options shape an exploration.
+type Options struct {
+	// Stride explores every Stride-th crash point (default 1: all).
+	Stride int
+	// TornVariants is the number of seeded ext4-like torn crash images
+	// verified per crash point, in addition to the strictly-fsynced one
+	// (default 0: strict only).
+	TornVariants int
+	// Seed derives the torn-variant RNG seeds.
+	Seed int64
+	// SectorSize overrides the torn-write granularity (default 512).
+	SectorSize int
+}
+
+// Violation is one failed post-crash assertion.
+type Violation struct {
+	Workload   string
+	CrashPoint int
+	Mode       string // "strict" or "torn-<variant>"
+	Op         string // the op the crash fired before ("" when past the end)
+	Err        error
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: crash before op %d (%s), %s image: %v", v.Workload, v.CrashPoint, v.Op, v.Mode, v.Err)
+}
+
+// Report summarizes one exploration.
+type Report struct {
+	Workload    string
+	CrashPoints int // distinct crash points executed
+	Executions  int // post-crash images verified (strict + torn variants)
+	Violations  []Violation
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: %d crash points, %d images verified, %d violations",
+		r.Workload, r.CrashPoints, r.Executions, len(r.Violations))
+}
+
+func newFS(opts Options) *vfs.FaultFS {
+	fs := vfs.NewFaultFS()
+	if opts.SectorSize > 0 {
+		fs.SetSectorSize(opts.SectorSize)
+	}
+	return fs
+}
+
+// Explore runs the workload cleanly once (both Run and Verify must
+// succeed — a workload broken without any crash measures nothing), then
+// re-runs it with a power cut armed before every mutating filesystem
+// operation, verifying the strictly-fsynced crash image and, per
+// TornVariants, seeded torn images at each point. The workload's own
+// errors during a crashed run are expected (the disk died under it) and
+// ignored; only Verify failures count.
+func Explore(w Workload, opts Options) (Report, error) {
+	rep := Report{Workload: w.Name}
+	stride := opts.Stride
+	if stride < 1 {
+		stride = 1
+	}
+
+	clean := newFS(opts)
+	ack := NewAck()
+	if err := w.Run(clean, ack); err != nil {
+		return rep, fmt.Errorf("crashtest %s: clean run failed: %w", w.Name, err)
+	}
+	if err := w.Verify(clean, ack); err != nil {
+		return rep, fmt.Errorf("crashtest %s: clean verify failed: %w", w.Name, err)
+	}
+	n := clean.OpCount()
+	if n == 0 {
+		return rep, fmt.Errorf("crashtest %s: workload performed no mutating filesystem operations", w.Name)
+	}
+	ops := clean.Ops()
+
+	for i := 0; i < n; i += stride {
+		fs := newFS(opts)
+		fs.CrashBefore(i)
+		ack := NewAck()
+		_ = w.Run(fs, ack) // the power cut makes the run fail; that is the point
+		rep.CrashPoints++
+
+		opDesc := ""
+		if i < len(ops) {
+			opDesc = ops[i].String()
+		}
+		verify := func(mode string, img *vfs.FaultFS) {
+			rep.Executions++
+			if err := w.Verify(img, ack); err != nil {
+				rep.Violations = append(rep.Violations, Violation{
+					Workload: w.Name, CrashPoint: i, Mode: mode, Op: opDesc, Err: err,
+				})
+			}
+		}
+		verify("strict", fs.CrashImage())
+		for v := 0; v < opts.TornVariants; v++ {
+			seed := opts.Seed + int64(i)*1009 + int64(v)
+			verify(fmt.Sprintf("torn-%d", v), fs.CrashImageTorn(seed))
+		}
+	}
+	return rep, nil
+}
+
+// fakeClock is a hand-advanced clock shared between a FaultFS (file
+// mtimes) and lease handles, so TTL expiry and steal-lock staleness are
+// deterministic under exploration.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,25 @@
+// Package crashtest is the systematic power-cut explorer over the repo's
+// durable paths. A Workload scripts real mutations — registry puts,
+// promotions and evictions, journal submits and terminal updates, lease
+// acquires, renewals and steals, checkpoint saves, WAL appends — against
+// a vfs.FaultFS, recording an acked fact after each durable operation
+// reports success. Explore runs the workload once cleanly to count its
+// mutating filesystem operations, then re-runs it with a simulated power
+// cut before every single one of them, materializes the surviving disk
+// (both the strictly-fsynced image and seeded ext4-like torn variants),
+// re-opens it through the normal recovery code paths, and asserts the
+// durability contract: every acked fact survives, nothing is wedged, and
+// epochs never regress.
+//
+// The acked-fact discipline is what makes the invariants crisp under
+// arbitrary crash points: a workload only records a fact after the call
+// that made it durable returned, so the fact is exactly the guarantee the
+// caller was given. State the crash interrupted mid-flight is allowed to
+// surface or vanish; state that was acked is not negotiable.
+//
+// The suite's sensitivity is itself tested: re-introducing the registry
+// change log's historical torn-tail overwrite bug (via
+// registry.DebugSkipTailReclaim) must make exploration report
+// violations — a harness that cannot catch a bug it was built for is
+// measuring nothing.
+package crashtest

@@ -12,6 +12,7 @@ import (
 
 	"cdbtune/internal/nn"
 	"cdbtune/internal/server"
+	"cdbtune/internal/vfs"
 )
 
 // StateAccepted marks a journaled job that has been admitted somewhere
@@ -57,15 +58,25 @@ func (r Record) Terminal() bool {
 // interleave into a lost state.
 type Journal struct {
 	dir string
+	fs  vfs.FS
 	mu  sync.Mutex
 }
 
-// OpenJournal creates the journal directory if needed.
+// OpenJournal creates the journal directory if needed — durably: the new
+// directory's parent is fsynced, so a power cut right after the first
+// acked record cannot drop the whole journal subtree (an un-fsynced
+// directory entry takes every record inside it along when it vanishes).
 func OpenJournal(dir string) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenJournalFS(vfs.OS, dir)
+}
+
+// OpenJournalFS is OpenJournal over an explicit filesystem (fault
+// injection, crash-consistency exploration).
+func OpenJournalFS(fsys vfs.FS, dir string) (*Journal, error) {
+	if err := vfs.MkdirAllDurable(fsys, dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fleet: journal dir: %w", err)
 	}
-	return &Journal{dir: dir}, nil
+	return &Journal{dir: dir, fs: fsys}, nil
 }
 
 func (j *Journal) path(key string) (string, error) {
@@ -95,7 +106,7 @@ func (j *Journal) putLocked(rec Record) error {
 		return err
 	}
 	rec.UnixMs = time.Now().UnixMilli()
-	return nn.WriteAtomic(p, func(w io.Writer) error {
+	return nn.WriteAtomicFS(j.fs, p, func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(rec)
 	})
 }
@@ -129,7 +140,7 @@ func (j *Journal) Get(key string) (Record, bool, error) {
 	if err != nil {
 		return Record{}, false, err
 	}
-	data, err := os.ReadFile(p)
+	data, err := j.fs.ReadFile(p)
 	if os.IsNotExist(err) {
 		return Record{}, false, nil
 	}
@@ -145,7 +156,7 @@ func (j *Journal) Get(key string) (Record, bool, error) {
 
 // All returns every journaled record (unordered).
 func (j *Journal) All() ([]Record, error) {
-	ents, err := os.ReadDir(j.dir)
+	ents, err := j.fs.ReadDir(j.dir)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cdbtune/internal/registry"
+	"cdbtune/internal/vfs"
 )
 
 // Membership advertises this process in the fleet's member directory and
@@ -37,7 +38,7 @@ type Membership struct {
 
 // NewMembership prepares (but does not start) a member advertisement.
 func NewMembership(dir, id, addr string, ttl time.Duration, logf func(string, ...any)) (*Membership, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := vfs.MkdirAllDurable(vfs.OS, dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fleet: member dir: %w", err)
 	}
 	if ttl <= 0 {
@@ -125,7 +126,7 @@ func (m *Membership) renewLoop() {
 // carries no address and is skipped, so a failed-over member stays
 // unroutable until it reclaims its own slot.
 func Alive(dir string) (map[string]string, error) {
-	ents, err := os.ReadDir(dir)
+	ents, err := vfs.OS.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
@@ -15,6 +14,7 @@ import (
 
 	"cdbtune/internal/registry"
 	"cdbtune/internal/server"
+	"cdbtune/internal/vfs"
 )
 
 // Config assembles one fleet node.
@@ -110,8 +110,10 @@ func Start(cfg Config) (*Node, error) {
 		logf = log.Printf
 	}
 
+	// Durable mkdir: the node's subtrees must survive a power cut, or every
+	// fsync'd lease/record/entry inside vanishes with the directory entry.
 	for _, sub := range []string{"registry", "members", "jobs"} {
-		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+		if err := vfs.MkdirAllDurable(vfs.OS, filepath.Join(cfg.Dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("fleet: %w", err)
 		}
 	}

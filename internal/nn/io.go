@@ -2,12 +2,12 @@ package nn
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
+
+	"cdbtune/internal/vfs"
 )
 
 // WriteAtomic writes a file by streaming into a temp file in the target's
@@ -15,17 +15,27 @@ import (
 // containing directory — a crash or write error never leaves a truncated
 // file at path, and a crash right after the rename cannot lose the rename
 // itself (the directory entry is durable before WriteAtomic returns). The
-// temp file is removed on failure.
+// temp file is removed on failure. It writes through the production
+// filesystem; WriteAtomicFS is the same helper over an explicit vfs.FS
+// (fault injection, crash-consistency exploration).
 func WriteAtomic(path string, write func(io.Writer) error) error {
+	return WriteAtomicFS(vfs.OS, path, write)
+}
+
+// WriteAtomicFS is WriteAtomic over an explicit filesystem. On failure —
+// including an injected ENOSPC/EIO mid-stream — the temp file is removed
+// and the destination untouched, so a retry after the condition clears
+// is always safe.
+func WriteAtomicFS(fsys vfs.FS, path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := write(f); err != nil {
@@ -35,29 +45,21 @@ func WriteAtomic(path string, write func(io.Writer) error) error {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return SyncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // SyncDir fsyncs a directory so a rename or create recorded in it survives
 // a crash. Filesystems that refuse directory fsync (some network mounts)
 // degrade to the pre-fsync durability rather than failing the write.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
-		return err
-	}
-	return nil
+	return vfs.OS.SyncDir(dir)
 }
 
 // Rename renames oldpath onto newpath with plain rename semantics and
@@ -66,9 +68,10 @@ func SyncDir(dir string) error {
 // wins) where the rename IS the atomic primitive and durability is
 // irrelevant — lock files are advisory and rebuilt on restart. Every
 // durable file still goes through WriteAtomic; the repo lint forbids a
-// bare os.Rename anywhere outside this file so nothing else bypasses it.
+// bare os.Rename anywhere outside this file and the vfs passthrough so
+// nothing else bypasses it.
 func Rename(oldpath, newpath string) error {
-	return os.Rename(oldpath, newpath)
+	return vfs.OS.Rename(oldpath, newpath)
 }
 
 // NetworkState is a deep copy of everything Save persists for a Network:

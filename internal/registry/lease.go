@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cdbtune/internal/nn"
+	"cdbtune/internal/vfs"
 )
 
 // DefaultLeaseTTL is the lease lifetime when NewLease is not told
@@ -59,6 +60,7 @@ type Lease struct {
 	path  string
 	owner string
 	ttl   time.Duration
+	fs    vfs.FS
 
 	// now is the clock; tests and chaos injection override it.
 	now func() time.Time
@@ -78,10 +80,16 @@ type Lease struct {
 // ttl <= 0 means DefaultLeaseTTL. Nothing touches the disk until
 // TryAcquire.
 func NewLease(path, owner string, ttl time.Duration) *Lease {
+	return NewLeaseFS(vfs.OS, path, owner, ttl)
+}
+
+// NewLeaseFS is NewLease over an explicit filesystem (fault injection,
+// crash-consistency exploration).
+func NewLeaseFS(fsys vfs.FS, path, owner string, ttl time.Duration) *Lease {
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
-	return &Lease{path: path, owner: owner, ttl: ttl, now: time.Now}
+	return &Lease{path: path, owner: owner, ttl: ttl, fs: fsys, now: time.Now}
 }
 
 // SetClock overrides the lease clock (tests, chaos stalls).
@@ -229,7 +237,7 @@ func (l *Lease) createLocked(now time.Time) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(l.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		if os.IsExist(err) {
 			return false, nil
@@ -242,13 +250,16 @@ func (l *Lease) createLocked(now time.Time) (bool, error) {
 	}
 	if werr != nil {
 		f.Close()
-		os.Remove(l.path)
+		// Unlink the partial record and make the unlink durable: a crash
+		// right after this return must not resurrect a torn lease file.
+		l.fs.Remove(l.path)
+		l.fs.SyncDir(filepath.Dir(l.path))
 		return false, fmt.Errorf("registry: lease create: %w", werr)
 	}
 	if err := f.Close(); err != nil {
 		return false, err
 	}
-	if err := nn.SyncDir(filepath.Dir(l.path)); err != nil {
+	if err := l.fs.SyncDir(filepath.Dir(l.path)); err != nil {
 		return false, err
 	}
 	l.held, l.epoch = true, info.Epoch
@@ -263,7 +274,7 @@ func (l *Lease) createLocked(now time.Time) (bool, error) {
 // bumped past the old record's, fencing the previous holder.
 func (l *Lease) stealLocked(old LeaseInfo, now time.Time) (bool, error) {
 	lockPath := l.path + ".steal"
-	f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		if os.IsExist(err) {
 			// A stealer that crashed mid-steal must not wedge the lease
@@ -278,9 +289,12 @@ func (l *Lease) stealLocked(old LeaseInfo, now time.Time) (bool, error) {
 		// Remove only a lock this handle still owns: a reaper that
 		// misjudged it as stale may have cleared the path, and a successor
 		// may hold a fresh lock there — deleting that one would reopen the
-		// double-steal race.
+		// double-steal race. The unlink is made durable (dir fsync): a
+		// crash later must not resurrect a finished steal's lock and wedge
+		// the next failover until the reap timeout.
 		if l.ownsStealLock(f, lockPath) {
-			os.Remove(lockPath)
+			l.fs.Remove(lockPath)
+			l.fs.SyncDir(filepath.Dir(lockPath))
 		}
 		f.Close()
 	}()
@@ -337,16 +351,16 @@ func (l *Lease) stealLocked(old LeaseInfo, now time.Time) (bool, error) {
 // ownsStealLock reports whether lockPath still names the lock file this
 // handle created (same inode) — false once a reaper cleared it or a
 // successor claimed the path.
-func (l *Lease) ownsStealLock(f *os.File, lockPath string) bool {
+func (l *Lease) ownsStealLock(f vfs.File, lockPath string) bool {
 	fi, err := f.Stat()
 	if err != nil {
 		return false
 	}
-	di, err := os.Stat(lockPath)
+	di, err := l.fs.Stat(lockPath)
 	if err != nil {
 		return false
 	}
-	return os.SameFile(fi, di)
+	return l.fs.SameFile(fi, di)
 }
 
 // reapStaleStealLock clears a steal lock abandoned by a stealer that
@@ -360,27 +374,30 @@ func (l *Lease) ownsStealLock(f *os.File, lockPath string) bool {
 // proceeds to steal: it only clears the path, and a later TryAcquire
 // claims it through the normal exclusive create.
 func (l *Lease) reapStaleStealLock(lockPath string, now time.Time) {
-	st, err := os.Stat(lockPath)
+	st, err := l.fs.Stat(lockPath)
 	if err != nil || now.Sub(st.ModTime()) <= l.ttl {
 		return
 	}
 	reaped := lockPath + ".reap-" + l.owner
-	if err := nn.Rename(lockPath, reaped); err != nil {
+	if err := l.fs.Rename(lockPath, reaped); err != nil {
 		return // another reaper won, or the holder finished and removed it
 	}
-	if st, err := os.Stat(reaped); err == nil && now.Sub(st.ModTime()) <= l.ttl {
+	if st, err := l.fs.Stat(reaped); err == nil && now.Sub(st.ModTime()) <= l.ttl {
 		// Fresh after all: put it back. Link cannot clobber — if an even
 		// newer lock already took the path, its holder proceeds and the
 		// one we renamed is the loser by the ownsStealLock gate.
-		_ = os.Link(reaped, lockPath)
+		_ = l.fs.Link(reaped, lockPath)
 	}
-	os.Remove(reaped)
+	// Unlink the reaped name durably so a crash cannot resurrect a
+	// half-reaped lock file next to the live one.
+	l.fs.Remove(reaped)
+	l.fs.SyncDir(filepath.Dir(reaped))
 }
 
 // readLeaseLocked reads the lease file, recording the highest epoch this
 // handle has ever observed. Callers hold l.mu.
 func (l *Lease) readLeaseLocked() (LeaseInfo, bool, error) {
-	info, exists, err := ReadLeaseFile(l.path)
+	info, exists, err := ReadLeaseFileFS(l.fs, l.path)
 	if err == nil && exists && info.Epoch > l.seenEpoch {
 		l.seenEpoch = info.Epoch
 	}
@@ -395,7 +412,7 @@ func (l *Lease) writeLocked(info LeaseInfo) error {
 	if err != nil {
 		return err
 	}
-	return nn.WriteAtomic(l.path, func(w io.Writer) error {
+	return nn.WriteAtomicFS(l.fs, l.path, func(w io.Writer) error {
 		_, werr := w.Write(payload)
 		return werr
 	})
@@ -404,13 +421,19 @@ func (l *Lease) writeLocked(info LeaseInfo) error {
 // Read reports the current on-disk lease record without touching it.
 // exists is false when no lease file is present.
 func (l *Lease) Read() (info LeaseInfo, exists bool, err error) {
-	return ReadLeaseFile(l.path)
+	return ReadLeaseFileFS(l.fs, l.path)
 }
 
-// ReadLeaseFile parses the lease record at path. A missing file is
-// (zero, false, nil); an unreadable or unparsable one is an error.
+// ReadLeaseFile parses the lease record at path on the production
+// filesystem. A missing file is (zero, false, nil); an unreadable or
+// unparsable one is an error.
 func ReadLeaseFile(path string) (LeaseInfo, bool, error) {
-	data, err := os.ReadFile(path)
+	return ReadLeaseFileFS(vfs.OS, path)
+}
+
+// ReadLeaseFileFS is ReadLeaseFile over an explicit filesystem.
+func ReadLeaseFileFS(fsys vfs.FS, path string) (LeaseInfo, bool, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return LeaseInfo{}, false, nil

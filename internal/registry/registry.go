@@ -15,6 +15,7 @@ import (
 
 	"cdbtune/internal/core"
 	"cdbtune/internal/nn"
+	"cdbtune/internal/vfs"
 )
 
 // entryMagic tags the CRC32 integrity footer of every registry entry.
@@ -68,6 +69,7 @@ type entryBlob struct {
 type Registry struct {
 	dir string
 	max int
+	fs  vfs.FS
 
 	mu      sync.Mutex
 	entries map[string]Meta
@@ -114,6 +116,17 @@ func WithMaxEntries(n int) Option {
 	}
 }
 
+// WithFS runs the registry on an explicit filesystem instead of the
+// production passthrough — the seam the crash-consistency harness uses to
+// inject faults and power cuts under every entry write.
+func WithFS(fsys vfs.FS) Option {
+	return func(r *Registry) {
+		if fsys != nil {
+			r.fs = fsys
+		}
+	}
+}
+
 // WithLogf redirects the registry's complaints about corrupt entries
 // (default log.Printf). Corruption is never silent: skipped entries are
 // both logged and recorded in Corrupt.
@@ -129,12 +142,10 @@ func WithLogf(f func(format string, args ...any)) Option {
 // that fail their integrity check are skipped loudly: logged, recorded in
 // Corrupt, and left on disk for inspection.
 func Open(dir string, opts ...Option) (*Registry, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("registry: %w", err)
-	}
 	r := &Registry{
 		dir:     dir,
 		max:     DefaultMaxEntries,
+		fs:      vfs.OS,
 		entries: make(map[string]Meta),
 		corrupt: make(map[string]string),
 		logf:    log.Printf,
@@ -142,12 +153,17 @@ func Open(dir string, opts ...Option) (*Registry, error) {
 	for _, o := range opts {
 		o(r)
 	}
-	files, err := filepath.Glob(filepath.Join(dir, "*.model"))
+	// Durable mkdir: a registry whose directory entry is still volatile
+	// loses every fsync'd model file with it on a power cut.
+	if err := vfs.MkdirAllDurable(r.fs, dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	files, err := r.fs.Glob(filepath.Join(dir, "*.model"))
 	if err != nil {
 		return nil, fmt.Errorf("registry: %w", err)
 	}
 	for _, f := range files {
-		blob, err := readEntry(f)
+		blob, err := readEntry(r.fs, f)
 		if err != nil {
 			r.noteCorrupt(filepath.Base(f), err)
 			continue
@@ -245,7 +261,14 @@ func (r *Registry) Put(meta Meta, model []byte) (Meta, error) {
 	}
 	r.entries[meta.ID] = cloneMeta(meta)
 	delete(r.corrupt, meta.ID+".model")
-	r.evictLocked()
+	if err := r.evictLocked(); err != nil {
+		// The new entry is stored and durable; what failed is making the
+		// eviction's unlink durable. Fail the Put anyway: a success here
+		// would promise the caller a bounded collection while a crash
+		// could resurrect the victim. A retry converges (version bump on
+		// an already-stored entry, eviction re-attempted).
+		return Meta{}, err
+	}
 	return meta, nil
 }
 
@@ -263,7 +286,7 @@ func (r *Registry) getLocked(id string) (Meta, []byte, error) {
 	if _, ok := r.entries[id]; !ok {
 		return Meta{}, nil, fmt.Errorf("registry: no entry %q", id)
 	}
-	blob, err := readEntry(r.path(id))
+	blob, err := readEntry(r.fs, r.path(id))
 	if err != nil {
 		r.noteCorrupt(id+".model", err)
 		delete(r.entries, id)
@@ -383,7 +406,13 @@ func (r *Registry) Delete(id string) error {
 	if err := r.noteChangeLocked(Change{Op: OpDelete, ID: id}); err != nil {
 		return err
 	}
-	if err := os.Remove(r.path(id)); err != nil && !os.IsNotExist(err) {
+	if err := r.fs.Remove(r.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("registry: delete %q: %w", id, err)
+	}
+	// Make the unlink durable: without the directory fsync a crash can
+	// resurrect the deleted entry, and a follower that already applied the
+	// delete record would serve a model the operator removed.
+	if err := r.fs.SyncDir(r.dir); err != nil {
 		return fmt.Errorf("registry: delete %q: %w", id, err)
 	}
 	delete(r.entries, id)
@@ -392,8 +421,11 @@ func (r *Registry) Delete(id string) error {
 
 // evictLocked removes least-recently-updated unpinned entries until the
 // collection fits its bound. A collection of nothing but pinned entries is
-// allowed to exceed the bound (with a complaint).
-func (r *Registry) evictLocked() {
+// allowed to exceed the bound (with a complaint). An unlink that cannot
+// be completed and made durable is an error: the victim stays indexed
+// (disk and memory agree) and the caller's mutation fails rather than
+// acking an eviction a crash could undo.
+func (r *Registry) evictLocked() error {
 	for len(r.entries) > r.max {
 		victim := ""
 		var low int64
@@ -407,18 +439,26 @@ func (r *Registry) evictLocked() {
 		}
 		if victim == "" {
 			r.logf("registry: %d entries all pinned, over the %d bound; not evicting", len(r.entries), r.max)
-			return
+			return nil
 		}
 		if err := r.noteChangeLocked(Change{Op: OpEvict, ID: victim}); err != nil {
 			r.logf("registry: eviction of %s not logged (%v); keeping the entry", victim, err)
-			return
+			return nil
 		}
-		if err := os.Remove(r.path(victim)); err != nil && !os.IsNotExist(err) {
+		if err := r.fs.Remove(r.path(victim)); err != nil && !os.IsNotExist(err) {
 			r.logf("registry: evicting %s: %v", victim, err)
+			return fmt.Errorf("registry: evicting %s: %w", victim, err)
 		}
 		delete(r.entries, victim)
+		// Durable unlink, same as Delete: an evicted entry that resurrects
+		// after a crash would push the collection back over its bound and
+		// resurface a model every follower already forgot.
+		if err := r.fs.SyncDir(r.dir); err != nil {
+			return fmt.Errorf("registry: evicting %s: dir sync: %w", victim, err)
+		}
 		r.logf("registry: evicted %s (collection over %d entries)", victim, r.max)
 	}
+	return nil
 }
 
 // noteChangeLocked runs the change hook (when installed) ahead of a
@@ -444,7 +484,7 @@ func (r *Registry) setChangeHook(hook func(Change) error) {
 func (r *Registry) ReloadEntry(id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	blob, err := readEntry(r.path(id))
+	blob, err := readEntry(r.fs, r.path(id))
 	if err != nil {
 		if os.IsNotExist(err) {
 			delete(r.entries, id)
@@ -491,13 +531,13 @@ func (r *Registry) Peek(id string) (Meta, bool) {
 // healthy entries and the corrupt files (base name → reason).
 func (r *Registry) Verify() (healthy int, corrupt map[string]string) {
 	corrupt = make(map[string]string)
-	files, err := filepath.Glob(filepath.Join(r.dir, "*.model"))
+	files, err := r.fs.Glob(filepath.Join(r.dir, "*.model"))
 	if err != nil {
 		corrupt["(glob)"] = err.Error()
 		return 0, corrupt
 	}
 	for _, f := range files {
-		if _, err := readEntry(f); err != nil {
+		if _, err := readEntry(r.fs, f); err != nil {
 			corrupt[filepath.Base(f)] = err.Error()
 			continue
 		}
@@ -526,15 +566,15 @@ func (r *Registry) writeLocked(meta Meta, model []byte) error {
 	if err := gob.NewEncoder(&buf).Encode(entryBlob{Meta: meta, Model: model}); err != nil {
 		return fmt.Errorf("registry: encode %q: %w", meta.ID, err)
 	}
-	return nn.WriteAtomic(r.path(meta.ID), func(w io.Writer) error {
+	return nn.WriteAtomicFS(r.fs, r.path(meta.ID), func(w io.Writer) error {
 		return core.WriteFramed(w, buf.Bytes(), entryMagic)
 	})
 }
 
 // readEntry reads and verifies one entry file.
-func readEntry(path string) (entryBlob, error) {
+func readEntry(fsys vfs.FS, path string) (entryBlob, error) {
 	var blob entryBlob
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return blob, err
 	}

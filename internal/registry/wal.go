@@ -3,12 +3,31 @@ package registry
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
+
+	"cdbtune/internal/vfs"
 )
+
+// ErrShortAppend reports that an Append failed mid-frame — a short write
+// or I/O error from a full or faulty disk. The torn bytes have already
+// been truncated away (the log's tail is back at the last good frame),
+// so the caller may safely retry the same record once the condition
+// clears; nothing partial remains on disk either way.
+var ErrShortAppend = errors.New("registry: change log append cut short (tail reclaimed, retry safe)")
+
+// DebugSkipTailReclaim re-introduces the pre-crash-harness torn-tail bug
+// for detector-sensitivity testing ONLY: Append overwrites a torn tail
+// in place instead of truncating it first, so a replacement frame
+// shorter than the torn remnant leaves mid-frame garbage that wedges
+// later reads. The crashtest suite flips it on to prove the harness
+// catches exactly this class of bug; nothing else may set it.
+var DebugSkipTailReclaim bool
 
 // Change operations recorded in the registry change log.
 const (
@@ -45,21 +64,38 @@ type Change struct {
 // re-reads it once it is complete.
 type ChangeLog struct {
 	path string
+	fs   vfs.FS
 
 	mu      sync.Mutex
-	f       *os.File
+	f       vfs.File
 	off     int64 // read position: everything before off has been returned by Tail
 	lastSeq int64
 }
 
-// OpenChangeLog opens (creating if needed) the change log at path. The
-// read position starts at zero: the first Tail returns the full history.
+// OpenChangeLog opens (creating if needed) the change log at path on the
+// production filesystem. The read position starts at zero: the first
+// Tail returns the full history.
 func OpenChangeLog(path string) (*ChangeLog, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenChangeLogFS(vfs.OS, path)
+}
+
+// OpenChangeLogFS is OpenChangeLog over an explicit filesystem. When the
+// call creates the log file it fsyncs the parent directory, so a log
+// whose first appends were acked cannot vanish wholesale because its
+// directory entry was never made durable.
+func OpenChangeLogFS(fsys vfs.FS, path string) (*ChangeLog, error) {
+	_, serr := fsys.Stat(path)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("registry: change log: %w", err)
 	}
-	return &ChangeLog{path: path, f: f}, nil
+	if os.IsNotExist(serr) {
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("registry: change log: %w", err)
+		}
+	}
+	return &ChangeLog{path: path, fs: fsys, f: f}, nil
 }
 
 // Close releases the log's file handle.
@@ -150,16 +186,20 @@ func (c *ChangeLog) Append(ch Change) (Change, error) {
 		// writers, so nothing another live writer needs can sit past the
 		// consumed frames: the damage is a dead tail (a crashed writer's
 		// leftovers). Reclaim it rather than wedging every future append.
-		if terr := c.truncateTailLocked(); terr != nil {
-			return Change{}, terr
+		if !DebugSkipTailReclaim {
+			if terr := c.truncateTailLocked(); terr != nil {
+				return Change{}, terr
+			}
 		}
 	}
 	// A torn final frame (a writer crashed mid-append) also leaves bytes
 	// past the read position. Overwriting it in place would be wrong: a
 	// replacement frame shorter than the torn one leaves mid-frame garbage
 	// after it, poisoning every later read. Drop the tail first.
-	if err := c.truncateTailLocked(); err != nil {
-		return Change{}, err
+	if !DebugSkipTailReclaim {
+		if err := c.truncateTailLocked(); err != nil {
+			return Change{}, err
+		}
 	}
 	ch.Seq = c.lastSeq + 1
 	ch.UnixMs = time.Now().UnixMilli()
@@ -173,10 +213,25 @@ func (c *ChangeLog) Append(ch Change) (Change, error) {
 	frame = append(frame, payload...)
 	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
 	if _, err := c.f.WriteAt(frame, c.off); err != nil {
-		return Change{}, fmt.Errorf("registry: change log append: %w", err)
+		// A short write (ENOSPC mid-frame) left a torn frame at the tail.
+		// Reclaim it NOW, not on the next append: until then every reader
+		// would sit behind a tail that no live writer is ever going to
+		// finish, and a crash would hand the garbage to recovery. After
+		// the truncate the log is exactly as before this call, so the
+		// typed error tells the caller a retry is safe.
+		if terr := c.truncateTailLocked(); terr != nil {
+			return Change{}, fmt.Errorf("registry: change log append: %w (and tail reclaim failed: %w)", err, terr)
+		}
+		return Change{}, fmt.Errorf("registry: change log append: %w: %w", ErrShortAppend, err)
 	}
 	if err := c.f.Sync(); err != nil {
-		return Change{}, fmt.Errorf("registry: change log sync: %w", err)
+		// The frame may or may not have reached the platter; drop it from
+		// the file so the in-memory offset and the disk agree, and report
+		// retryable.
+		if terr := c.truncateTailLocked(); terr != nil {
+			return Change{}, fmt.Errorf("registry: change log sync: %w (and tail reclaim failed: %w)", err, terr)
+		}
+		return Change{}, fmt.Errorf("registry: change log sync: %w: %w", ErrShortAppend, err)
 	}
 	c.off += int64(len(frame))
 	c.lastSeq = ch.Seq

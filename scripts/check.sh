@@ -27,10 +27,30 @@ echo "== os.Rename lint =="
 # log, registry entries and fleet journal all depend on never observing a
 # torn file. A bare os.Rename anywhere else skips the fsyncs and breaks
 # that contract on crash.
-rename_hits="$(grep -rn 'os\.Rename' --include='*.go' . | grep -v '^\./internal/nn/io\.go:' || true)"
+rename_hits="$(grep -rn 'os\.Rename' --include='*.go' . \
+    | grep -v '^\./internal/nn/io\.go:' \
+    | grep -v '^\./internal/vfs/os\.go:' || true)"
 if [ -n "$rename_hits" ]; then
     echo "direct os.Rename outside the atomic-write helper (use nn.WriteAtomic):" >&2
     echo "$rename_hits" >&2
+    exit 1
+fi
+
+echo "== vfs interposition lint =="
+# Crash-testability discipline: every durable path goes through a vfs.FS
+# handle so the crashtest harness can interpose fault injection and
+# power-cut simulation. A direct os.* filesystem mutation in a ported
+# package is invisible to the harness — it would silently shrink the
+# torture suite's coverage. Only the vfs passthrough (internal/vfs/os.go)
+# may touch the os package; tests may use os.* for scaffolding.
+vfs_hits="$(grep -rn 'os\.\(OpenFile\|Rename\|Remove\|RemoveAll\|CreateTemp\|ReadFile\|WriteFile\|MkdirAll\|Mkdir\|ReadDir\|Link\|Truncate\)' \
+        --include='*.go' \
+        internal/registry internal/fleet internal/crashtest internal/nn/io.go internal/core/checkpoint.go \
+    | grep -v '_test\.go:' \
+    | grep -v ':[0-9]*:[[:space:]]*//' || true)"
+if [ -n "$vfs_hits" ]; then
+    echo "direct os filesystem call in a crash-tested package (route through vfs.FS):" >&2
+    echo "$vfs_hits" >&2
     exit 1
 fi
 
@@ -51,6 +71,13 @@ go test -count=1 -timeout 120s -run 'TestServeSmoke' ./internal/server/
 
 echo "== drift smoke =="
 go test -count=1 -timeout 120s -run 'TestDriftSmoke' ./internal/core/
+
+echo "== crash smoke =="
+# Systematic power-cut exploration: every crashtest workload, a crash
+# before every mutating filesystem op, strict plus torn disk images at
+# each point, zero tolerated invariant violations — plus the sensitivity
+# test proving the harness catches a re-introduced torn-tail bug.
+go test -count=1 -timeout 120s -run 'TestCrashSmoke|TestHarnessCatchesTornTailBug' ./internal/crashtest/
 
 echo "== fleet smoke =="
 # The multi-process robustness scenario: 3 serve processes, 50 tenants,
