@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke drift-smoke fleet-smoke crash-smoke
+.PHONY: build test check bench chaos-smoke divergence-smoke serve-smoke drift-smoke fleet-smoke crash-smoke lsm-smoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,15 @@ fleet-smoke:
 # contract").
 crash-smoke:
 	$(GO) test -count=1 -timeout 120s -run 'TestCrashSmoke|TestHarnessCatchesTornTailBug' ./internal/crashtest/ -v
+
+# lsm-smoke runs a short seeded DDPG tune against the LSM storage engine
+# on a write-only workload: the tuned configuration must beat the shipped
+# defaults on throughput, and at least one write-stall event must be
+# observed along the way (proving the tuner trains through the engine's
+# compaction-debt regime, not around it). See README ("Storage engines")
+# and DESIGN.md §10.
+lsm-smoke:
+	$(GO) test -count=1 -timeout 120s -run 'TestLSMSmoke' ./internal/simdb/lsm/ -v
 
 # divergence-smoke runs the learner-health supervisor scenarios: a seeded
 # critic divergence that must heal and converge, an exhausted heal budget

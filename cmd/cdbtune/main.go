@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cdbtune/internal/chaos"
 	"cdbtune/internal/core"
@@ -61,13 +62,13 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cdbtune train -workload <name> [-instance CDB-A] [-episodes 40] [-workers 1] [-shards 0] [-model model.bin] [-quiet]
+  cdbtune train -workload <name> [-instance CDB-A] [-engine cdb-mysql|lsm|…] [-episodes 40] [-workers 1] [-shards 0] [-model model.bin] [-quiet]
                 [-checkpoint train.ckpt] [-checkpoint-every 5] [-resume] [-chaos]
                 [-max-grad-norm 5] [-heal-budget 3] [-deadline 0] [-no-supervisor]
-  cdbtune tune  -workload <name> [-instance CDB-A] [-steps 5] [-model model.bin] [-export my.cnf] [-chaos]
+  cdbtune tune  -workload <name> [-instance CDB-A] [-engine cdb-mysql|lsm|…] [-steps 5] [-model model.bin] [-export my.cnf] [-chaos]
                 [-timeline diurnal24|flashcrowd] [-hours 0] [-timescale 60] [-drift-threshold 0.02] [-observe-sec 30]
   cdbtune knobs [-engine cdb-mysql] [-all]
-  cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A]
+  cdbtune benchmark -config my.cnf [-workload <name>] [-instance CDB-A] [-engine cdb-mysql|lsm|…]
   cdbtune serve  [-addr 127.0.0.1:8080] [-registry registry] [-workers 2] [-queue 16]
                  [-match-radius 0.1] [-max-episodes 8] [-fine-tune-episodes 2] [-max-models 64]
                  [-timeline <name>] [-serve-hours 0] [-timescale 0] [-drift-threshold 0]
@@ -85,6 +86,14 @@ func instanceByName(name string) (simdb.Instance, error) {
 		}
 	}
 	return simdb.Instance{}, fmt.Errorf("unknown instance %q (see `cdbtune info`)", name)
+}
+
+func engineByFlag(name string) (knobs.Engine, error) {
+	e, ok := knobs.EngineByName(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown engine %q (valid: %s)", name, strings.Join(knobs.EngineNames(), ", "))
+	}
+	return e, nil
 }
 
 // chaosMix is the standard seeded fault mix the -chaos flag enables: a
@@ -106,6 +115,7 @@ func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	wname := fs.String("workload", "sysbench-rw", "workload name")
 	iname := fs.String("instance", "CDB-A", "instance name (Table 1)")
+	ename := fs.String("engine", "cdb-mysql", "storage engine (see `cdbtune info`)")
 	episodes := fs.Int("episodes", 40, "training episodes")
 	workers := fs.Int("workers", 1, "parallel training environments")
 	shards := fs.Int("shards", 0, "replay memory shards (0 = auto: one per worker when workers > 1)")
@@ -130,7 +140,11 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	cat := knobs.MySQL(knobs.EngineCDB)
+	engine, err := engineByFlag(*ename)
+	if err != nil {
+		return err
+	}
+	cat := knobs.ForEngine(engine)
 	cfg := core.DefaultConfig(cat)
 	cfg.Seed = *seed
 	cfg.DDPG.ActionBias = cat.Defaults(inst.HW.RAMGB, inst.HW.DiskGB)
@@ -153,13 +167,13 @@ func cmdTrain(args []string) error {
 		in = chaosMix(*seed)
 	}
 	mk := func(ep int) *env.Env {
-		var db env.Database = simdb.New(knobs.EngineCDB, inst, *seed+int64(ep))
+		db := env.OpenEngine(engine, inst, *seed+int64(ep))
 		if in != nil {
 			db = in.Wrap(db)
 		}
 		return env.New(db, cat, w)
 	}
-	fmt.Printf("training CDBTune: %s on %s, %d episodes, %d workers\n", w.Name, inst.Name, *episodes, *workers)
+	fmt.Printf("training CDBTune: %s on %s (%s), %d episodes, %d workers\n", w.Name, inst.Name, engine, *episodes, *workers)
 	var last core.EpisodeStats
 	opts := core.TrainOptions{
 		Episodes: *episodes,
@@ -235,6 +249,7 @@ func cmdTune(args []string) error {
 	fs := flag.NewFlagSet("tune", flag.ExitOnError)
 	wname := fs.String("workload", "sysbench-rw", "workload name")
 	iname := fs.String("instance", "CDB-A", "instance name (Table 1)")
+	ename := fs.String("engine", "cdb-mysql", "storage engine (see `cdbtune info`)")
 	steps := fs.Int("steps", 5, "online tuning steps")
 	model := fs.String("model", "model.bin", "model path from `cdbtune train`")
 	export := fs.String("export", "", "write the recommended configuration to this file (my.cnf syntax)")
@@ -255,7 +270,11 @@ func cmdTune(args []string) error {
 	if err != nil {
 		return err
 	}
-	cat := knobs.MySQL(knobs.EngineCDB)
+	engine, err := engineByFlag(*ename)
+	if err != nil {
+		return err
+	}
+	cat := knobs.ForEngine(engine)
 	cfg := core.DefaultConfig(cat)
 	tuner, err := core.New(cfg)
 	if err != nil {
@@ -270,7 +289,7 @@ func cmdTune(args []string) error {
 		return err
 	}
 
-	var target env.Database = simdb.New(knobs.EngineCDB, inst, *seed)
+	target := env.OpenEngine(engine, inst, *seed)
 	if *withChaos {
 		target = chaosMix(*seed).Wrap(target)
 	}
@@ -419,6 +438,7 @@ func cmdBenchmark(args []string) error {
 	cfgPath := fs.String("config", "", "configuration file to evaluate (my.cnf syntax)")
 	wname := fs.String("workload", "sysbench-rw", "workload name")
 	iname := fs.String("instance", "CDB-A", "instance name (Table 1)")
+	ename := fs.String("engine", "cdb-mysql", "storage engine (see `cdbtune info`)")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 	if *cfgPath == "" {
@@ -432,7 +452,11 @@ func cmdBenchmark(args []string) error {
 	if err != nil {
 		return err
 	}
-	cat := knobs.MySQL(knobs.EngineCDB)
+	engine, err := engineByFlag(*ename)
+	if err != nil {
+		return err
+	}
+	cat := knobs.ForEngine(engine)
 	f, err := os.Open(*cfgPath)
 	if err != nil {
 		return err
@@ -447,7 +471,7 @@ func cmdBenchmark(args []string) error {
 		fmt.Fprintf(os.Stderr, "warning: unknown knob %q ignored\n", u)
 	}
 	// Reference: defaults.
-	db := simdb.New(knobs.EngineCDB, inst, *seed)
+	db := env.OpenEngine(engine, inst, *seed)
 	base, err := db.RunWorkload(w, 150)
 	if err != nil {
 		return err
@@ -474,21 +498,12 @@ func cmdBenchmark(args []string) error {
 
 func cmdKnobs(args []string) error {
 	fs := flag.NewFlagSet("knobs", flag.ExitOnError)
-	engineName := fs.String("engine", "cdb-mysql", "engine: cdb-mysql, local-mysql, mongodb, postgres")
+	engineName := fs.String("engine", "cdb-mysql", "storage engine (see `cdbtune info`)")
 	all := fs.Bool("all", false, "include minor knobs without descriptions")
 	fs.Parse(args)
-	var engine knobs.Engine
-	switch *engineName {
-	case "cdb-mysql":
-		engine = knobs.EngineCDB
-	case "local-mysql":
-		engine = knobs.EngineLocalMySQL
-	case "mongodb":
-		engine = knobs.EngineMongoDB
-	case "postgres":
-		engine = knobs.EnginePostgres
-	default:
-		return fmt.Errorf("unknown engine %q", *engineName)
+	engine, err := engineByFlag(*engineName)
+	if err != nil {
+		return err
 	}
 	cat := knobs.ForEngine(engine)
 	fmt.Printf("%s: %d tunable knobs\n", engine, cat.Len())
@@ -513,7 +528,8 @@ func cmdKnobs(args []string) error {
 
 func cmdInfo() error {
 	fmt.Println("engines and knob catalogs:")
-	for _, e := range []knobs.Engine{knobs.EngineCDB, knobs.EngineLocalMySQL, knobs.EngineMongoDB, knobs.EnginePostgres} {
+	for _, name := range knobs.EngineNames() {
+		e, _ := knobs.EngineByName(name)
 		fmt.Printf("  %-12s %d tunable knobs\n", e, knobs.ForEngine(e).Len())
 	}
 	fmt.Println("instances (Table 1):")

@@ -14,8 +14,11 @@ import (
 	"strings"
 	"syscall"
 
+	"cdbtune/internal/env"
+	"cdbtune/internal/knobs"
 	"cdbtune/internal/registry"
 	"cdbtune/internal/server"
+	"cdbtune/internal/simdb"
 )
 
 // cmdServe runs the multi-tenant tuning service: the HTTP API over the
@@ -23,6 +26,7 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	ename := fs.String("engine", "cdb-mysql", "storage engine served to all sessions (see `cdbtune info`)")
 	regDir := fs.String("registry", "registry", "model registry directory")
 	workers := fs.Int("workers", 2, "concurrent tuning sessions")
 	queue := fs.Int("queue", 16, "admission queue depth (beyond it submissions get 429)")
@@ -38,12 +42,20 @@ func cmdServe(args []string) error {
 	driftThreshold := fs.Float64("drift-threshold", 0, "EWMA fingerprint distance that triggers a re-tune (0 = calibrated default)")
 	fs.Parse(args)
 
+	engine, err := engineByFlag(*ename)
+	if err != nil {
+		return err
+	}
 	reg, err := registry.Open(*regDir, registry.WithMaxEntries(*maxEntries))
 	if err != nil {
 		return err
 	}
 	m, err := server.NewManager(server.Config{
-		Registry:            reg,
+		Registry: reg,
+		Catalog:  knobs.ForEngine(engine),
+		MakeDB: func(inst simdb.Instance, seed int64) env.Database {
+			return env.OpenEngine(engine, inst, seed)
+		},
 		Workers:             *workers,
 		QueueDepth:          *queue,
 		OnlineSteps:         *steps,

@@ -4,8 +4,8 @@
 //	expdriver [-budget quick|full] <experiment> [...]
 //
 // Experiments: fig1ab fig1c fig1d table1 table2 fig5 fig6 fig7 fig8 table3
-// fig9 fig10 fig11 fig12 fig14 fig15 table6 fig16to18 timing qdqn
-// ablation-replay ablation-action telemetry serving timeline all
+// fig9 fig10 fig11 fig12 fig14 fig15 table6 fig16to18 crossengine timing
+// qdqn ablation-replay ablation-action telemetry serving timeline all
 package main
 
 import (
@@ -47,7 +47,7 @@ func main() {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = []string{"table1", "timing", "fig1c", "fig1d", "fig1ab", "table2",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "table3", "fig10", "fig11",
-			"fig12", "fig14", "fig15", "table6", "fig16to18", "qdqn",
+			"fig12", "fig14", "fig15", "table6", "fig16to18", "crossengine", "qdqn",
 			"ablation-replay", "ablation-action", "findings", "ycsb-variants",
 			"telemetry", "serving", "timeline"}
 	}
@@ -179,6 +179,16 @@ func run(id string, b expr.Budget) error {
 		printTable(t)
 	case "fig16to18":
 		return printTables(expr.Fig16to18(b))
+	case "crossengine":
+		knobCap := 0
+		if b.Name == "quick" {
+			knobCap = 20
+		}
+		t, err := expr.CrossEngine(b, knobCap)
+		if err != nil {
+			return err
+		}
+		printTable(t)
 	case "qdqn":
 		t, err := expr.QLearnDQN(b, 0)
 		if err != nil {
@@ -246,6 +256,7 @@ experiments:
   fig6 fig7 fig8 fig9 table3                effectiveness (§5.2)
   fig10 fig11 fig12                         adaptability (§5.3)
   fig14 fig15 table6 fig16to18              appendix C
+  crossengine                               one tuner vs four engine families (incl. LSM)
   qdqn ablation-replay ablation-action      design ablations
   findings ycsb-variants                    §5.2.3 findings + extensions
   telemetry                                 parallel-training telemetry stream

@@ -1,7 +1,7 @@
-// Crossengine: tune all four engine variants the paper evaluates (CDB
-// MySQL, local MySQL, MongoDB, Postgres) on a representative workload each
-// and print the before/after matrix — the Appendix C.3 scenario as a
-// single runnable program.
+// Crossengine: tune all engine variants the paper evaluates (CDB
+// MySQL, local MySQL, MongoDB, Postgres) plus the LSM storage engine on a
+// representative workload each and print the before/after matrix — the
+// Appendix C.3 scenario as a single runnable program.
 //
 //	go run ./examples/crossengine
 package main
@@ -29,6 +29,7 @@ func main() {
 		{knobs.EngineLocalMySQL, simdb.CDBC, workload.TPCC()},
 		{knobs.EngineMongoDB, simdb.CDBE, workload.YCSB()},
 		{knobs.EnginePostgres, simdb.CDBD, workload.TPCC()},
+		{knobs.EngineLSM, simdb.CDBC, workload.YCSB()},
 	}
 	fmt.Printf("%-12s %-12s %-12s | %10s | %10s | %8s\n",
 		"engine", "instance", "workload", "default", "CDBTune", "gain")
@@ -37,7 +38,7 @@ func main() {
 		cat := knobs.ForEngine(c.engine)
 		seed := int64(1000 * (ci + 1))
 
-		e := env.New(simdb.New(c.engine, c.inst, seed), cat, c.w)
+		e := env.New(env.OpenEngine(c.engine, c.inst, seed), cat, c.w)
 		base, err := e.Measure()
 		if err != nil {
 			log.Fatal(err)
@@ -56,11 +57,11 @@ func main() {
 			log.Fatal(err)
 		}
 		if _, err := tuner.OfflineTrain(func(ep int) *env.Env {
-			return env.New(simdb.New(c.engine, c.inst, seed+10+int64(ep)), cat, c.w)
+			return env.New(env.OpenEngine(c.engine, c.inst, seed+10+int64(ep)), cat, c.w)
 		}, 25); err != nil {
 			log.Fatal(err)
 		}
-		e2 := env.New(simdb.New(c.engine, c.inst, seed+99), cat, c.w)
+		e2 := env.New(env.OpenEngine(c.engine, c.inst, seed+99), cat, c.w)
 		res, err := tuner.OnlineTune(e2, 5, true)
 		if err != nil {
 			log.Fatal(err)
@@ -70,6 +71,6 @@ func main() {
 			base.Ext.Throughput, res.BestPerf.Throughput,
 			(res.BestPerf.Throughput/base.Ext.Throughput-1)*100)
 	}
-	fmt.Println("\nOne library, four engines: the knob catalogs carry per-engine names")
+	fmt.Println("\nOne library, five engines: the knob catalogs carry per-engine names")
 	fmt.Println("and ranges while the tuner sees only normalized vectors (Appendix C.3).")
 }

@@ -190,12 +190,17 @@ func (d *DB) RunWorkload(w workload.Workload, durationSec float64) (simdb.Result
 }
 
 // TakeStallSeconds implements env.Staller: it returns and clears the
-// extra virtual time the last stall cost.
+// extra virtual time the last stall cost. If the wrapped database stalls
+// on its own (the LSM engine banks compaction write-stall time), that
+// time is drained and charged too — injected and organic stalls compose.
 func (d *DB) TakeStallSeconds() float64 {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	s := d.stall
 	d.stall = 0
+	d.mu.Unlock()
+	if st, ok := d.inner.(env.Staller); ok {
+		s += st.TakeStallSeconds()
+	}
 	return s
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"cdbtune/internal/knobs"
 	"cdbtune/internal/simdb"
+	"cdbtune/internal/simdb/lsm"
 	"cdbtune/internal/workload"
 )
 
@@ -177,5 +178,36 @@ func TestDeterministicSchedule(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("schedules diverge at run %d: %v vs %v", i, a, b)
 		}
+	}
+}
+
+// TestInnerStallerPropagates: a wrapped database that banks its own stall
+// time (the LSM engine's compaction write stalls) surfaces it through the
+// chaos layer's TakeStallSeconds, composed with injected stalls.
+func TestInnerStallerPropagates(t *testing.T) {
+	inner := lsm.New(simdb.CDBA, 1)
+	cat := inner.Catalog()
+	hw := inner.Instance().HW
+	x := cat.Defaults(hw.RAMGB, hw.DiskGB)
+	starve := func(name string, actual float64) {
+		i := cat.Index(name)
+		x[i] = cat.Knobs[i].Normalize(actual, hw.RAMGB, hw.DiskGB)
+	}
+	starve("max_background_compactions", 1)
+	starve("level_size_multiplier", 20)
+	starve("level0_slowdown_writes_trigger", 12)
+	starve("level0_stop_writes_trigger", 14)
+	wrapped := New(Config{}).Wrap(inner)
+	if _, err := wrapped.ApplyKnobs(cat, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrapped.RunWorkload(workload.SysbenchWO(), 150); err != nil {
+		t.Fatal(err)
+	}
+	if s := wrapped.TakeStallSeconds(); s <= 0 {
+		t.Fatalf("organic stall did not propagate through the chaos wrapper: %v", s)
+	}
+	if s := wrapped.TakeStallSeconds(); s != 0 {
+		t.Fatalf("stall not drained from the inner engine: %v", s)
 	}
 }

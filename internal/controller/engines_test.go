@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cdbtune/internal/core"
+	"cdbtune/internal/env"
 	"cdbtune/internal/knobs"
 	"cdbtune/internal/metrics"
 	"cdbtune/internal/rl/ddpg"
@@ -11,9 +12,10 @@ import (
 	"cdbtune/internal/workload"
 )
 
-// TestTuningRequestOtherEngines serves requests against MongoDB and
-// Postgres instances — the controller is engine-agnostic because the
-// tuner's catalog carries the engine.
+// TestTuningRequestOtherEngines serves requests against MongoDB,
+// Postgres and LSM instances — the controller is engine-agnostic because
+// the tuner's catalog carries the engine and env.OpenEngine picks the
+// simulator family.
 func TestTuningRequestOtherEngines(t *testing.T) {
 	cases := []struct {
 		engine knobs.Engine
@@ -22,6 +24,7 @@ func TestTuningRequestOtherEngines(t *testing.T) {
 	}{
 		{knobs.EngineMongoDB, simdb.CDBE, workload.YCSB()},
 		{knobs.EnginePostgres, simdb.CDBD, workload.TPCC()},
+		{knobs.EngineLSM, simdb.CDBC, workload.YCSB()},
 	}
 	for _, c := range cases {
 		full := knobs.ForEngine(c.engine)
@@ -45,7 +48,7 @@ func TestTuningRequestOtherEngines(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		db := simdb.New(c.engine, c.inst, 77)
+		db := env.OpenEngine(c.engine, c.inst, 77)
 		res, err := ctl.HandleTuningRequest(db, c.w)
 		if err != nil {
 			t.Fatalf("%v: %v", c.engine, err)

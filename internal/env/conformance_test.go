@@ -1,0 +1,158 @@
+package env
+
+import (
+	"math"
+	"testing"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// families enumerates one representative of each simulated engine family
+// behind the Database surface.
+func families() []struct {
+	name   string
+	engine knobs.Engine
+	w      workload.Workload
+} {
+	return []struct {
+		name   string
+		engine knobs.Engine
+		w      workload.Workload
+	}{
+		{"btree/cdb", knobs.EngineCDB, workload.SysbenchRW()},
+		{"lsm", knobs.EngineLSM, workload.YCSB()},
+	}
+}
+
+// TestDatabaseConformance drives the same behavioral contract through both
+// engine families: knob round-trips, stress-test shape, reset semantics
+// and run accounting must be indistinguishable to a tuner.
+func TestDatabaseConformance(t *testing.T) {
+	for _, f := range families() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			db := OpenEngine(f.engine, simdb.CDBA, 7)
+			cat := knobs.ForEngine(f.engine)
+			hw := db.Instance().HW
+
+			defaults := cat.Defaults(hw.RAMGB, hw.DiskGB)
+			cur := db.CurrentKnobs(cat)
+			if len(cur) != cat.Len() {
+				t.Fatalf("CurrentKnobs returned %d values for %d knobs", len(cur), cat.Len())
+			}
+			for i := range cur {
+				if math.Abs(cur[i]-defaults[i]) > 1e-9 {
+					t.Fatalf("fresh instance not at defaults: knob %s = %v, want %v", cat.Knobs[i].Name, cur[i], defaults[i])
+				}
+			}
+
+			// A mid-range configuration round-trips through ApplyKnobs →
+			// CurrentKnobs up to quantization.
+			x := append([]float64(nil), defaults...)
+			for i := range x {
+				x[i] = 0.5 * (x[i] + 0.5)
+			}
+			if _, err := db.ApplyKnobs(cat, x); err != nil {
+				t.Fatal(err)
+			}
+			got := db.CurrentKnobs(cat)
+			for i, k := range cat.Knobs {
+				want := k.Normalize(k.Value(x[i], hw.RAMGB, hw.DiskGB), hw.RAMGB, hw.DiskGB)
+				if math.Abs(got[i]-want) > 1e-6 {
+					t.Fatalf("knob %s did not round-trip: got %v want %v", k.Name, got[i], want)
+				}
+			}
+
+			// Knob lookups resolve by name.
+			if _, ok := db.KnobValue(cat.Knobs[0].Name); !ok {
+				t.Fatalf("KnobValue(%q) not found", cat.Knobs[0].Name)
+			}
+			if _, ok := db.KnobValue("no_such_knob"); ok {
+				t.Fatal("KnobValue invented a knob")
+			}
+
+			// ResetDefaults restores the default configuration.
+			db.ResetDefaults()
+			cur = db.CurrentKnobs(cat)
+			for i := range cur {
+				if math.Abs(cur[i]-defaults[i]) > 1e-9 {
+					t.Fatalf("ResetDefaults left knob %s at %v, want %v", cat.Knobs[i].Name, cur[i], defaults[i])
+				}
+			}
+
+			// A stress test produces the canonical 63-metric state and sane
+			// externals, and increments the run counter.
+			runs := db.Runs()
+			res, err := db.RunWorkload(f.w, simdb.StressTestSec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.Runs() != runs+1 {
+				t.Fatalf("Runs() did not advance: %d → %d", runs, db.Runs())
+			}
+			if len(res.State) != metrics.NumMetrics {
+				t.Fatalf("state has %d metrics, want %d", len(res.State), metrics.NumMetrics)
+			}
+			if res.Ext.Throughput <= 0 || res.Ext.Latency99 <= 0 {
+				t.Fatalf("degenerate externals: %+v", res.Ext)
+			}
+			nonZero := 0
+			for _, v := range res.State {
+				if v != 0 {
+					nonZero++
+				}
+			}
+			if nonZero < metrics.NumMetrics/2 {
+				t.Fatalf("only %d/%d metrics move under load", nonZero, metrics.NumMetrics)
+			}
+
+			// The environment drives the family end to end: a default step
+			// charges deploy + stress + collection, no restart.
+			e := New(OpenEngine(f.engine, simdb.CDBA, 7), cat, f.w)
+			if _, err := e.Step(e.Default()); err != nil {
+				t.Fatal(err)
+			}
+			want := simdb.DeploySec + simdb.StressTestSec + simdb.MetricsCollectSec
+			if math.Abs(e.Clock.Seconds()-want) > 1e-6 {
+				t.Fatalf("default step charged %v, want %v", e.Clock.Seconds(), want)
+			}
+		})
+	}
+}
+
+// TestLSMStallChargesEnvClock: organic compaction stalls surface through
+// env.Staller and charge the environment's virtual clock beyond the plain
+// step cost, and are counted as stall faults.
+func TestLSMStallChargesEnvClock(t *testing.T) {
+	cat := knobs.ForEngine(knobs.EngineLSM)
+	db := OpenEngine(knobs.EngineLSM, simdb.CDBA, 7)
+	e := New(db, cat, workload.SysbenchWO())
+	hw := db.Instance().HW
+
+	x := cat.Defaults(hw.RAMGB, hw.DiskGB)
+	starve := func(name string, actual float64) {
+		i := cat.Index(name)
+		if i < 0 {
+			t.Fatalf("no knob %q", name)
+		}
+		x[i] = cat.Knobs[i].Normalize(actual, hw.RAMGB, hw.DiskGB)
+	}
+	starve("max_background_compactions", 1)
+	starve("level_size_multiplier", 20)
+	starve("level0_slowdown_writes_trigger", 12)
+	starve("level0_stop_writes_trigger", 14)
+
+	if _, err := e.Step(x); err != nil {
+		t.Fatal(err)
+	}
+	base := simdb.DeploySec + simdb.StressTestSec + simdb.MetricsCollectSec
+	if e.Clock.Seconds() <= base {
+		t.Fatalf("stall charged nothing: clock %v ≤ base %v", e.Clock.Seconds(), base)
+	}
+	if f := e.Faults(); f.Stalls == 0 || f.StallSec <= 0 {
+		t.Fatalf("stall not counted in FaultReport: %+v", f)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"cdbtune/internal/knobs"
 	"cdbtune/internal/metrics"
 	"cdbtune/internal/simdb"
+	"cdbtune/internal/simdb/lsm"
 	"cdbtune/internal/workload"
 )
 
@@ -47,8 +48,24 @@ type Database interface {
 	Runs() int
 }
 
-// compile-time check: the simulator satisfies the extracted surface.
-var _ Database = (*simdb.DB)(nil)
+// compile-time check: both simulated engine families satisfy the
+// extracted surface.
+var (
+	_ Database = (*simdb.DB)(nil)
+	_ Database = (*lsm.DB)(nil)
+	_ Staller  = (*lsm.DB)(nil)
+)
+
+// OpenEngine constructs a database of the requested engine family on the
+// given hardware: EngineLSM is served by the LSM simulator, every other
+// engine by the buffer-pool simulator. This is the single dispatch point
+// the CLI, the server and the experiment drivers share.
+func OpenEngine(e knobs.Engine, inst simdb.Instance, seed int64) Database {
+	if e == knobs.EngineLSM {
+		return lsm.New(inst, seed)
+	}
+	return simdb.New(e, inst, seed)
+}
 
 // Staller is optionally implemented by fault-injecting databases whose
 // last operation stalled: TakeStallSeconds returns (and clears) the extra

@@ -304,3 +304,25 @@ func TestExtYCSBVariantsMicro(t *testing.T) {
 		t.Fatalf("variants rows = %d, want 5 (B-F)", len(tb.Rows))
 	}
 }
+
+func TestCrossEngineMicro(t *testing.T) {
+	tb, err := CrossEngine(micro(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("cross-engine table has %d rows, want 4 engine families", len(tb.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range tb.Rows {
+		seen[row[0]] = true
+		if row[3] != "6" {
+			t.Fatalf("knob cap not applied: %v", row)
+		}
+	}
+	for _, want := range []string{"cdb-mysql", "mongodb", "postgres", "lsm"} {
+		if !seen[want] {
+			t.Fatalf("engine %s missing from table: %v", want, seen)
+		}
+	}
+}

@@ -15,10 +15,10 @@ import (
 )
 
 // newEnv builds a fresh environment: a new instance of engine on inst
-// driving w, exposing the knobs of cat.
+// driving w, exposing the knobs of cat. Engine dispatch goes through
+// env.OpenEngine, so EngineLSM gets the LSM simulator.
 func newEnv(engine knobs.Engine, inst simdb.Instance, cat *knobs.Catalog, w workload.Workload, seed int64) *env.Env {
-	db := simdb.New(engine, inst, seed)
-	return env.New(db, cat, w)
+	return env.New(env.OpenEngine(engine, inst, seed), cat, w)
 }
 
 // tunerConfig assembles a core.Config from the budget.

@@ -50,6 +50,61 @@ const (
 	RoleReadAhead
 	RoleSpinWaitDelay
 	RoleCheckpointTarget
+
+	// LSM-engine roles (EngineLSM). The engine families share roles only
+	// where the semantics genuinely coincide (connection caps, admission,
+	// log write buffering); everything structurally LSM — memtables,
+	// compaction geometry, stall triggers, bloom filters, the block cache —
+	// carries its own role so neither cost model can accidentally consume
+	// the other family's knobs.
+	RoleMemtableSize
+	RoleMemtableCount
+	RoleMemtableMergeMin
+	RoleWALPolicy
+	RoleWALBytesPerSync
+	RoleWALSizeLimit
+	RoleCompactionStyle
+	RoleLevelMultiplier
+	RoleLevelBase
+	RoleL0CompactTrigger
+	RoleL0SlowdownTrigger
+	RoleL0StopTrigger
+	RoleCompactionThreads
+	RoleFlushThreads
+	RoleSubcompactions
+	RoleTargetFileSize
+	RoleTargetFileMultiplier
+	RoleSoftPendingLimit
+	RoleHardPendingLimit
+	RoleBloomBits
+	RoleBloomWholeKey
+	RoleBlockCache
+	RoleBlockSize
+	RoleCacheIndexFilter
+	RolePinL0Filter
+	RoleRowCache
+	RoleOptimizeFiltersHits
+	RoleCompressionType
+	RoleCompressionLevel
+	RoleBottommostCompression
+	RoleMaxOpenFiles
+	RoleCompactionReadahead
+	RoleRateLimiter
+	RoleDelayedWriteRate
+	RoleBytesPerSync
+	RoleDirectIO
+	RoleMmapRead
+	RolePipelinedWrite
+	RoleConcurrentMemtable
+	RoleWriteThreadYield
+	RoleNumLevels
+	RoleDynamicLevelBytes
+	RolePrefixBloom
+	RoleUniversalSizeRatio
+	RoleUniversalMinMerge
+	RoleUniversalMaxSizeAmp
+	RolePeriodicCompaction
+	RoleIteratorReadahead
 )
 
 // Knob is one tunable configuration parameter.
@@ -149,6 +204,7 @@ const (
 	EngineLocalMySQL
 	EngineMongoDB  // 232 knobs (Appendix C.3)
 	EnginePostgres // 169 knobs (Appendix C.3)
+	EngineLSM      // LSM-tree storage engine (RocksDB-style), 160 knobs
 )
 
 // String implements fmt.Stringer.
@@ -162,8 +218,30 @@ func (e Engine) String() string {
 		return "mongodb"
 	case EnginePostgres:
 		return "postgres"
+	case EngineLSM:
+		return "lsm"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// EngineByName parses an engine name as printed by Engine.String. It is the
+// one parser every -engine flag shares, so the accepted spellings cannot
+// drift between subcommands.
+func EngineByName(name string) (Engine, bool) {
+	for _, e := range []Engine{EngineCDB, EngineLocalMySQL, EngineMongoDB, EnginePostgres, EngineLSM} {
+		if name == e.String() {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// EngineNames lists the valid -engine flag values, for error messages.
+func EngineNames() []string {
+	return []string{
+		EngineCDB.String(), EngineLocalMySQL.String(), EngineMongoDB.String(),
+		EnginePostgres.String(), EngineLSM.String(),
 	}
 }
 

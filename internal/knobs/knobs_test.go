@@ -16,6 +16,7 @@ func TestCatalogSizesMatchPaper(t *testing.T) {
 		{"local-mysql", MySQL(EngineLocalMySQL), 266},
 		{"mongodb", MongoDB(), 232},
 		{"postgres", Postgres(), 169},
+		{"lsm", LSM(), 160},
 	}
 	for _, tc := range tests {
 		if got := tc.cat.Len(); got != tc.want {
@@ -25,7 +26,7 @@ func TestCatalogSizesMatchPaper(t *testing.T) {
 }
 
 func TestCatalogNamesUnique(t *testing.T) {
-	for _, e := range []Engine{EngineCDB, EngineMongoDB, EnginePostgres} {
+	for _, e := range []Engine{EngineCDB, EngineMongoDB, EnginePostgres, EngineLSM} {
 		c := ForEngine(e)
 		seen := make(map[string]bool)
 		for _, k := range c.Knobs {
@@ -56,6 +57,77 @@ func TestEveryEngineHasCoreRoles(t *testing.T) {
 				t.Errorf("%v: missing role %d", e, r)
 			}
 		}
+	}
+}
+
+// TestLSMCatalogShape pins the structural contract of the LSM catalog:
+// every knob the cost model reads is present under its role, the major
+// (documented) knobs lead the catalog, and the B-tree core roles the LSM
+// family deliberately does not share stay absent.
+func TestLSMCatalogShape(t *testing.T) {
+	c := LSM()
+	if c.Engine != EngineLSM {
+		t.Fatalf("catalog engine = %v", c.Engine)
+	}
+	majors := 0
+	for _, k := range c.Knobs {
+		if k.Desc != "" {
+			majors++
+		}
+	}
+	if majors != 51 {
+		t.Errorf("LSM catalog has %d documented major knobs, want 51", majors)
+	}
+	roles := []Role{RoleMemtableSize, RoleMemtableCount, RoleWALPolicy,
+		RoleCompactionStyle, RoleLevelMultiplier, RoleL0CompactTrigger,
+		RoleL0SlowdownTrigger, RoleL0StopTrigger, RoleCompactionThreads,
+		RoleFlushThreads, RoleBloomBits, RoleBlockCache, RoleMaxConnections}
+	for _, r := range roles {
+		i := c.RoleIndex(r)
+		if i < 0 {
+			t.Errorf("LSM: missing role %d", r)
+			continue
+		}
+		if c.Knobs[i].Desc == "" {
+			t.Errorf("LSM: role %d knob %q is not a documented major", r, c.Knobs[i].Name)
+		}
+	}
+	// The B-tree family's structural roles must not leak into the LSM
+	// catalog: the cost models are separated by role, not by name.
+	for _, r := range []Role{RoleBufferPool, RoleLogFileSize} {
+		if i := c.RoleIndex(r); i >= 0 {
+			t.Errorf("LSM: B-tree role %d present as %q", r, c.Knobs[i].Name)
+		}
+	}
+}
+
+// TestEngineByName round-trips every engine name and rejects junk.
+func TestEngineByName(t *testing.T) {
+	names := EngineNames()
+	if len(names) != 5 {
+		t.Fatalf("EngineNames = %v, want 5 engines", names)
+	}
+	sawLSM := false
+	for _, n := range names {
+		e, ok := EngineByName(n)
+		if !ok {
+			t.Fatalf("EngineByName(%q) not found", n)
+		}
+		if e.String() != n {
+			t.Fatalf("EngineByName(%q) = %v (round-trip broken)", n, e)
+		}
+		if e == EngineLSM {
+			sawLSM = true
+		}
+	}
+	if !sawLSM {
+		t.Fatal("EngineNames does not include lsm")
+	}
+	if _, ok := EngineByName("rocksdb"); ok {
+		t.Fatal("EngineByName accepted an unknown name")
+	}
+	if _, ok := EngineByName(""); ok {
+		t.Fatal("EngineByName accepted the empty string")
 	}
 }
 
@@ -167,7 +239,7 @@ func TestValueBoundsProperty(t *testing.T) {
 }
 
 func TestDefaultsWithinRange(t *testing.T) {
-	for _, e := range []Engine{EngineCDB, EngineMongoDB, EnginePostgres} {
+	for _, e := range []Engine{EngineCDB, EngineMongoDB, EnginePostgres, EngineLSM} {
 		c := ForEngine(e)
 		d := c.Defaults(8, 100)
 		if len(d) != c.Len() {

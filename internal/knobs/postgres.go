@@ -136,6 +136,8 @@ func ForEngine(e Engine) *Catalog {
 		return MongoDB()
 	case EnginePostgres:
 		return Postgres()
+	case EngineLSM:
+		return LSM()
 	default:
 		panic("knobs: unknown engine " + e.String())
 	}

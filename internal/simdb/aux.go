@@ -8,7 +8,7 @@ import (
 	"cdbtune/internal/workload"
 )
 
-// auxSurface is the procedurally generated response surface of the minor
+// AuxSurface is the procedurally generated response surface of the minor
 // (RoleAux) knobs. Each minor knob i contributes
 //
 //	amp_i · (1 − 6·(x_i − p_i)²) · mix_i(w)
@@ -19,7 +19,13 @@ import (
 // the smooth, non-convex, interacting high-dimensional landscape of
 // Figure 1(d) and the knob-count behaviour of Figures 6-8. Amplitudes
 // follow a power law: a few minor knobs matter, most barely do.
-type auxSurface struct {
+//
+// The surface is engine-agnostic — it is keyed only on knob names and the
+// catalog — so every engine family (the buffer-pool engines here and the
+// LSM engine in simdb/lsm) shares the same construction while getting a
+// different landscape from its own knob names.
+type AuxSurface struct {
+	cat  *knobs.Catalog
 	idx  []int // positions of aux knobs in the full catalog
 	peak []float64
 	amp  []float64
@@ -37,8 +43,9 @@ type auxSurface struct {
 // dimensions (Figures 6, 7, 9).
 const auxTotalAmplitude = 0.6
 
-func newAuxSurface(cat *knobs.Catalog) *auxSurface {
-	s := &auxSurface{}
+// NewAuxSurface derives the minor-knob surface for a catalog.
+func NewAuxSurface(cat *knobs.Catalog) *AuxSurface {
+	s := &AuxSurface{cat: cat}
 	for i, k := range cat.Knobs {
 		if k.Role == knobs.RoleAux {
 			s.idx = append(s.idx, i)
@@ -84,16 +91,16 @@ func newAuxSurface(cat *knobs.Catalog) *auxSurface {
 	return s
 }
 
-// factor evaluates the minor-knob surface for the DB's current values
-// under workload w, returning a multiplicative throughput factor.
-func (s *auxSurface) factor(db *DB, w workload.Workload) float64 {
-	hw := db.inst.HW
+// Factor evaluates the minor-knob surface for the given actual knob values
+// (aligned with the surface's catalog) under workload w on hardware hw,
+// returning a multiplicative throughput factor.
+func (s *AuxSurface) Factor(values []float64, hw Hardware, w workload.Workload) float64 {
 	readShare := w.ReadFraction
 	var sum float64
 	dev := make([]float64, len(s.idx))
 	for j, full := range s.idx {
-		k := db.catalog.Knobs[full]
-		x := k.Normalize(db.values[full], hw.RAMGB, hw.DiskGB)
+		k := s.cat.Knobs[full]
+		x := k.Normalize(values[full], hw.RAMGB, hw.DiskGB)
 		dev[j] = x - s.peak[j]
 	}
 	for j := range s.idx {

@@ -49,7 +49,7 @@ type DB struct {
 	inst    Instance
 	catalog *knobs.Catalog // full engine catalog
 	values  []float64      // actual knob values, aligned with catalog
-	aux     *auxSurface
+	aux     *AuxSurface
 	rng     *rand.Rand
 
 	cum      [metrics.NumMetrics]float64 // cumulative counter state
@@ -59,14 +59,19 @@ type DB struct {
 
 // New creates an instance of the given engine on the given hardware with
 // every knob at its default. seed fixes the run-to-run measurement noise.
+// The LSM engine family lives in simdb/lsm (env.OpenEngine dispatches);
+// this buffer-pool model cannot interpret its knobs.
 func New(engine knobs.Engine, inst Instance, seed int64) *DB {
+	if engine == knobs.EngineLSM {
+		panic("simdb: EngineLSM is served by simdb/lsm (use lsm.New or env.OpenEngine)")
+	}
 	cat := knobs.ForEngine(engine)
 	db := &DB{
 		engine:  engine,
 		inst:    inst,
 		catalog: cat,
 		rng:     rand.New(rand.NewSource(seed)),
-		aux:     newAuxSurface(cat),
+		aux:     NewAuxSurface(cat),
 	}
 	db.values = cat.Denormalize(cat.Defaults(inst.HW.RAMGB, inst.HW.DiskGB), inst.HW.RAMGB, inst.HW.DiskGB)
 	return db

@@ -67,8 +67,9 @@ func ByName(name string) (Instance, bool) {
 	return Instance{}, false
 }
 
-// diskSpeedFactor scales IO cost by medium: HDD misses hurt more, NVM less.
-func (h Hardware) diskSpeedFactor() float64 {
+// DiskSpeedFactor scales IO cost by medium: HDD misses hurt more, NVM
+// less. Both engine families' cost models consume it.
+func (h Hardware) DiskSpeedFactor() float64 {
 	switch h.Disk {
 	case DiskHDD:
 		return 2.4

@@ -1,0 +1,190 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// DB is one simulated LSM-engine instance. It implements the env.Database
+// surface (structurally — this package must not import env) plus
+// env.Staller: compaction write stalls charge extra virtual seconds.
+type DB struct {
+	inst    simdb.Instance
+	catalog *knobs.Catalog // full EngineLSM catalog
+	values  []float64      // actual knob values, aligned with catalog
+	aux     *simdb.AuxSurface
+	rng     *rand.Rand
+
+	cum      [metrics.NumMetrics]float64 // cumulative counter state
+	restarts int
+	runs     int
+
+	mu           sync.Mutex
+	pendingStall float64 // stall seconds not yet drained via TakeStallSeconds
+	stallEvents  int     // stress tests that hit the stop trigger
+}
+
+// New creates an LSM instance on the given hardware with every knob at its
+// default. seed fixes the run-to-run measurement noise; the knob-response
+// surface itself is seed-independent, like simdb's.
+func New(inst simdb.Instance, seed int64) *DB {
+	cat := knobs.ForEngine(knobs.EngineLSM)
+	db := &DB{
+		inst:    inst,
+		catalog: cat,
+		rng:     rand.New(rand.NewSource(seed)),
+		aux:     simdb.NewAuxSurface(cat),
+	}
+	db.values = cat.Denormalize(cat.Defaults(inst.HW.RAMGB, inst.HW.DiskGB), inst.HW.RAMGB, inst.HW.DiskGB)
+	return db
+}
+
+// Engine reports the engine variant.
+func (db *DB) Engine() knobs.Engine { return knobs.EngineLSM }
+
+// Instance reports the hardware instance.
+func (db *DB) Instance() simdb.Instance { return db.inst }
+
+// Catalog returns the full knob catalog of the engine.
+func (db *DB) Catalog() *knobs.Catalog { return db.catalog }
+
+// Restarts reports how many knob deployments required a restart.
+func (db *DB) Restarts() int { return db.restarts }
+
+// Runs reports how many stress tests have been executed.
+func (db *DB) Runs() int { return db.runs }
+
+// StallEvents reports how many stress tests hit the L0 stop trigger (or a
+// flush/pending-debt stall) hard enough to charge stall time.
+func (db *DB) StallEvents() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stallEvents
+}
+
+// TakeStallSeconds implements env.Staller: it returns and clears the extra
+// virtual time write stalls cost during the last stress tests.
+func (db *DB) TakeStallSeconds() float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.pendingStall
+	db.pendingStall = 0
+	return s
+}
+
+// ApplyKnobs deploys a normalized configuration over the knobs of cat
+// (which may be a subset of the full catalog); knobs outside cat keep
+// their current values. It reports whether the deployment needed a
+// restart (§5.1.1 charges 2 minutes for restarts).
+func (db *DB) ApplyKnobs(cat *knobs.Catalog, x []float64) (restarted bool, err error) {
+	if cat.Engine != knobs.EngineLSM {
+		return false, fmt.Errorf("lsm: catalog engine %v does not match instance engine %v", cat.Engine, knobs.EngineLSM)
+	}
+	if len(x) != cat.Len() {
+		return false, fmt.Errorf("lsm: got %d knob values for %d knobs", len(x), cat.Len())
+	}
+	for i, k := range cat.Knobs {
+		full := db.catalog.Index(k.Name)
+		if full < 0 {
+			return false, fmt.Errorf("lsm: knob %q not in engine catalog", k.Name)
+		}
+		v := k.Value(x[i], db.inst.HW.RAMGB, db.inst.HW.DiskGB)
+		if v != db.values[full] && k.Restart {
+			restarted = true
+		}
+		db.values[full] = v
+	}
+	if restarted {
+		db.restarts++
+	}
+	return restarted, nil
+}
+
+// ResetDefaults restores every knob to its default value.
+func (db *DB) ResetDefaults() {
+	db.values = db.catalog.Denormalize(db.catalog.Defaults(db.inst.HW.RAMGB, db.inst.HW.DiskGB), db.inst.HW.RAMGB, db.inst.HW.DiskGB)
+	db.restarts++
+}
+
+// CurrentKnobs returns the normalized current values of the knobs in cat.
+func (db *DB) CurrentKnobs(cat *knobs.Catalog) []float64 {
+	x := make([]float64, cat.Len())
+	for i, k := range cat.Knobs {
+		full := db.catalog.Index(k.Name)
+		if full < 0 {
+			continue
+		}
+		x[i] = k.Normalize(db.values[full], db.inst.HW.RAMGB, db.inst.HW.DiskGB)
+	}
+	return x
+}
+
+// KnobValue returns the actual value of the named knob.
+func (db *DB) KnobValue(name string) (float64, bool) {
+	i := db.catalog.Index(name)
+	if i < 0 {
+		return 0, false
+	}
+	return db.values[i], true
+}
+
+// RunWorkload stress-tests the instance under w for durationSec seconds of
+// virtual time, sampling internal and external metrics every 5 seconds.
+// On a crash (memory over-subscription or ENOSPC under space
+// amplification) it returns simdb.ErrCrashed; write-stall time is banked
+// for the environment to drain via TakeStallSeconds.
+func (db *DB) RunWorkload(w workload.Workload, durationSec float64) (simdb.Result, error) {
+	if err := w.Validate(); err != nil {
+		return simdb.Result{}, err
+	}
+	db.runs++
+	p := db.evaluate(w)
+	if p.Crashed {
+		return simdb.Result{}, fmt.Errorf("%w: %s", simdb.ErrCrashed, p.CrashReason)
+	}
+	n := int(durationSec / simdb.SamplePeriodSec)
+	if n < 2 {
+		n = 2
+	}
+	col := metrics.NewCollector()
+	var ext []metrics.External
+	for i := 0; i < n; i++ {
+		db.advance(p, simdb.SamplePeriodSec)
+		col.Add(db.snapshot(p))
+		ext = append(ext, metrics.External{
+			Throughput: p.TPS * db.noise(0.015),
+			Latency99:  p.LatencyMS * db.noise(0.03),
+		})
+	}
+	if stall := p.StallFrac * durationSec; stall > 0 {
+		db.mu.Lock()
+		db.pendingStall += stall * db.noise(0.1)
+		if p.PStop > 0.02 {
+			db.stallEvents++
+		}
+		db.mu.Unlock()
+	}
+	return simdb.Result{Ext: metrics.MeanExternal(ext), State: col.State()}, nil
+}
+
+// ShowStatus returns an instantaneous raw snapshot, the "show status"
+// command a DBA runs by hand.
+func (db *DB) ShowStatus(w workload.Workload) metrics.Snapshot {
+	p := db.evaluate(w)
+	return db.snapshot(p)
+}
+
+// noise draws a multiplicative 1±σ measurement perturbation.
+func (db *DB) noise(sigma float64) float64 {
+	f := 1 + sigma*db.rng.NormFloat64()
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}

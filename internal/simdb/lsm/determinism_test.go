@@ -1,0 +1,91 @@
+package lsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cdbtune/internal/simdb"
+	"cdbtune/internal/workload"
+)
+
+// TestEvaluateDeterministic: the LSM cost model (before measurement noise)
+// is a pure function of (hardware, config, workload).
+func TestEvaluateDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		mk := func() *DB {
+			db := New(simdb.CDBB, 1)
+			cat := db.Catalog()
+			x := cat.Defaults(simdb.CDBB.HW.RAMGB, simdb.CDBB.HW.DiskGB)
+			r2 := newSplitMix(seed)
+			for i := range x {
+				if r2.next() < 0.2 {
+					x[i] = r2.next() * 0.8
+				}
+			}
+			if _, err := db.ApplyKnobs(cat, x); err != nil {
+				t.Fatal(err)
+			}
+			return db
+		}
+		a, b := mk().evaluate(workload.YCSB()), mk().evaluate(workload.YCSB())
+		return a.TPS == b.TPS && a.LatencyMS == b.LatencyMS && a.Crashed == b.Crashed &&
+			a.WriteAmp == b.WriteAmp && a.ReadAmp == b.ReadAmp && a.SpaceAmp == b.SpaceAmp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// splitMix is a tiny deterministic generator for test configurations.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{s: uint64(seed)} }
+
+func (m *splitMix) next() float64 {
+	m.s += 0x9e3779b97f4a7c15
+	z := m.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// TestSameSeedSameRun: identical seed + knobs + workload reproduce a
+// bit-identical Result, including every internal metric.
+func TestSameSeedSameRun(t *testing.T) {
+	run := func() simdb.Result {
+		db := New(simdb.CDBA, 42)
+		set(t, db, "bloom_bits_per_key", 12)
+		set(t, db, "block_cache_size_mb", 512)
+		r, err := db.RunWorkload(workload.YCSB(), simdb.StressTestSec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Ext != b.Ext {
+		t.Fatalf("externals differ across identical seeds: %+v vs %+v", a.Ext, b.Ext)
+	}
+	for i := range a.State {
+		if a.State[i] != b.State[i] {
+			t.Fatalf("state[%d] differs across identical seeds", i)
+		}
+	}
+}
+
+// TestDifferentSeedDifferentNoise: measurement noise is seed-dependent even
+// though the underlying surface is not.
+func TestDifferentSeedDifferentNoise(t *testing.T) {
+	run := func(seed int64) simdb.Result {
+		db := New(simdb.CDBA, seed)
+		r, err := db.RunWorkload(workload.YCSB(), simdb.StressTestSec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if a, b := run(1), run(2); a.Ext == b.Ext {
+		t.Fatal("different seeds produced identical measurements")
+	}
+}

@@ -1,0 +1,124 @@
+package lsm
+
+import (
+	"math"
+
+	"cdbtune/internal/knobs"
+	"cdbtune/internal/metrics"
+)
+
+// metricIdx resolves canonical metric positions once at init.
+var metricIdx = func() map[string]int {
+	m := make(map[string]int, metrics.NumMetrics)
+	for i, d := range metrics.Defs {
+		m[d.Name] = i
+	}
+	return m
+}()
+
+// advance accumulates dt seconds of counter activity at the rates the cost
+// model produced. The 63 canonical metric names are reinterpreted with LSM
+// semantics — block cache → buffer_pool_*, WAL → log_*, flush+compaction →
+// pages flushed, write stalls → lock waits, compactions → sort merges — so
+// fingerprints keep their shape while encoding a genuinely different
+// engine signature.
+func (db *DB) advance(p perf, dt float64) {
+	add := func(name string, rate float64) {
+		i := metricIdx[name]
+		v := rate * dt * db.noise(0.02)
+		if v < 0 {
+			v = 0
+		}
+		db.cum[i] += v
+	}
+	ops := p.ReadOps + p.WriteOps
+	commits := 0.0
+	if ops > 0 {
+		commits = p.TPS
+	}
+	insertOps := p.WriteOps * 0.5
+	deleteOps := p.WriteOps * 0.1
+	updateOps := p.WriteOps - insertOps - deleteOps
+	flushBlocks := p.FlushMBps * 1024 / 16 // 16 KiB block writes /s
+	compactBlocks := p.CompactionMBps * 1024 / 16
+
+	add("bytes_received", ops*160)
+	add("bytes_sent", p.ReadOps*700+p.WriteOps*40)
+	add("com_select", p.ReadOps)
+	add("com_insert", insertOps)
+	add("com_update", updateOps)
+	add("com_delete", deleteOps)
+	add("com_commit", commits)
+	add("com_rollback", commits*0.003)
+	add("questions", ops+commits)
+	add("queries", ops+commits)
+	add("slow_queries", p.Scans*0.03+ops*0.2*p.PStop)
+	add("buffer_pool_read_requests", p.BlockReqs)
+	add("buffer_pool_reads", p.BlockMisses)
+	add("buffer_pool_write_requests", flushBlocks)
+	add("buffer_pool_pages_flushed", flushBlocks+compactBlocks)
+	add("buffer_pool_read_ahead", compactBlocks*0.8+p.Scans*4)
+	add("buffer_pool_read_ahead_evicted", compactBlocks*0.3)
+	add("buffer_pool_wait_free", p.BlockMisses*0.02*p.MemPressure)
+	add("data_reads", p.BlockMisses+compactBlocks)
+	add("data_writes", flushBlocks+compactBlocks+p.WALFsyncs)
+	add("data_read_bytes", (p.BlockMisses+compactBlocks)*16384)
+	add("data_written_bytes", (flushBlocks+compactBlocks)*16384+p.WALWrites*float64(entryKB*1024))
+	add("data_fsyncs", p.WALFsyncs+(flushBlocks+compactBlocks)*0.001)
+	add("log_writes", p.WALWrites)
+	add("log_write_requests", p.WALWrites*1.3)
+	add("os_log_written", p.WALWrites*float64(entryKB*1024))
+	add("os_log_fsyncs", p.WALFsyncs)
+	add("log_waits", p.WALWrites*0.001*(1+5*p.PSlow))
+	add("pages_created", flushBlocks)
+	add("pages_read", p.BlockMisses)
+	add("pages_written", flushBlocks+compactBlocks)
+	add("rows_read", p.ReadOps*2+p.Scans*180)
+	add("rows_inserted", insertOps)
+	add("rows_updated", updateOps)
+	add("rows_deleted", deleteOps)
+	add("row_lock_waits", p.StallWaits)
+	add("row_lock_time_ms", p.StallWaits*40)
+	add("lock_timeouts", p.StallWaits*0.02*p.PStop)
+	add("created_tmp_tables", compactBlocks/math.Max(1, 64*64)) // compaction output files
+	add("created_tmp_disk_tables", flushBlocks/math.Max(1, 64*64))
+	add("created_tmp_files", (flushBlocks+compactBlocks)/math.Max(1, 64*64))
+	add("handler_read_first", p.Scans)
+	add("handler_read_key", p.ReadOps*(1+p.ReadAmp))
+	add("handler_read_next", p.Scans*160*(1+0.05*p.L0Files))
+	add("handler_read_rnd_next", p.Scans*200)
+	add("select_scan", p.Scans)
+	add("sort_merge_passes", p.CompactionMBps/math.Max(1, 55)) // compactions in flight
+	add("sort_rows", p.CompactionMBps*1024/float64(entryKB))   // entries merged /s
+	add("table_locks_waited", p.StallWaits*0.1)
+}
+
+// snapshot materializes the instantaneous gauge values on top of the
+// accumulated counters.
+func (db *DB) snapshot(p perf) metrics.Snapshot {
+	var s metrics.Snapshot
+	copy(s.Values[:], db.cum[:])
+	set := func(name string, v float64) {
+		if v < 0 {
+			v = 0
+		}
+		s.Values[metricIdx[name]] = v * db.noise(0.01)
+	}
+	cacheBlocks := p.CacheTotalMB * 64 // 16 KiB blocks
+	fill := math.Min(1, 0.3+0.7*p.BlockHit)
+	set("buffer_pool_pages_data", cacheBlocks*fill)
+	set("buffer_pool_pages_dirty", cacheBlocks*fill*0.02) // cache is read-only; memtables are the dirty set
+	set("buffer_pool_pages_free", cacheBlocks*(1-fill))
+	set("buffer_pool_pages_total", cacheBlocks)
+	set("buffer_pool_hit_ratio", p.BlockHit)
+	set("threads_running", p.Running)
+	set("threads_connected", p.ActiveConns)
+	set("threads_cached", db.roleValue(knobs.RoleCompactionThreads, 2)+db.roleValue(knobs.RoleFlushThreads, 1))
+	set("open_tables", math.Min(db.roleValue(knobs.RoleMaxOpenFiles, 1024), 4000))
+	set("row_lock_current_waits", p.StallWaits*0.2)
+	set("data_pending_reads", p.L0Files)
+	set("data_pending_writes", p.PendingMB/1024)
+	set("log_pending_fsyncs", p.WALFsyncs*0.001)
+	set("dirty_page_ratio", math.Min(1, p.MemtableFill*0.7+0.3*math.Min(1, p.L0Files/36)))
+	return s
+}

@@ -156,7 +156,7 @@ func (db *DB) evaluate(w workload.Workload) perf {
 	}
 	p.HitRatio = hit
 	miss := 1 - hit
-	missCost := 2.6 * hw.diskSpeedFactor()
+	missCost := 2.6 * hw.DiskSpeedFactor()
 
 	readShare := w.ReadFraction
 	writeShare := w.WriteFraction()
@@ -215,7 +215,7 @@ func (db *DB) evaluate(w workload.Workload) perf {
 	dirtyOpt := 62 + 22*writeShare
 	dd := (maxDirty - dirtyOpt) / 60
 	writeCost *= 1 + 0.10*dd*dd
-	ioOpt := 800 + 9000*writeShare/hw.diskSpeedFactor()
+	ioOpt := 800 + 9000*writeShare/hw.DiskSpeedFactor()
 	writeCost *= 1 + 0.20*(1-gaussResponse(ioCap, ioOpt, 0.9))
 	writeOpt := 2 + 30*writeShare
 	writeCost *= 1 + 0.30*(1-gaussResponse(writeThreads, writeOpt, 0.8))
@@ -242,7 +242,7 @@ func (db *DB) evaluate(w workload.Workload) perf {
 	tocAdj := 1 - 0.06*(1-tableCache/(tableCache+clients*2))
 
 	// ---- Minor knobs ------------------------------------------------------
-	auxFactor := db.aux.factor(db, w)
+	auxFactor := db.aux.Factor(db.values, db.inst.HW, w)
 
 	// ---- Throughput --------------------------------------------------------
 	opCost := readShare*readCost + writeShare*writeCost

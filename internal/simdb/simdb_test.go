@@ -232,7 +232,7 @@ func TestHigherThroughputLowerLatency(t *testing.T) {
 func TestAuxSurfaceNonTrivial(t *testing.T) {
 	db := newDefault(t)
 	w := workload.SysbenchRW()
-	base := db.aux.factor(db, w)
+	base := db.aux.Factor(db.values, db.inst.HW, w)
 	// Move every aux knob to its hidden peak: factor must rise.
 	cat := db.Catalog()
 	for i, k := range cat.Knobs {
@@ -245,7 +245,7 @@ func TestAuxSurfaceNonTrivial(t *testing.T) {
 			}
 		}
 	}
-	tuned := db.aux.factor(db, w)
+	tuned := db.aux.Factor(db.values, db.inst.HW, w)
 	if tuned <= base {
 		t.Fatalf("aux factor at peaks %v not above default %v", tuned, base)
 	}
@@ -258,7 +258,7 @@ func TestAuxSurfaceDeterministic(t *testing.T) {
 	a := New(knobs.EngineCDB, CDBA, 1)
 	b := New(knobs.EngineCDB, CDBA, 99) // different noise seed, same surface
 	w := workload.TPCC()
-	if a.aux.factor(a, w) != b.aux.factor(b, w) {
+	if a.aux.Factor(a.values, a.inst.HW, w) != b.aux.Factor(b.values, b.inst.HW, w) {
 		t.Fatal("aux surface must be seed-independent (deterministic per engine)")
 	}
 }

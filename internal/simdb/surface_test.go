@@ -73,9 +73,9 @@ func TestAuxInteractionsExist(t *testing.T) {
 	effectOfA := func(bPos float64) float64 {
 		setAux(partner, bPos)
 		setAux(pairIdx, 0.1)
-		lo := s.factor(db, w)
+		lo := s.Factor(db.values, db.inst.HW, w)
 		setAux(pairIdx, 0.9)
-		hi := s.factor(db, w)
+		hi := s.Factor(db.values, db.inst.HW, w)
 		return hi - lo
 	}
 	d1 := effectOfA(0.1)
@@ -98,7 +98,7 @@ func TestAuxFactorBoundedProperty(t *testing.T) {
 		if _, err := db.ApplyKnobs(cat, x); err != nil {
 			return false
 		}
-		v := db.aux.factor(db, workload.TPCC())
+		v := db.aux.Factor(db.values, db.inst.HW, workload.TPCC())
 		return v > 0.25 && v < 2.5
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -110,8 +110,8 @@ func TestAuxFactorBoundedProperty(t *testing.T) {
 // read/write mix (the mix term).
 func TestAuxWorkloadAffinity(t *testing.T) {
 	db := New(knobs.EngineCDB, CDBA, 1)
-	ro := db.aux.factor(db, workload.SysbenchRO())
-	wo := db.aux.factor(db, workload.SysbenchWO())
+	ro := db.aux.Factor(db.values, db.inst.HW, workload.SysbenchRO())
+	wo := db.aux.Factor(db.values, db.inst.HW, workload.SysbenchWO())
 	if ro == wo {
 		t.Fatal("aux surface ignores the workload mix")
 	}

@@ -14,7 +14,7 @@ echo "== package docs =="
 # Every internal package keeps its package-level contract in a doc.go, so
 # the documented invariants (buffer ownership, concurrency, timeline
 # semantics, drift thresholds) have one canonical home.
-for d in internal/*/ internal/rl/ddpg/; do
+for d in internal/*/ internal/rl/ddpg/ internal/simdb/lsm/; do
     if [ ! -f "${d}doc.go" ]; then
         echo "missing ${d}doc.go" >&2
         exit 1
@@ -71,6 +71,11 @@ go test -count=1 -timeout 120s -run 'TestServeSmoke' ./internal/server/
 
 echo "== drift smoke =="
 go test -count=1 -timeout 120s -run 'TestDriftSmoke' ./internal/core/
+
+echo "== lsm smoke =="
+# A short seeded DDPG tune on the LSM storage engine: tuned must beat
+# defaults and at least one write-stall event must be observed.
+go test -count=1 -timeout 120s -run 'TestLSMSmoke' ./internal/simdb/lsm/
 
 echo "== crash smoke =="
 # Systematic power-cut exploration: every crashtest workload, a crash
